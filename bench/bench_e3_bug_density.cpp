@@ -1,0 +1,140 @@
+// E3 — Self-improvement: "the more a program is used, the more reliable it
+// should become" (paper §2), closing Fig. 1's feedback loop.
+//
+// Setup: the full buggy corpus deployed to a fleet for 30 virtual days,
+// twice — once with the fix-distribution loop ON and once with it OFF
+// (ablation). Same seed, same users, same network.
+//
+// Reported: per-day failure rate for both deployments, plus the aggregate
+// failure-rate reduction once fixes have propagated.
+//
+// Expected shape: the ON deployment's failure rate drops by an order of
+// magnitude after the first fixes ship (only the un-auto-fixable
+// schedule-race residue remains); the OFF deployment stays flat.
+#include <cstdio>
+
+#include "core/softborg.h"
+
+using namespace softborg;
+
+namespace {
+
+std::vector<DayMetrics> deploy(std::vector<CorpusEntry> corpus,
+                               bool distribute_fixes) {
+  WorldConfig config;
+  config.pods_per_program = 60;
+  config.days = 30;
+  config.mean_runs_per_day = 5.0;
+  config.seed = 3;
+  config.distribute_fixes = distribute_fixes;
+  World world(std::move(corpus), config);
+  world.run();
+  return world.history();
+}
+
+// The programs whose planted bugs SoftBorg can fix automatically; the
+// schedule race (race_counter) is the paper's repair-lab residue and is
+// reported separately below.
+std::vector<CorpusEntry> fixable_corpus() {
+  std::vector<CorpusEntry> corpus;
+  corpus.push_back(make_media_parser());
+  corpus.push_back(make_bank_transfer());
+  corpus.push_back(make_file_copier());
+  corpus.push_back(make_magic_lookup());
+  return corpus;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# E3: failure rate over deployment time, with vs without the "
+              "fix loop\n");
+  std::printf("## corpus of auto-fixable bugs (crashes + deadlock)\n");
+  const auto with_fixes = deploy(fixable_corpus(), true);
+  const auto without_fixes = deploy(fixable_corpus(), false);
+
+  std::printf("%-5s | %-9s %-8s %-8s %-6s | %-9s %-8s\n", "day",
+              "rate%_on", "averted", "fixed", "paths", "rate%_off", "bugs_off");
+  for (std::size_t i = 0; i < with_fixes.size(); ++i) {
+    const auto& on = with_fixes[i];
+    const auto& off = without_fixes[i];
+    std::printf("%-5llu | %-9.3f %-8llu %-8zu %-6zu | %-9.3f %-8zu\n",
+                static_cast<unsigned long long>(on.day),
+                on.failure_rate * 100.0,
+                static_cast<unsigned long long>(on.fix_interventions),
+                on.bugs_fixed_total, on.total_paths,
+                off.failure_rate * 100.0, off.bugs_found_total);
+  }
+
+  auto window_rate = [](const std::vector<DayMetrics>& h, std::uint64_t lo,
+                        std::uint64_t hi) {
+    std::uint64_t runs = 0, failures = 0;
+    for (const auto& d : h) {
+      if (d.day >= lo && d.day <= hi) {
+        runs += d.runs;
+        failures += d.failures;
+      }
+    }
+    return runs == 0 ? 0.0
+                     : static_cast<double>(failures) /
+                           static_cast<double>(runs);
+  };
+
+  const double early_on = window_rate(with_fixes, 1, 3);
+  const double late_on = window_rate(with_fixes, 25, 30);
+  const double late_off = window_rate(without_fixes, 25, 30);
+  std::printf("\nfailure rate, days 1-3 (before fixes): %.3f%%\n",
+              early_on * 100);
+  std::printf("failure rate, days 25-30, loop ON:     %.3f%%\n",
+              late_on * 100);
+  std::printf("failure rate, days 25-30, loop OFF:    %.3f%%\n",
+              late_off * 100);
+  const double reduction = late_on > 0 ? late_off / late_on : 1e9;
+  if (late_on > 0) {
+    std::printf("reduction attributable to the loop: %.1fx %s\n", reduction,
+                reduction >= 10.0 ? "(order-of-magnitude REPRODUCED)" : "");
+  } else {
+    std::printf("reduction attributable to the loop: infinite — zero "
+                "failures once fixes propagated (order-of-magnitude shape "
+                "REPRODUCED)\n");
+  }
+
+  // Ablation: staged (canary) rollout — a 10% canary for 3 days before the
+  // full fleet gets each fix. Reliability converges a few days later but to
+  // the same floor; the canary bounds the blast radius of a bad fix.
+  {
+    WorldConfig config;
+    config.pods_per_program = 60;
+    config.days = 30;
+    config.mean_runs_per_day = 5.0;
+    config.seed = 3;
+    config.canary_fraction = 0.1;
+    config.canary_days = 3;
+    World world(fixable_corpus(), config);
+    world.run();
+    const double canary_late = window_rate(world.history(), 25, 30);
+    double first_clean_day = 0;
+    for (const auto& d : world.history()) {
+      if (d.failures == 0 && first_clean_day == 0 && d.day > 1) {
+        first_clean_day = static_cast<double>(d.day);
+      }
+    }
+    std::printf("\n## ablation: 10%% canary, 3-day bake before full rollout\n");
+    std::printf("failure rate days 25-30: %.3f%%; first clean day: %.0f "
+                "(instant rollout: day 2)\n",
+                canary_late * 100, first_clean_day);
+  }
+
+  // The residue: add the schedule-dependent race, which the hive refuses
+  // to auto-fix (repair lab). Its failures persist by design.
+  std::printf("\n## full corpus including the un-auto-fixable schedule "
+              "race\n");
+  const auto full_on = deploy(standard_corpus(), true);
+  const double full_early = window_rate(full_on, 1, 3);
+  const double full_late = window_rate(full_on, 25, 30);
+  std::printf("failure rate days 1-3: %.3f%%  days 25-30: %.3f%% — the "
+              "remaining failures are the schedule race awaiting a human "
+              "fix (repair-lab entries: see fleet_simulation example)\n",
+              full_early * 100, full_late * 100);
+  return 0;
+}

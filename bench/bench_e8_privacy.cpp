@@ -1,0 +1,145 @@
+// E8 — Privacy vs information content (paper §3.1, after Castro et al [6]).
+//
+// Claim under test: traces carry enough control-flow information to fix
+// bugs, but also enough to threaten privacy; SoftBorg needs "a principled
+// framework for reasoning about the balance between control flow details
+// and privacy".
+//
+// Part A measures the *risk* side on a path-rich program (config_space(12),
+// 4096 paths): with per-user habits, most users' paths are unique — a
+// perfect quasi-identifier. Bit suppression collapses paths into families
+// and drives uniqueness down, measurably (entropy, unique fraction).
+//
+// Part B measures the *utility* side on media_parser: at each rung of the
+// anonymization ladder, can the hive still (a) bucket the crash and
+// (b) synthesize a validated fix? The k-anonymity gate runs at hive
+// ingress (it needs pod identity to count distinct reporters; identity is
+// droppable after release), so those rungs keep ids through the gate.
+//
+// Expected shape: suppression buys privacy at the cost of replayable
+// structure (tree merging and input-hull fix synthesis degrade); k-gating
+// keeps full utility for common paths while withholding rare (identifying)
+// ones — the paper's trade-off, quantified.
+#include <cstdio>
+
+#include "core/softborg.h"
+
+using namespace softborg;
+
+int main() {
+  // ---------------- part A: re-identification risk --------------------------
+  const auto rich = make_config_space(12);
+  Rng rng(5);
+  std::vector<Trace> rich_traces;
+  for (std::uint64_t user = 1; user <= 300; ++user) {
+    // Per-user habits: a mostly-fixed option vector.
+    std::vector<double> p_on(12);
+    for (auto& p : p_on) p = rng.next_bool(0.5) ? 0.9 : 0.1;
+    for (int run = 0; run < 10; ++run) {
+      std::vector<Value> inputs;
+      for (int j = 0; j < 12; ++j) {
+        inputs.push_back(rng.next_bool(p_on[static_cast<std::size_t>(j)]) ? 1
+                                                                          : 0);
+      }
+      ExecConfig cfg;
+      cfg.inputs = inputs;
+      auto result = execute(rich.program, cfg);
+      result.trace.pod = PodId(user);
+      rich_traces.push_back(result.trace);
+    }
+  }
+
+  std::printf("# E8.A: re-identification risk on %s (4096 paths, 300 users "
+              "with habits)\n",
+              rich.program.name.c_str());
+  std::printf("%-16s %-12s %-10s %-10s %-10s\n", "config", "bits/trace",
+              "paths", "entropy", "unique%");
+  struct RiskRung {
+    const char* name;
+    AnonymizeConfig anon;
+  };
+  for (const auto& rung : std::vector<RiskRung>{
+           {"raw", {.strip_pod_id = false, .quantize_day = false}},
+           {"suppress 1/8", {.bit_suppression = 8}},
+           {"suppress 1/4", {.bit_suppression = 4}},
+           {"suppress 1/2", {.bit_suppression = 2}},
+       }) {
+    std::vector<Trace> released;
+    for (const auto& t : rich_traces) released.push_back(anonymize(t, rung.anon));
+    const auto m = measure_population(released);
+    std::printf("%-16s %-12.1f %-10zu %-10.2f %-10.1f\n", rung.name,
+                m.mean_bits_per_trace, m.distinct_paths, m.path_entropy_bits,
+                m.unique_fraction * 100.0);
+  }
+
+  // ---------------- part B: utility ladder ----------------------------------
+  const auto parser = make_media_parser();
+  std::vector<Trace> raw;
+  std::uint64_t trace_id = 1;
+  for (std::uint64_t user = 1; user <= 300; ++user) {
+    const bool risky = user % 10 == 0;  // some users live in the crash region
+    for (int run = 0; run < 10; ++run) {
+      ExecConfig cfg;
+      cfg.inputs = {risky ? 13 : rng.next_in(0, 63),
+                    risky ? rng.next_in(180, 255) : rng.next_in(0, 255)};
+      cfg.seed = rng();
+      auto result = execute(parser.program, cfg);
+      result.trace.id = TraceId(trace_id++);
+      result.trace.pod = PodId(user);
+      raw.push_back(result.trace);
+    }
+  }
+
+  struct Rung {
+    const char* name;
+    AnonymizeConfig anon;
+    std::size_t k = 1;
+  };
+  // The k-anonymity rungs keep pod identity through the gate (the gate IS
+  // the identity consumer; what analysis sees afterwards is path data).
+  std::vector<Rung> ladder = {
+      {"raw", {.strip_pod_id = false, .quantize_day = false}, 1},
+      {"scrub-ids", {}, 1},
+      {"k-anon k=3", {.strip_pod_id = false, .quantize_day = false}, 3},
+      {"k-anon k=10", {.strip_pod_id = false, .quantize_day = false}, 10},
+      {"suppress 1/4", {.bit_suppression = 4}, 1},
+      {"suppress 1/2", {.bit_suppression = 2}, 1},
+  };
+
+  std::printf("\n# E8.B: the utility ladder on %s (%zu traces)\n",
+              parser.program.name.c_str(), raw.size());
+  std::printf("%-14s | %-12s %-9s | %-10s %-10s %-10s\n", "config",
+              "gate-delayed", "merged", "bug found", "fix score", "fix kind");
+
+  for (const auto& rung : ladder) {
+    std::vector<CorpusEntry> corpus;
+    corpus.push_back(make_media_parser());
+    HiveConfig hive_config;
+    hive_config.k_anonymity = rung.k;
+    Hive hive(&corpus, hive_config);
+
+    for (const auto& t : raw) hive.ingest(anonymize(t, rung.anon));
+
+    const bool bug_found = !hive.bug_tracker().all().empty();
+    const auto fixes = hive.process();
+    const double fix_score = fixes.empty() ? 0.0 : fixes.front().score();
+    const char* kind =
+        fixes.empty() ? "-"
+        : std::holds_alternative<GuardPatch>(fixes.front().fix)
+            ? "input-guard"
+            : "crash-guard";
+
+    std::printf("%-14s | %-12llu %-9llu | %-10s %-10.2f %-10s\n", rung.name,
+                static_cast<unsigned long long>(hive.stats().gated_traces),
+                static_cast<unsigned long long>(hive.stats().paths_merged),
+                bug_found ? "yes" : "NO", fix_score, kind);
+  }
+
+  std::printf(
+      "\n(the k-gate withholds rare paths — including, at k=10, some crash "
+      "reports — while common paths keep full analysis value; bit "
+      "suppression keeps the crash *bucketed* but destroys the replayable "
+      "structure fix synthesis needs: the two ends of the paper's "
+      "privacy/utility spectrum)\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Distributed hive (paper §3: "the hive may be physically centralized …
+// entirely distributed, or hybrid").
+//
+// Runs the corpus's by-products through a 3-shard hive behind the lossy
+// network: an ingress routes each trace to the shard that owns its program,
+// shards analyze independently (bugs, fixes), and finally one shard's
+// accumulated knowledge (its collective execution trees) is serialized and
+// migrated — the "hybrid" deployment where edge shards feed a center.
+#include <cstdio>
+
+#include "core/softborg.h"
+
+int main() {
+  using namespace softborg;
+
+  auto corpus = standard_corpus();
+  NetConfig net_config;
+  net_config.drop_prob = 0.02;
+  SimNet net(net_config);
+  ShardedHive hive(&corpus, /*num_shards=*/3, net);
+
+  std::printf("shard ownership:\n");
+  for (const auto& entry : corpus) {
+    std::printf("  %-22s -> shard %zu\n", entry.program.name.c_str(),
+                hive.shard_index(entry.program.id));
+  }
+
+  // A fleet's worth of traffic through the ingress.
+  const Endpoint fleet = net.add_endpoint();
+  Rng rng(17);
+  std::uint64_t trace_id = 1;
+  for (int round = 0; round < 800; ++round) {
+    const auto& entry = corpus[rng.next_below(corpus.size())];
+    std::vector<Value> inputs;
+    for (const auto& d : entry.domains) inputs.push_back(rng.next_in(d.lo, d.hi));
+    ExecConfig cfg;
+    cfg.inputs = inputs;
+    cfg.seed = rng();
+    auto result = execute(entry.program, cfg);
+    result.trace.id = TraceId(trace_id++);
+    net.send(fleet, hive.ingress(), kMsgTrace, encode_trace(result.trace));
+    if (round % 20 == 0) {
+      net.tick();
+      hive.pump(net);
+    }
+  }
+  for (int i = 0; i < 20; ++i) {
+    net.tick();
+    hive.pump(net);
+  }
+
+  const auto stats = hive.aggregate_stats();
+  std::printf("\nacross %zu shards: ingested=%llu routed=%llu paths=%llu "
+              "bugs=%zu\n",
+              hive.num_shards(),
+              static_cast<unsigned long long>(stats.traces_ingested),
+              static_cast<unsigned long long>(hive.routed()),
+              static_cast<unsigned long long>(stats.new_paths),
+              hive.total_bugs());
+
+  const auto fixes = hive.process_all();
+  std::printf("fixes approved across shards: %zu\n", fixes.size());
+
+  // Hybrid: migrate shard 0's knowledge to a center.
+  const auto exported = hive.export_trees(0);
+  std::size_t bytes = 0, paths = 0;
+  for (const auto& [program, wire] : exported) {
+    bytes += wire.size();
+    if (auto tree = decode_tree(wire)) paths += tree->num_paths();
+  }
+  std::printf("shard 0 knowledge export: %zu program tree(s), %zu paths, "
+              "%zu bytes on the wire\n",
+              exported.size(), paths, bytes);
+  return 0;
+}

@@ -1,0 +1,57 @@
+#include "common/bitvec.h"
+
+namespace softborg {
+
+std::size_t BitVec::common_prefix(const BitVec& other) const {
+  const std::size_t limit = std::min(size_, other.size_);
+  const std::size_t full_words = limit / 64;
+  std::size_t i = 0;
+  for (std::size_t w = 0; w < full_words; ++w) {
+    const std::uint64_t diff = words_[w] ^ other.words_[w];
+    if (diff != 0) {
+      return w * 64 + static_cast<std::size_t>(__builtin_ctzll(diff));
+    }
+    i = (w + 1) * 64;
+  }
+  while (i < limit && (*this)[i] == other[i]) ++i;
+  return i;
+}
+
+std::uint64_t BitVec::hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (b * 8)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(size_);
+  for (auto w : words_) mix(w);
+  return h;
+}
+
+std::string BitVec::to_string() const {
+  std::string s;
+  s.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) s.push_back((*this)[i] ? '1' : '0');
+  return s;
+}
+
+BitVec BitVec::from_words(std::vector<std::uint64_t> words, std::size_t n) {
+  SB_CHECK(words.size() >= (n + 63) / 64);
+  BitVec v;
+  v.size_ = n;
+  v.words_ = std::move(words);
+  v.words_.resize((n + 63) / 64);
+  v.trim();
+  return v;
+}
+
+void BitVec::trim() {
+  const std::size_t off = size_ % 64;
+  if (off != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << off) - 1;
+  }
+}
+
+}  // namespace softborg

@@ -1,0 +1,86 @@
+// Growable bit vector used to encode execution traces.
+//
+// The paper (§3.1) encodes an execution as one bit per input-dependent
+// branch: true = then-side taken. BitVec is the canonical in-memory form;
+// trace/codec.h packs it for the wire.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace softborg {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t n, bool fill = false)
+      : size_(n), words_((n + 63) / 64, fill ? ~0ULL : 0ULL) {
+    trim();
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void push_back(bool bit) {
+    const std::size_t word = size_ / 64, off = size_ % 64;
+    if (word == words_.size()) words_.push_back(0);
+    if (bit) words_[word] |= (1ULL << off);
+    ++size_;
+  }
+
+  bool operator[](std::size_t i) const {
+    SB_DCHECK(i < size_);
+    return (words_[i / 64] >> (i % 64)) & 1;
+  }
+
+  void set(std::size_t i, bool bit) {
+    SB_CHECK(i < size_);
+    if (bit)
+      words_[i / 64] |= (1ULL << (i % 64));
+    else
+      words_[i / 64] &= ~(1ULL << (i % 64));
+  }
+
+  void clear() {
+    size_ = 0;
+    words_.clear();
+  }
+
+  // Number of set bits.
+  std::size_t popcount() const {
+    std::size_t n = 0;
+    for (auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  // Length of the longest common prefix with `other`.
+  std::size_t common_prefix(const BitVec& other) const;
+
+  bool operator==(const BitVec& o) const {
+    return size_ == o.size_ && words_ == o.words_;
+  }
+  bool operator!=(const BitVec& o) const { return !(*this == o); }
+
+  // 64-bit content hash (FNV-1a over words + length).
+  std::uint64_t hash() const;
+
+  // Debug rendering, e.g. "10110".
+  std::string to_string() const;
+
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+  // Rebuilds from raw words; bits past `n` in the last word are cleared.
+  static BitVec from_words(std::vector<std::uint64_t> words, std::size_t n);
+
+ private:
+  void trim();
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace softborg

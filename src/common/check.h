@@ -1,0 +1,32 @@
+// Lightweight runtime checks used across SoftBorg.
+//
+// SB_CHECK is always on (it guards invariants whose violation would make
+// continuing meaningless); SB_DCHECK compiles away in NDEBUG builds and is
+// reserved for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace softborg {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "SB_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace softborg
+
+#define SB_CHECK(expr)                                          \
+  do {                                                          \
+    if (!(expr)) ::softborg::check_failed(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#ifdef NDEBUG
+#define SB_DCHECK(expr) \
+  do {                  \
+  } while (0)
+#else
+#define SB_DCHECK(expr) SB_CHECK(expr)
+#endif

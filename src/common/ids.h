@@ -1,0 +1,48 @@
+// Strongly typed identifiers (I.4: make interfaces precisely typed).
+//
+// A PodId is not a NodeId is not a ProgramId: mixing them up is a compile
+// error rather than a silent cross-wiring of the fleet.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace softborg {
+
+template <typename Tag>
+struct Id {
+  std::uint64_t value = 0;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint64_t v) : value(v) {}
+
+  constexpr bool operator==(const Id&) const = default;
+  constexpr auto operator<=>(const Id&) const = default;
+};
+
+struct PodTag {};
+struct ProgramTag {};
+struct NodeTag {};  // hive worker node
+struct FixTag {};
+struct ProofTag {};
+struct BugTag {};
+struct TraceTag {};
+
+using PodId = Id<PodTag>;
+using ProgramId = Id<ProgramTag>;
+using NodeId = Id<NodeTag>;
+using FixId = Id<FixTag>;
+using ProofId = Id<ProofTag>;
+using BugId = Id<BugTag>;
+using TraceId = Id<TraceTag>;
+
+}  // namespace softborg
+
+namespace std {
+template <typename Tag>
+struct hash<softborg::Id<Tag>> {
+  size_t operator()(const softborg::Id<Tag>& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};
+}  // namespace std

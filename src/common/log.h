@@ -1,0 +1,26 @@
+// Minimal leveled, thread-safe logger.
+//
+// Experiments keep the default level at kWarn so bench output stays clean;
+// examples raise it to kInfo to narrate the platform's feedback loop.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace softborg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// printf-style; a newline is appended.
+void log_at(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace softborg
+
+#define SB_LOG_DEBUG(...) ::softborg::log_at(::softborg::LogLevel::kDebug, __VA_ARGS__)
+#define SB_LOG_INFO(...) ::softborg::log_at(::softborg::LogLevel::kInfo, __VA_ARGS__)
+#define SB_LOG_WARN(...) ::softborg::log_at(::softborg::LogLevel::kWarn, __VA_ARGS__)
+#define SB_LOG_ERROR(...) ::softborg::log_at(::softborg::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,93 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace softborg {
+
+void StatAccumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double StatAccumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+void StatAccumulator::merge(const StatAccumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_), nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+int Histogram::bucket_for(double v) {
+  if (v < 1.0) return 0;
+  int b = 1 + static_cast<int>(std::floor(std::log2(v)));
+  return std::min(b, kBuckets - 1);
+}
+
+double Histogram::bucket_upper(int b) {
+  if (b == 0) return 1.0;
+  return std::pow(2.0, b);
+}
+
+void Histogram::add(double value) {
+  if (value < 0) value = 0;
+  buckets_[static_cast<std::size_t>(bucket_for(value))]++;
+  ++count_;
+  max_seen_ = std::max(max_seen_, value);
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  SB_CHECK(p >= 0.0 && p <= 100.0);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[static_cast<std::size_t>(b)];
+    if (static_cast<double>(seen) >= target) {
+      return std::min(bucket_upper(b), max_seen_);
+    }
+  }
+  return max_seen_;
+}
+
+std::string Histogram::summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "p50=%.3g p90=%.3g p99=%.3g max=%.3g n=%zu",
+                percentile(50), percentile(90), percentile(99), max_seen_,
+                count_);
+  return buf;
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (int b = 0; b < kBuckets; ++b) {
+    buckets_[static_cast<std::size_t>(b)] +=
+        other.buckets_[static_cast<std::size_t>(b)];
+  }
+  count_ += other.count_;
+  max_seen_ = std::max(max_seen_, other.max_seen_);
+}
+
+}  // namespace softborg

@@ -1,0 +1,70 @@
+// Metrics primitives used by experiments and the hive's online statistics:
+// streaming mean/variance, log-bucketed histograms, and a wall-clock timer.
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace softborg {
+
+// Welford streaming accumulator: mean, variance, min, max.
+class StatAccumulator {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+  void merge(const StatAccumulator& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Histogram with exponentially sized buckets: [0,1), [1,2), [2,4), [4,8)...
+// Good enough for latency/size distributions across many orders of magnitude.
+class Histogram {
+ public:
+  void add(double value);
+  std::size_t count() const { return count_; }
+  double percentile(double p) const;  // p in [0,100]
+  std::string summary() const;        // "p50=.. p90=.. p99=.. max=.."
+  void merge(const Histogram& other);
+
+ private:
+  static constexpr int kBuckets = 64;
+  static int bucket_for(double v);
+  static double bucket_upper(int b);
+
+  std::vector<std::uint64_t> buckets_ = std::vector<std::uint64_t>(kBuckets, 0);
+  std::size_t count_ = 0;
+  double max_seen_ = 0.0;
+};
+
+// Simple monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+  double elapsed_us() const { return elapsed_seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace softborg

@@ -1,0 +1,41 @@
+#include "common/varint.h"
+
+namespace softborg {
+
+void put_varint(Bytes& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_varint_signed(Bytes& out, std::int64_t v) {
+  const std::uint64_t zz =
+      (static_cast<std::uint64_t>(v) << 1) ^
+      static_cast<std::uint64_t>(v >> 63);
+  put_varint(out, zz);
+}
+
+std::optional<std::uint64_t> get_varint(const Bytes& in, std::size_t& pos) {
+  std::uint64_t result = 0;
+  int shift = 0;
+  while (pos < in.size()) {
+    const std::uint8_t byte = in[pos++];
+    if (shift == 63 && (byte & 0x7f) > 1) return std::nullopt;  // overflow
+    result |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return result;
+    shift += 7;
+    if (shift > 63) return std::nullopt;
+  }
+  return std::nullopt;  // truncated
+}
+
+std::optional<std::int64_t> get_varint_signed(const Bytes& in,
+                                              std::size_t& pos) {
+  auto zz = get_varint(in, pos);
+  if (!zz) return std::nullopt;
+  return static_cast<std::int64_t>((*zz >> 1) ^ (0 - (*zz & 1)));
+}
+
+}  // namespace softborg

@@ -1,0 +1,22 @@
+// LEB128 variable-length integer codec for trace wire encoding (§3.1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace softborg {
+
+using Bytes = std::vector<std::uint8_t>;
+
+void put_varint(Bytes& out, std::uint64_t v);
+
+// ZigZag-encoded signed varint.
+void put_varint_signed(Bytes& out, std::int64_t v);
+
+// Cursor-based decoder; returns nullopt on truncated/overlong input.
+std::optional<std::uint64_t> get_varint(const Bytes& in, std::size_t& pos);
+std::optional<std::int64_t> get_varint_signed(const Bytes& in,
+                                              std::size_t& pos);
+
+}  // namespace softborg

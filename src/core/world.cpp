@@ -1,0 +1,243 @@
+#include "core/world.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "trace/codec.h"
+
+namespace softborg {
+
+World::World(std::vector<CorpusEntry> corpus, WorldConfig config)
+    : corpus_(std::move(corpus)), config_(config), rng_(config.seed),
+      net_(config.net) {
+  SB_CHECK(!corpus_.empty());
+  hive_endpoint_ = net_.add_endpoint();
+  hive_ = std::make_unique<Hive>(&corpus_, config_.hive);
+
+  std::uint64_t next_pod_id = 1;
+  for (std::size_t ci = 0; ci < corpus_.size(); ++ci) {
+    for (std::size_t i = 0; i < config_.pods_per_program; ++i) {
+      PodSlot slot;
+      slot.corpus_index = ci;
+      slot.endpoint = net_.add_endpoint();
+      slot.pod = std::make_unique<Pod>(PodId(next_pod_id++), corpus_[ci],
+                                       random_profile(corpus_[ci]),
+                                       config_.pod_config, rng_());
+      pods_.push_back(std::move(slot));
+    }
+  }
+}
+
+UserProfile World::random_profile(const CorpusEntry& entry) {
+  UserProfile profile;
+  // Heterogeneous usage: rates spread around the mean with a heavy tail.
+  const double r = rng_.next_double();
+  profile.executions_per_day =
+      config_.mean_runs_per_day * (r < 0.1 ? 4.0 : (r < 0.5 ? 1.0 : 0.4));
+  // Each user draws inputs from their own window of the domain (about a
+  // third of it), except "power users" (20%) who roam the full domain.
+  if (!rng_.next_bool(0.2)) {
+    for (const auto& d : entry.domains) {
+      const Value width = d.width();
+      const Value window = std::max<Value>(width / 3, 1);
+      const Value start =
+          d.lo + rng_.next_in(0, std::max<Value>(width - window, 0));
+      profile.input_prefs.push_back(
+          {start, std::min(start + window - 1, d.hi)});
+    }
+  }
+  return profile;
+}
+
+void World::deliver_downstream() {
+  for (auto& slot : pods_) {
+    for (const auto& msg : net_.drain(slot.endpoint)) {
+      switch (msg.type) {
+        case kMsgGuardPatch: {
+          if (auto patch = decode_guard_patch(msg.payload)) {
+            slot.pod->install(*patch);
+          }
+          break;
+        }
+        case kMsgCrashGuard: {
+          if (auto fix = decode_crash_guard(msg.payload)) {
+            slot.pod->install(*fix);
+          }
+          break;
+        }
+        case kMsgLockFix: {
+          if (auto fix = decode_lock_fix(msg.payload)) {
+            slot.pod->install(*fix);
+          }
+          break;
+        }
+        case kMsgGuidance: {
+          if (auto directive = decode_guidance(msg.payload)) {
+            slot.pod->push_guidance(std::move(*directive));
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+}
+
+void World::send_fix_to(const FixCandidate& candidate, const PodSlot& slot) {
+  std::visit(
+      [&](const auto& fix) {
+        using T = std::decay_t<decltype(fix)>;
+        if constexpr (std::is_same_v<T, GuardPatch>) {
+          net_.send(hive_endpoint_, slot.endpoint, kMsgGuardPatch,
+                    encode_guard_patch(fix));
+        } else if constexpr (std::is_same_v<T, CrashGuardFix>) {
+          net_.send(hive_endpoint_, slot.endpoint, kMsgCrashGuard,
+                    encode_crash_guard(fix));
+        } else {
+          net_.send(hive_endpoint_, slot.endpoint, kMsgLockFix,
+                    encode_lock_fix(fix));
+        }
+      },
+      candidate.fix);
+}
+
+void World::broadcast_fixes(const std::vector<FixCandidate>& fixes) {
+  for (const auto& candidate : fixes) {
+    fixes_distributed_++;
+    std::size_t program_index = 0;
+    for (const auto& slot : pods_) {
+      if (slot.pod->program() != candidate.program) continue;
+      const bool in_canary =
+          config_.canary_fraction >= 1.0 ||
+          static_cast<double>(program_index) <
+              config_.canary_fraction *
+                  static_cast<double>(config_.pods_per_program);
+      program_index++;
+      if (in_canary) send_fix_to(candidate, slot);
+    }
+    if (config_.canary_fraction < 1.0) {
+      pending_rollouts_.push_back(
+          {candidate, day_ + config_.canary_days});
+    }
+  }
+}
+
+void World::advance_rollouts() {
+  for (auto it = pending_rollouts_.begin(); it != pending_rollouts_.end();) {
+    if (day_ < it->full_rollout_day) {
+      ++it;
+      continue;
+    }
+    // The canary verdict: if the hive's telemetry reopened the bug, the
+    // fix is not holding — cancel the full rollout.
+    const Bug* bug = hive_->bug_tracker().find(it->candidate.bug);
+    if (bug != nullptr && !bug->fixed) {
+      rollouts_cancelled_++;
+      it = pending_rollouts_.erase(it);
+      continue;
+    }
+    std::size_t program_index = 0;
+    for (const auto& slot : pods_) {
+      if (slot.pod->program() != it->candidate.program) continue;
+      const bool was_canary =
+          static_cast<double>(program_index) <
+          config_.canary_fraction *
+              static_cast<double>(config_.pods_per_program);
+      program_index++;
+      if (!was_canary) send_fix_to(it->candidate, slot);
+    }
+    it = pending_rollouts_.erase(it);
+  }
+}
+
+void World::send_guidance() {
+  if (config_.guidance_per_program_per_day == 0) return;
+  const auto directives =
+      hive_->plan_guidance(config_.guidance_per_program_per_day);
+  for (const auto& d : directives) {
+    // Pick a random pod of the right program.
+    std::vector<const PodSlot*> eligible;
+    for (const auto& slot : pods_) {
+      if (slot.pod->program() == d.program) eligible.push_back(&slot);
+    }
+    if (eligible.empty()) continue;
+    const PodSlot* target = eligible[rng_.next_below(eligible.size())];
+    net_.send(hive_endpoint_, target->endpoint, kMsgGuidance,
+              encode_guidance(d));
+  }
+}
+
+void World::step_day() {
+  day_++;
+  DayMetrics metrics;
+  metrics.day = day_;
+
+  // 1. Deliver yesterday's in-flight downstream messages.
+  deliver_downstream();
+
+  // 2. Users run their software; pods ship by-products.
+  for (auto& slot : pods_) {
+    const std::uint32_t n = slot.pod->draws_for_day();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      PodRun run = slot.pod->run_once(day_);
+      metrics.runs++;
+      if (run.trace.outcome != Outcome::kOk) metrics.failures++;
+      if (run.fix_intervened) metrics.fix_interventions++;
+      net_.send(slot.endpoint, hive_endpoint_, kMsgTrace,
+                encode_trace(run.trace));
+      if (run.sampled.has_value()) {
+        hive_->ingest_sampled(*run.sampled);  // cheap side channel
+      }
+    }
+  }
+
+  // 3. Let the network move, then the hive ingest everything delivered.
+  for (std::size_t t = 0; t < config_.ticks_per_day; ++t) net_.tick();
+  for (const auto& msg : net_.drain(hive_endpoint_)) {
+    if (msg.type == kMsgTrace) hive_->ingest_bytes(msg.payload);
+  }
+
+  // 4. Analysis: bugs -> fixes -> distribution; guidance planning.
+  const auto fixes = hive_->process();
+  if (config_.distribute_fixes) {
+    advance_rollouts();
+    broadcast_fixes(fixes);
+  }
+  send_guidance();
+  for (std::size_t t = 0; t < config_.ticks_per_day; ++t) net_.tick();
+
+  // 5. Metrics.
+  metrics.failure_rate =
+      metrics.runs == 0
+          ? 0.0
+          : static_cast<double>(metrics.failures) /
+                static_cast<double>(metrics.runs);
+  metrics.bugs_found_total = hive_->bug_tracker().all().size();
+  metrics.bugs_fixed_total =
+      hive_->bug_tracker().all().size() - hive_->bug_tracker().open_bugs().size();
+  metrics.fixes_distributed_total = fixes_distributed_;
+  for (const auto& entry : corpus_) {
+    if (const ExecTree* tree = hive_->tree(entry.program.id)) {
+      metrics.total_paths += tree->num_paths();
+    }
+  }
+  metrics.traces_delivered_total = net_.stats().delivered;
+  history_.push_back(metrics);
+
+  SB_LOG_INFO(
+      "day %llu: runs=%llu failures=%llu (%.2f%%) bugs=%zu fixed=%zu "
+      "paths=%zu",
+      static_cast<unsigned long long>(day_),
+      static_cast<unsigned long long>(metrics.runs),
+      static_cast<unsigned long long>(metrics.failures),
+      metrics.failure_rate * 100.0, metrics.bugs_found_total,
+      metrics.bugs_fixed_total, metrics.total_paths);
+}
+
+void World::run() {
+  while (day_ < config_.days) step_day();
+}
+
+}  // namespace softborg

@@ -1,0 +1,112 @@
+// The SoftBorg world: a simulated deployment of the whole platform
+// (paper Fig. 1), substituting for the multi-user run corpus the paper
+// assumes (see DESIGN.md, substitutions).
+//
+// A World owns a program corpus, a heterogeneous fleet of pods (each pod =
+// one simulated user of one program, with its own input preferences and
+// usage rate), one hive, and the unreliable network between them. Virtual
+// time advances in days; each day:
+//   1. pods deliver pending downstream messages (fixes, guidance),
+//   2. every pod performs its user's executions and ships the by-products
+//      upstream over the lossy network,
+//   3. the hive ingests, detects bugs, synthesizes+validates fixes, and
+//      broadcasts approved fixes back,
+//   4. (optionally) the hive plans guidance directives for a sample of pods,
+//   5. per-day metrics are recorded (the raw series behind experiments
+//      E1/E3/E5).
+//
+// Everything is seeded: a World run is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hive/hive.h"
+#include "minivm/corpus.h"
+#include "net/simnet.h"
+#include "pod/pod.h"
+
+namespace softborg {
+
+struct WorldConfig {
+  std::size_t pods_per_program = 50;
+  std::uint64_t days = 30;
+  double mean_runs_per_day = 6.0;  // per pod; individual rates vary around it
+  NetConfig net;
+  PodConfig pod_config;
+  HiveConfig hive;
+  bool distribute_fixes = true;
+  // Staged rollout: fixes first ship to a canary cohort of the program's
+  // pods; full rollout follows after `canary_days` unless the hive's
+  // fix-effectiveness telemetry reopened the bug in the meantime.
+  double canary_fraction = 1.0;  // 1.0 = ship to everyone immediately
+  std::uint64_t canary_days = 2;
+  std::size_t guidance_per_program_per_day = 0;
+  std::size_t ticks_per_day = 12;
+  std::uint64_t seed = 1;
+};
+
+struct DayMetrics {
+  std::uint64_t day = 0;
+  std::uint64_t runs = 0;
+  std::uint64_t failures = 0;          // as experienced by users that day
+  double failure_rate = 0.0;
+  std::uint64_t fix_interventions = 0; // crashes/deadlocks averted by fixes
+  std::size_t bugs_found_total = 0;
+  std::size_t bugs_fixed_total = 0;
+  std::size_t fixes_distributed_total = 0;
+  std::size_t total_paths = 0;         // union coverage across programs
+  std::uint64_t traces_delivered_total = 0;
+};
+
+class World {
+ public:
+  World(std::vector<CorpusEntry> corpus, WorldConfig config);
+
+  void step_day();
+  void run();  // all configured days
+
+  std::uint64_t day() const { return day_; }
+  Hive& hive() { return *hive_; }
+  const std::vector<DayMetrics>& history() const { return history_; }
+  const std::vector<CorpusEntry>& corpus() const { return corpus_; }
+  std::size_t num_pods() const { return pods_.size(); }
+  Pod& pod(std::size_t i) { return *pods_[i].pod; }
+  const NetStats& net_stats() const { return net_.stats(); }
+  std::size_t pending_rollouts() const { return pending_rollouts_.size(); }
+  std::size_t rollouts_cancelled() const { return rollouts_cancelled_; }
+
+ private:
+  struct PodSlot {
+    std::unique_ptr<Pod> pod;
+    Endpoint endpoint = 0;
+    std::size_t corpus_index = 0;
+  };
+
+  UserProfile random_profile(const CorpusEntry& entry);
+  void deliver_downstream();
+  void broadcast_fixes(const std::vector<FixCandidate>& fixes);
+  void send_fix_to(const FixCandidate& candidate, const PodSlot& slot);
+  void advance_rollouts();
+  void send_guidance();
+
+  std::vector<CorpusEntry> corpus_;
+  WorldConfig config_;
+  Rng rng_;
+  SimNet net_;
+  Endpoint hive_endpoint_ = 0;
+  std::unique_ptr<Hive> hive_;
+  std::vector<PodSlot> pods_;
+  std::uint64_t day_ = 0;
+  std::size_t fixes_distributed_ = 0;
+  struct PendingRollout {
+    FixCandidate candidate;
+    std::uint64_t full_rollout_day = 0;
+  };
+  std::vector<PendingRollout> pending_rollouts_;
+  std::size_t rollouts_cancelled_ = 0;
+  std::vector<DayMetrics> history_;
+};
+
+}  // namespace softborg

@@ -1,0 +1,219 @@
+#include "hive/bugs.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "common/check.h"
+#include "trace/codec.h"
+
+namespace softborg {
+
+const char* bug_kind_name(BugKind k) {
+  switch (k) {
+    case BugKind::kCrash: return "crash";
+    case BugKind::kDeadlock: return "deadlock";
+    case BugKind::kScheduleAssert: return "schedule-assert";
+    case BugKind::kHang: return "hang";
+  }
+  return "?";
+}
+
+std::string Bug::describe() const {
+  std::string s = std::string(bug_kind_name(kind)) + " in program " +
+                  std::to_string(program.value);
+  if (crash.has_value()) {
+    s += std::string(": ") + crash_kind_name(crash->kind) + " at pc " +
+         std::to_string(crash->pc);
+  }
+  if (!cycle_locks.empty()) {
+    s += ": lock cycle {";
+    for (std::size_t i = 0; i < cycle_locks.size(); ++i) {
+      if (i > 0) s += ",";
+      s += std::to_string(cycle_locks[i]);
+    }
+    s += "}";
+  }
+  s += " (" + std::to_string(occurrences) + " occurrences)";
+  return s;
+}
+
+void LockOrderAnalyzer::add_trace(const Trace& t) {
+  // Reconstruct per-thread held sets from the event stream.
+  std::map<std::uint8_t, std::vector<std::uint16_t>> held;
+  std::set<std::pair<std::uint16_t, std::uint16_t>> seen;
+  for (const auto& ev : t.lock_events) {
+    auto& h = held[ev.thread];
+    if (ev.acquire) {
+      for (auto lock : h) {
+        if (lock != ev.lock && seen.insert({lock, ev.lock}).second) {
+          edges_[lock].push_back(ev.lock);
+        }
+      }
+      h.push_back(ev.lock);
+    } else {
+      auto it = std::find(h.begin(), h.end(), ev.lock);
+      if (it != h.end()) h.erase(it);
+    }
+  }
+  // A deadlocked trace's blocked requests never became acquisitions; the
+  // wait-for cycle itself is still visible: each blocked thread's pending
+  // request edge comes from its held locks at trace end. Those requests are
+  // not in lock_events (no acquire happened), so the caller should also
+  // feed deadlock_cycle information when available — handled by the hive.
+  for (auto& [from, tos] : edges_) {
+    std::sort(tos.begin(), tos.end());
+    tos.erase(std::unique(tos.begin(), tos.end()), tos.end());
+  }
+}
+
+std::size_t LockOrderAnalyzer::num_edges() const {
+  std::size_t n = 0;
+  for (const auto& [from, tos] : edges_) n += tos.size();
+  return n;
+}
+
+namespace {
+// Canonical rotation: cycle starts at its smallest element.
+std::vector<std::uint16_t> canonical(std::vector<std::uint16_t> cycle) {
+  const auto min_it = std::min_element(cycle.begin(), cycle.end());
+  std::rotate(cycle.begin(), min_it, cycle.end());
+  return cycle;
+}
+}  // namespace
+
+std::vector<std::vector<std::uint16_t>> LockOrderAnalyzer::cycles() const {
+  std::vector<std::vector<std::uint16_t>> out;
+  std::set<std::vector<std::uint16_t>> seen;
+
+  // Bounded DFS from every node; lock counts are small.
+  std::vector<std::uint16_t> path;
+  std::set<std::uint16_t> on_path;
+
+  std::function<void(std::uint16_t, std::uint16_t)> dfs =
+      [&](std::uint16_t start, std::uint16_t cur) {
+        auto it = edges_.find(cur);
+        if (it == edges_.end()) return;
+        for (std::uint16_t next : it->second) {
+          if (next == start && path.size() >= 2) {
+            auto cycle = canonical(path);
+            if (seen.insert(cycle).second) out.push_back(cycle);
+            continue;
+          }
+          if (on_path.count(next) != 0 || next < start) continue;
+          path.push_back(next);
+          on_path.insert(next);
+          dfs(start, next);
+          on_path.erase(next);
+          path.pop_back();
+        }
+      };
+
+  for (const auto& [start, tos] : edges_) {
+    path = {start};
+    on_path = {start};
+    dfs(start, start);
+  }
+  return out;
+}
+
+std::uint64_t BugTracker::key_of(const Trace& t) const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(t.program.value);
+  mix(static_cast<std::uint64_t>(t.outcome));
+  if (t.outcome == Outcome::kCrash && t.crash.has_value()) {
+    mix(static_cast<std::uint64_t>(t.crash->kind));
+    mix(t.crash->pc);
+    mix(static_cast<std::uint64_t>(t.crash->detail));
+  } else if (t.outcome == Outcome::kDeadlock) {
+    // Signature: the set of locks involved in the trace's lock events.
+    std::set<std::uint16_t> locks;
+    for (const auto& ev : t.lock_events) locks.insert(ev.lock);
+    for (auto l : locks) mix(l);
+  }
+  return h;
+}
+
+Bug* BugTracker::record(const Trace& t) {
+  if (t.outcome == Outcome::kOk) return nullptr;
+
+  const std::uint64_t key = key_of(t);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    Bug& bug = bugs_[it->second];
+    bug.occurrences++;
+    bug.last_day = std::max(bug.last_day, t.day);
+    return &bug;
+  }
+
+  Bug bug;
+  bug.id = BugId(next_id_++);
+  bug.program = t.program;
+  bug.occurrences = 1;
+  bug.first_day = bug.last_day = t.day;
+  bug.exemplar = t;
+  switch (t.outcome) {
+    case Outcome::kCrash:
+      bug.kind = BugKind::kCrash;
+      bug.crash = t.crash;
+      break;
+    case Outcome::kDeadlock: {
+      bug.kind = BugKind::kDeadlock;
+      std::set<std::uint16_t> locks;
+      for (const auto& ev : t.lock_events) locks.insert(ev.lock);
+      bug.cycle_locks.assign(locks.begin(), locks.end());
+      break;
+    }
+    case Outcome::kHang:
+    case Outcome::kUserKilled:
+      bug.kind = BugKind::kHang;
+      break;
+    case Outcome::kOk:
+      SB_CHECK(false);
+  }
+  index_[key] = bugs_.size();
+  bugs_.push_back(std::move(bug));
+  return &bugs_.back();
+}
+
+std::vector<Bug*> BugTracker::open_bugs() {
+  std::vector<Bug*> out;
+  for (auto& bug : bugs_) {
+    if (!bug.fixed) out.push_back(&bug);
+  }
+  return out;
+}
+
+Bug* BugTracker::find(BugId id) {
+  for (auto& bug : bugs_) {
+    if (bug.id == id) return &bug;
+  }
+  return nullptr;
+}
+
+void BugTracker::mark_fixed(BugId id, FixId fix) {
+  Bug* bug = find(id);
+  SB_CHECK(bug != nullptr);
+  bug->fixed = true;
+  bug->fix = fix;
+}
+
+void BugTracker::mark_schedule_dependent(BugId id) {
+  Bug* bug = find(id);
+  SB_CHECK(bug != nullptr);
+  if (bug->kind == BugKind::kCrash) bug->kind = BugKind::kScheduleAssert;
+}
+
+std::size_t BugTracker::count(BugKind kind) const {
+  std::size_t n = 0;
+  for (const auto& bug : bugs_) {
+    if (bug.kind == kind) n++;
+  }
+  return n;
+}
+
+}  // namespace softborg

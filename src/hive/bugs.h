@@ -1,0 +1,96 @@
+// Bug identification from aggregated by-products (paper §3.3 "identifies
+// misbehaviors in P").
+//
+// Crashes are bucketed WER-style [11] by (program, crash kind, pc, detail).
+// Deadlocks are diagnosed from lock-event traces: per-thread held-sets give
+// lock-order edges, cycles in the lock-order graph give the deadlock
+// pattern (the artifact the deadlock-immunity fix needs). Schedule-dependent
+// assertion failures are recognized as a distinct class that cannot be
+// auto-fixed (they go to the repair lab instead).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "trace/trace.h"
+
+namespace softborg {
+
+enum class BugKind : std::uint8_t {
+  kCrash = 0,          // deterministic crash (input/env dependent)
+  kDeadlock = 1,       // lock-order cycle
+  kScheduleAssert = 2, // assertion failing only under some interleavings
+  kHang = 3,
+};
+
+const char* bug_kind_name(BugKind k);
+
+struct Bug {
+  BugId id;
+  ProgramId program;
+  BugKind kind = BugKind::kCrash;
+  // kCrash / kScheduleAssert signature:
+  std::optional<CrashInfo> crash;
+  // kDeadlock signature: the lock-order cycle, sorted.
+  std::vector<std::uint16_t> cycle_locks;
+
+  std::uint64_t occurrences = 0;
+  std::uint64_t first_day = 0;
+  std::uint64_t last_day = 0;
+  Trace exemplar;  // one representative trace (earliest seen)
+
+  bool fixed = false;
+  FixId fix;
+  std::uint64_t fixed_day = 0;  // virtual day the fix was approved
+
+  std::string describe() const;
+};
+
+// Lock-order graph built from traces' lock events.
+class LockOrderAnalyzer {
+ public:
+  // Adds the (held -> requested) edges implied by one trace.
+  void add_trace(const Trace& t);
+
+  // Distinct simple cycles (as canonically-rotated lock lists). Complete
+  // for the small lock counts MiniVM programs use.
+  std::vector<std::vector<std::uint16_t>> cycles() const;
+
+  std::size_t num_edges() const;
+
+ private:
+  std::map<std::uint16_t, std::vector<std::uint16_t>> edges_;
+};
+
+// The hive's bug database.
+class BugTracker {
+ public:
+  // Records a failing trace; returns the (new or existing) bug, or nullptr
+  // for outcomes that are not failures. `is_schedule_dependent` marks
+  // assertion failures already seen to pass under other schedules.
+  Bug* record(const Trace& t);
+
+  std::vector<Bug*> open_bugs();
+  const std::vector<Bug>& all() const { return bugs_; }
+  Bug* find(BugId id);
+  void mark_fixed(BugId id, FixId fix);
+
+  // Reclassifies a crash bug as schedule-dependent (set once the hive sees
+  // the same program state pass under other schedules).
+  void mark_schedule_dependent(BugId id);
+
+  std::size_t count(BugKind kind) const;
+
+ private:
+  std::uint64_t key_of(const Trace& t) const;
+
+  std::vector<Bug> bugs_;
+  std::map<std::uint64_t, std::size_t> index_;  // signature hash -> index
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace softborg

@@ -1,0 +1,92 @@
+// Fix synthesis and validation (paper §3.3 "synthesizes fixes that improve
+// P" and the "repair lab" for fixes that need a human).
+//
+// Pipeline per bug:
+//  1. Candidate generation.
+//     * crash bugs: replay the exemplar trace into its decision stream,
+//       derive the crash path constraint symbolically, and project it onto
+//       the inputs (interval hull). If the constraint is input-determined,
+//       emit a GuardPatch at the last input-dependent branch of the crash
+//       path, guarded by the hull predicate. Always also emit a
+//       CrashGuardFix at the faulting pc (covers env/syscall-determined
+//       crashes, ClearView-style [24]).
+//     * deadlock bugs: a LockAvoidanceFix over the diagnosed cycle [16].
+//  2. Validation: run the program many times with the candidate installed —
+//     (a) over the crash region (must no longer fail), (b) over the whole
+//     input domain (no new failures; unpatched runs byte-identical).
+//  3. Verdict: candidates scoring >= auto_threshold are auto-distributed;
+//     the rest are queued for the repair lab (paper: "developers manually
+//     choose the correct one").
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "hive/bugs.h"
+#include "minivm/corpus.h"
+#include "minivm/fixes.h"
+#include "sym/executor.h"
+
+namespace softborg {
+
+using FixVariant = std::variant<GuardPatch, CrashGuardFix, LockAvoidanceFix>;
+
+struct FixCandidate {
+  FixVariant fix;
+  BugId bug;
+  ProgramId program;
+  // Where the failure lives in input space (from the symbolic crash-path
+  // hull, when known); validation samples this region.
+  std::vector<InputBound> region_hint;
+  // Validation results.
+  double averted_fraction = 0.0;     // failing region now passes
+  double preserved_fraction = 0.0;   // healthy runs unchanged
+  std::uint64_t validation_runs = 0;
+  std::string rationale;
+
+  double score() const { return averted_fraction * preserved_fraction; }
+};
+
+struct FixerConfig {
+  std::uint64_t next_fix_id = 1;
+  std::size_t validation_runs_region = 60;   // runs inside the crash region
+  std::size_t validation_runs_domain = 120;  // runs across the whole domain
+  std::uint64_t seed = 0xF1F1;
+};
+
+class FixSynthesizer {
+ public:
+  explicit FixSynthesizer(FixerConfig config = {}) : config_(config) {}
+
+  // Generates and validates candidates for `bug`, best score first.
+  std::vector<FixCandidate> synthesize(const Bug& bug,
+                                       const CorpusEntry& entry);
+
+ private:
+  FixId next_id() { return FixId(config_.next_fix_id++); }
+
+  std::vector<FixCandidate> crash_candidates(const Bug& bug,
+                                             const CorpusEntry& entry);
+  std::vector<FixCandidate> deadlock_candidates(const Bug& bug,
+                                                const CorpusEntry& entry);
+  void validate(FixCandidate& candidate, const CorpusEntry& entry,
+                const Bug& bug);
+
+  FixerConfig config_;
+};
+
+// Repair lab: candidates that failed auto-validation, ranked for humans.
+struct RepairLabEntry {
+  FixCandidate candidate;
+  std::string why_not_auto;
+};
+
+// Projects `constraints` onto each input variable: the tightest [lo, hi]
+// hull per input such that every satisfying assignment lies inside. Inputs
+// whose hull equals the full domain are omitted (unconstrained).
+std::vector<InputBound> input_hull(const PathConstraint& constraints,
+                                   const std::vector<VarDomain>& domains,
+                                   const std::vector<VarDomain>& unknowns);
+
+}  // namespace softborg

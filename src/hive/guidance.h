@@ -1,0 +1,51 @@
+// Execution guidance (paper §3.3): "SoftBorg uses symbolic analysis to
+// identify directions toward which to guide the pods to fill in the gaps".
+//
+// The planner reads the collective tree's frontier and, for each unexplored
+// direction, solves for a witness: concrete inputs plus (when the path
+// depends on the environment) a syscall fault plan. Directives never change
+// P's semantics — they only choose inputs, inject environment values, and
+// steer thread schedules, all of which are legal executions of P.
+//
+// For multi-threaded programs the planner also emits schedule-exploration
+// directives (seeded random and adversarial yield-at-lock plans), which is
+// how rare interleavings (deadlocks) are surfaced quickly.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "minivm/corpus.h"
+#include "pod/protocol.h"
+#include "sym/executor.h"
+#include "tree/exec_tree.h"
+
+namespace softborg {
+
+struct GuidancePlannerConfig {
+  std::size_t solver_nodes = 200'000;
+  std::size_t max_paths_per_frontier = 4;
+};
+
+class GuidancePlanner {
+ public:
+  explicit GuidancePlanner(GuidancePlannerConfig config = {})
+      : config_(config) {}
+
+  // Input/fault directives targeting up to `max_directives` frontier gaps
+  // of a single-threaded program's tree.
+  std::vector<GuidanceDirective> plan_frontier(const CorpusEntry& entry,
+                                               const ExecTree& tree,
+                                               std::size_t max_directives);
+
+  // Schedule-exploration directives for multi-threaded programs: plans that
+  // force long runs of each thread at staggered offsets, plus random mixes.
+  std::vector<GuidanceDirective> plan_schedules(const CorpusEntry& entry,
+                                                std::size_t max_directives,
+                                                Rng& rng);
+
+ private:
+  GuidancePlannerConfig config_;
+};
+
+}  // namespace softborg

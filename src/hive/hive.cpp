@@ -1,0 +1,231 @@
+#include "hive/hive.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "minivm/replay.h"
+#include "trace/codec.h"
+
+namespace softborg {
+
+Hive::Hive(const std::vector<CorpusEntry>* corpus, HiveConfig config)
+    : corpus_(corpus),
+      config_(config),
+      fixer_(config.fixer),
+      rng_(config.seed) {
+  SB_CHECK(corpus_ != nullptr);
+  if (config_.k_anonymity > 1) {
+    gate_ = std::make_unique<KAnonymityGate>(config_.k_anonymity);
+  }
+}
+
+const CorpusEntry* Hive::entry_of(ProgramId program) const {
+  for (const auto& e : *corpus_) {
+    if (e.program.id == program) return &e;
+  }
+  return nullptr;
+}
+
+ExecTree* Hive::tree(ProgramId program) {
+  auto it = trees_.find(program.value);
+  return it == trees_.end() ? nullptr : &it->second;
+}
+
+const SiteStats& Hive::site_stats(ProgramId program) {
+  return sites_[program.value];
+}
+
+void Hive::ingest_bytes(const Bytes& wire) {
+  auto trace = decode_trace(wire);
+  if (!trace) {
+    stats_.decode_failures++;
+    return;
+  }
+  ingest(std::move(*trace));
+}
+
+void Hive::ingest(Trace t) {
+  if (t.id.value != 0 && !seen_trace_ids_.insert(t.id.value).second) {
+    stats_.duplicates_dropped++;  // network duplicate
+    return;
+  }
+  stats_.traces_ingested++;
+
+  if (gate_ != nullptr) {
+    auto released = gate_->add(std::move(t));
+    if (released.empty()) {
+      stats_.gated_traces++;
+      return;
+    }
+    for (auto& r : released) ingest_released(std::move(r));
+    return;
+  }
+  ingest_released(std::move(t));
+}
+
+void Hive::ingest_released(Trace t) {
+  const CorpusEntry* entry = entry_of(t.program);
+  if (entry == nullptr) return;  // unknown program
+
+  if (t.patched) stats_.fixed_traces_seen++;  // fix telemetry
+  latest_day_seen_ = std::max(latest_day_seen_, t.day);
+
+  // Bug tracking first: every failure counts, even unreplayable ones.
+  if (t.outcome != Outcome::kOk) {
+    Bug* bug = bugs_.record(t);
+    // Fix-effectiveness monitoring: a failure matching an already-fixed
+    // bug's signature — observed after the fix has had time to propagate —
+    // means the distributed fix is not holding in the field. After a
+    // couple of recurrences the bug is reopened so a new fix attempt (or
+    // the repair lab) takes over.
+    if (bug != nullptr && bug->fixed &&
+        t.day > bug->fixed_day + config_.recurrence_grace_days) {
+      stats_.fix_recurrences++;
+      if (++recurrences_[bug->id.value] >= 3) {
+        bug->fixed = false;
+        fix_attempted_bugs_.erase(bug->id.value);
+        recurrences_.erase(bug->id.value);
+        stats_.bugs_reopened++;
+        SB_LOG_WARN("hive: reopening bug %llu — fix not holding",
+                    static_cast<unsigned long long>(bug->id.value));
+      }
+    }
+    if (bug != nullptr && bug->occurrences == 1) {
+      stats_.bugs_found++;
+      // Assertion failures in multi-threaded programs are (conservatively)
+      // schedule-dependent: the same input passes under other schedules.
+      if (bug->kind == BugKind::kCrash &&
+          bug->crash.has_value() &&
+          bug->crash->kind == CrashKind::kAssertFailure &&
+          entry->program.num_threads() > 1) {
+        bugs_.mark_schedule_dependent(bug->id);
+      }
+      SB_LOG_INFO("hive: new bug: %s", bug->describe().c_str());
+    }
+    if (t.outcome == Outcome::kDeadlock) {
+      locks_[t.program.value].add_trace(t);
+    }
+  }
+
+  // Tree merge: natural executions only (fixed-up runs are not paths of P),
+  // and only granularities whose bit-vectors replay deterministically.
+  if (t.patched) {
+    stats_.patched_traces_skipped++;
+    return;
+  }
+  if (t.granularity != Granularity::kTaintedBranches &&
+      t.granularity != Granularity::kFull) {
+    return;
+  }
+  const auto rep = replay_trace(entry->program, t);
+  if (!rep.ok) {
+    stats_.replay_failures++;
+    return;
+  }
+  std::vector<SymDecision> decisions;
+  decisions.reserve(rep.decisions.size());
+  for (const auto& d : rep.decisions) decisions.push_back({d.site, d.taken});
+
+  auto [it, inserted] = trees_.try_emplace(t.program.value, t.program);
+  const auto merge = it->second.add_path(decisions, t.outcome, t.crash);
+  stats_.paths_merged++;
+  if (merge.new_path) stats_.new_paths++;
+}
+
+void Hive::ingest_sampled(const SampledTrace& t) {
+  sites_[t.program.value].add(t);
+}
+
+std::vector<FixCandidate> Hive::process() {
+  std::vector<FixCandidate> approved;
+  for (Bug* bug : bugs_.open_bugs()) {
+    if (!fix_attempted_bugs_.insert(bug->id.value).second) continue;
+    const CorpusEntry* entry = entry_of(bug->program);
+    if (entry == nullptr) continue;
+
+    auto candidates = fixer_.synthesize(*bug, *entry);
+    if (candidates.empty()) continue;
+
+    FixCandidate best = std::move(candidates.front());
+    const bool auto_eligible = bug->kind == BugKind::kCrash ||
+                               bug->kind == BugKind::kDeadlock;
+    if (auto_eligible && best.score() >= config_.auto_fix_threshold) {
+      const FixId id = std::visit([](const auto& f) { return f.id; },
+                                  best.fix);
+      bugs_.mark_fixed(bug->id, id);
+      bug->fixed_day = latest_day_seen_;
+      stats_.fixes_approved++;
+      // Shipping instrumentation changes the deployed program: proofs
+      // about the unpatched P no longer describe the fleet (§3.3).
+      revoke_proofs(bug->program);
+      SB_LOG_INFO("hive: approved fix %llu for bug %llu (score %.2f)",
+                  static_cast<unsigned long long>(id.value),
+                  static_cast<unsigned long long>(bug->id.value),
+                  best.score());
+      approved.push_back(std::move(best));
+    } else {
+      RepairLabEntry lab;
+      lab.why_not_auto =
+          !auto_eligible
+              ? "schedule-dependent or hang: needs a real (human) fix"
+              : "validation score below auto threshold";
+      lab.candidate = std::move(best);
+      repair_lab_.push_back(std::move(lab));
+      stats_.repair_lab_entries++;
+    }
+  }
+  return approved;
+}
+
+std::vector<GuidanceDirective> Hive::plan_guidance(std::size_t per_program) {
+  std::vector<GuidanceDirective> out;
+  for (const auto& entry : *corpus_) {
+    if (entry.program.num_threads() == 1) {
+      ExecTree* t = tree(entry.program.id);
+      if (t == nullptr) continue;
+      auto ds = planner_.plan_frontier(entry, *t, per_program);
+      out.insert(out.end(), std::make_move_iterator(ds.begin()),
+                 std::make_move_iterator(ds.end()));
+    } else {
+      auto ds = planner_.plan_schedules(entry, per_program, rng_);
+      out.insert(out.end(), std::make_move_iterator(ds.begin()),
+                 std::make_move_iterator(ds.end()));
+    }
+  }
+  return out;
+}
+
+ProofCertificate Hive::attempt_proof(ProgramId program, Property property) {
+  const CorpusEntry* entry = entry_of(program);
+  SB_CHECK(entry != nullptr);
+  auto [it, inserted] = trees_.try_emplace(program.value, program);
+  ProofCertificate cert =
+      prover_.attempt(*entry, it->second, property, config_.proof_budget);
+  if (cert.publishable()) proofs_.push_back({cert, false});
+  return cert;
+}
+
+void Hive::revoke_proofs(ProgramId program) {
+  for (auto& published : proofs_) {
+    if (!published.revoked && published.certificate.program == program) {
+      published.revoked = true;
+      stats_.proofs_revoked++;
+      SB_LOG_INFO("hive: revoked proof %llu (%s) — a fix changed the "
+                  "deployed program",
+                  static_cast<unsigned long long>(
+                      published.certificate.id.value),
+                  property_name(published.certificate.property));
+    }
+  }
+}
+
+std::size_t Hive::valid_proof_count() const {
+  std::size_t n = 0;
+  for (const auto& published : proofs_) {
+    if (!published.revoked) n++;
+  }
+  return n;
+}
+
+}  // namespace softborg

@@ -1,0 +1,134 @@
+// The hive (paper §3, Fig. 1): SoftBorg's aggregation and analysis center.
+//
+// Responsibilities, in the paper's words: "merges information extracted
+// from by-products with its existing knowledge of P, identifies
+// misbehaviors in P, synthesizes fixes that improve P, and distributes
+// these fixes back to the pods"; plus cumulative proofs and execution
+// guidance.
+//
+// Pipeline per ingested trace:
+//   decode -> dedup -> (k-anonymity gate, optional) -> bug tracking
+//   -> lock-order analysis -> replay to decision stream -> tree merge.
+// process() then turns newly found bugs into validated fixes: candidates
+// scoring above the auto threshold are approved for distribution;
+// schedule-dependent assertion bugs and low-scoring candidates land in the
+// repair lab for a human decision (paper §3.3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "hive/bugs.h"
+#include "hive/fixer.h"
+#include "hive/guidance.h"
+#include "hive/proof.h"
+#include "minivm/corpus.h"
+#include "privacy/anonymize.h"
+#include "trace/sampling.h"
+#include "tree/exec_tree.h"
+
+namespace softborg {
+
+struct HiveConfig {
+  double auto_fix_threshold = 0.9;
+  // A failure matching a fixed bug's signature only counts as a recurrence
+  // after this many days past fix approval (fix propagation takes time;
+  // failures from not-yet-patched pods are expected in the window).
+  std::uint64_t recurrence_grace_days = 2;
+  std::size_t k_anonymity = 1;  // 1 = gate disabled
+  std::uint64_t seed = 0x417e;
+  FixerConfig fixer;
+  ProofBudget proof_budget;
+};
+
+struct HiveStats {
+  std::uint64_t traces_ingested = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t decode_failures = 0;
+  std::uint64_t replay_failures = 0;
+  std::uint64_t patched_traces_skipped = 0;
+  std::uint64_t gated_traces = 0;  // held by the k-anonymity gate
+  std::uint64_t paths_merged = 0;
+  std::uint64_t new_paths = 0;
+  std::uint64_t bugs_found = 0;
+  std::uint64_t fixes_approved = 0;
+  std::uint64_t repair_lab_entries = 0;
+  std::uint64_t proofs_revoked = 0;
+  std::uint64_t fixed_traces_seen = 0;   // fix-intervention telemetry
+  std::uint64_t fix_recurrences = 0;     // a fixed bug's signature came back
+  std::uint64_t bugs_reopened = 0;
+};
+
+class Hive {
+ public:
+  // `corpus` must outlive the hive (the hive analyzes these programs).
+  Hive(const std::vector<CorpusEntry>* corpus, HiveConfig config = {});
+
+  // --- ingestion ------------------------------------------------------------
+  void ingest_bytes(const Bytes& wire);
+  void ingest(Trace t);
+  void ingest_sampled(const SampledTrace& t);
+
+  // --- analysis & synthesis ---------------------------------------------------
+  // Processes newly recorded bugs; returns fixes approved for distribution.
+  std::vector<FixCandidate> process();
+
+  // Guidance directives per program (frontier witnesses for single-threaded
+  // programs, schedule plans for multi-threaded ones).
+  std::vector<GuidanceDirective> plan_guidance(std::size_t per_program);
+
+  // Attempts a cumulative proof for one program.
+  ProofCertificate attempt_proof(ProgramId program, Property property);
+
+  // --- introspection ----------------------------------------------------------
+  ExecTree* tree(ProgramId program);
+  BugTracker& bug_tracker() { return bugs_; }
+  const std::vector<RepairLabEntry>& repair_lab() const { return repair_lab_; }
+  const HiveStats& stats() const { return stats_; }
+  const SiteStats& site_stats(ProgramId program);
+  // Published certificates. A certificate is revoked (paper §3.3: the hive
+  // must "decide whether the instrumentation invalidates the hive's
+  // existing knowledge and proofs") when a fix for its program ships: the
+  // deployed behaviour is P+fixes, no longer the P the proof talks about.
+  struct PublishedProof {
+    ProofCertificate certificate;
+    bool revoked = false;
+  };
+  const std::vector<PublishedProof>& published_proofs() const {
+    return proofs_;
+  }
+  std::size_t valid_proof_count() const;
+
+ private:
+  const CorpusEntry* entry_of(ProgramId program) const;
+  void ingest_released(Trace t);
+
+  const std::vector<CorpusEntry>* corpus_;
+  HiveConfig config_;
+  HiveStats stats_;
+
+  std::map<std::uint64_t, ExecTree> trees_;          // by program id
+  std::map<std::uint64_t, LockOrderAnalyzer> locks_; // by program id
+  std::map<std::uint64_t, SiteStats> sites_;         // by program id
+  std::set<std::uint64_t> seen_trace_ids_;
+  std::unique_ptr<KAnonymityGate> gate_;  // null when k_anonymity <= 1
+
+  BugTracker bugs_;
+  FixSynthesizer fixer_;
+  GuidancePlanner planner_;
+  ProofEngine prover_;
+  Rng rng_;
+
+  void revoke_proofs(ProgramId program);
+
+  std::uint64_t latest_day_seen_ = 0;
+  std::set<std::uint64_t> fix_attempted_bugs_;
+  std::map<std::uint64_t, std::uint64_t> recurrences_;  // bug id -> count
+  std::vector<RepairLabEntry> repair_lab_;
+  std::vector<PublishedProof> proofs_;
+};
+
+}  // namespace softborg

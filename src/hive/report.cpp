@@ -1,0 +1,87 @@
+#include "hive/report.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace softborg {
+
+namespace {
+std::string line(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+std::string line(const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return std::string(buf) + "\n";
+}
+}  // namespace
+
+std::string repair_lab_report(const Hive& hive) {
+  std::string out;
+  if (hive.repair_lab().empty()) {
+    return "repair lab: empty\n";
+  }
+  out += line("repair lab: %zu candidate(s) awaiting a human:",
+              hive.repair_lab().size());
+  for (const auto& entry : hive.repair_lab()) {
+    out += line("  [score %.2f] bug %llu: %s — %s", entry.candidate.score(),
+                static_cast<unsigned long long>(entry.candidate.bug.value),
+                entry.candidate.rationale.c_str(),
+                entry.why_not_auto.c_str());
+  }
+  return out;
+}
+
+std::string hive_status_report(Hive& hive) {
+  const HiveStats& s = hive.stats();
+  std::string out;
+  out += "=== hive status ===\n";
+  out += line(
+      "ingestion: %llu traces (%llu dup, %llu malformed, %llu unreplayable, "
+      "%llu gate-held), %llu paths merged (%llu new)",
+      static_cast<unsigned long long>(s.traces_ingested),
+      static_cast<unsigned long long>(s.duplicates_dropped),
+      static_cast<unsigned long long>(s.decode_failures),
+      static_cast<unsigned long long>(s.replay_failures),
+      static_cast<unsigned long long>(s.gated_traces),
+      static_cast<unsigned long long>(s.paths_merged),
+      static_cast<unsigned long long>(s.new_paths));
+  out += line(
+      "fixing: %llu bugs found, %llu fixes approved, %llu repair-lab "
+      "entries; telemetry: %llu patched traces, %llu recurrences, %llu "
+      "bugs reopened",
+      static_cast<unsigned long long>(s.bugs_found),
+      static_cast<unsigned long long>(s.fixes_approved),
+      static_cast<unsigned long long>(s.repair_lab_entries),
+      static_cast<unsigned long long>(s.fixed_traces_seen),
+      static_cast<unsigned long long>(s.fix_recurrences),
+      static_cast<unsigned long long>(s.bugs_reopened));
+
+  out += "bug ledger:\n";
+  if (hive.bug_tracker().all().empty()) {
+    out += "  (no bugs recorded)\n";
+  }
+  for (const auto& bug : hive.bug_tracker().all()) {
+    out += line("  [%s] #%llu %s", bug.fixed ? "FIXED" : "OPEN ",
+                static_cast<unsigned long long>(bug.id.value),
+                bug.describe().c_str());
+  }
+
+  out += "proof ledger:\n";
+  if (hive.published_proofs().empty()) {
+    out += "  (no certificates published)\n";
+  }
+  for (const auto& published : hive.published_proofs()) {
+    out += line("  [%s] #%llu %s",
+                published.revoked ? "REVOKED" : "VALID  ",
+                static_cast<unsigned long long>(
+                    published.certificate.id.value),
+                published.certificate.describe().c_str());
+  }
+
+  out += repair_lab_report(hive);
+  return out;
+}
+
+}  // namespace softborg

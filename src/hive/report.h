@@ -1,0 +1,24 @@
+// Human-readable hive status reports.
+//
+// The paper keeps humans in the loop in exactly one place — the repair lab
+// ("suggests plausible fixes to developers, who then manually choose the
+// correct one") — and SoftBorg operators will want the rest at a glance
+// too: the bug ledger, the proof ledger (including revocations), fix
+// telemetry, and ingestion health. This module renders all of it as text;
+// examples print it, tests pin its structure.
+#pragma once
+
+#include <string>
+
+#include "hive/hive.h"
+
+namespace softborg {
+
+// Multi-line report: ingestion stats, bug ledger (with fix status and
+// recurrence telemetry), proof ledger, repair-lab queue.
+std::string hive_status_report(Hive& hive);
+
+// One line per open repair-lab entry, ranked as the hive ranked them.
+std::string repair_lab_report(const Hive& hive);
+
+}  // namespace softborg

@@ -1,0 +1,132 @@
+#include "hive/sharded.h"
+
+#include "common/check.h"
+#include "pod/protocol.h"
+#include "trace/codec.h"
+#include "tree/tree_codec.h"
+
+namespace softborg {
+
+ShardedHive::ShardedHive(const std::vector<CorpusEntry>* corpus,
+                         std::size_t num_shards, SimNet& net,
+                         HiveConfig config)
+    : corpus_(corpus) {
+  SB_CHECK(corpus_ != nullptr);
+  SB_CHECK(num_shards >= 1);
+  ingress_ = net.add_endpoint();
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    Shard shard;
+    // Fixer ids must not collide across shards.
+    HiveConfig shard_config = config;
+    shard_config.fixer.next_fix_id = 1 + i * 1'000'000;
+    shard_config.seed = config.seed ^ (i * 0x9e3779b97f4a7c15ULL);
+    shard.hive = std::make_unique<Hive>(corpus_, shard_config);
+    shard.endpoint = net.add_endpoint();
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::size_t ShardedHive::shard_index(ProgramId program) const {
+  // SplitMix avalanche for a stable, well-spread assignment.
+  std::uint64_t x = program.value;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return static_cast<std::size_t>(x % shards_.size());
+}
+
+void ShardedHive::pump(SimNet& net) {
+  // Route ingress traffic to the owning shard. Routing only needs the
+  // program id, so decode once here (a real deployment would peek the
+  // header; our codec is cheap enough to decode outright).
+  for (const auto& msg : net.drain(ingress_)) {
+    if (msg.type != kMsgTrace) continue;
+    const auto trace = decode_trace(msg.payload);
+    if (!trace) {
+      routing_failures_++;
+      continue;
+    }
+    const std::size_t owner = shard_index(trace->program);
+    net.send(ingress_, shards_[owner].endpoint, kMsgTrace, msg.payload);
+    routed_++;
+  }
+  // Shards ingest whatever has arrived.
+  for (auto& shard : shards_) {
+    for (const auto& msg : net.drain(shard.endpoint)) {
+      if (msg.type == kMsgTrace) shard.hive->ingest_bytes(msg.payload);
+    }
+  }
+}
+
+std::vector<FixCandidate> ShardedHive::process_all() {
+  std::vector<FixCandidate> all;
+  for (auto& shard : shards_) {
+    auto fixes = shard.hive->process();
+    all.insert(all.end(), std::make_move_iterator(fixes.begin()),
+               std::make_move_iterator(fixes.end()));
+  }
+  return all;
+}
+
+std::vector<GuidanceDirective> ShardedHive::plan_guidance_all(
+    std::size_t per_program) {
+  std::vector<GuidanceDirective> all;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    // Each shard only plans for the programs it owns.
+    for (const auto& entry : *corpus_) {
+      if (shard_index(entry.program.id) != i) continue;
+      auto directives = shards_[i].hive->plan_guidance(per_program);
+      for (auto& d : directives) {
+        if (shard_index(d.program) == i) all.push_back(std::move(d));
+      }
+      break;  // plan_guidance already covers all programs of the corpus
+    }
+  }
+  return all;
+}
+
+HiveStats ShardedHive::aggregate_stats() const {
+  HiveStats total;
+  for (const auto& shard : shards_) {
+    const HiveStats& s = shard.hive->stats();
+    total.traces_ingested += s.traces_ingested;
+    total.duplicates_dropped += s.duplicates_dropped;
+    total.decode_failures += s.decode_failures;
+    total.replay_failures += s.replay_failures;
+    total.patched_traces_skipped += s.patched_traces_skipped;
+    total.gated_traces += s.gated_traces;
+    total.paths_merged += s.paths_merged;
+    total.new_paths += s.new_paths;
+    total.bugs_found += s.bugs_found;
+    total.fixes_approved += s.fixes_approved;
+    total.repair_lab_entries += s.repair_lab_entries;
+    total.proofs_revoked += s.proofs_revoked;
+    total.fixed_traces_seen += s.fixed_traces_seen;
+    total.fix_recurrences += s.fix_recurrences;
+    total.bugs_reopened += s.bugs_reopened;
+  }
+  return total;
+}
+
+std::size_t ShardedHive::total_bugs() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    n += shard.hive->bug_tracker().all().size();
+  }
+  return n;
+}
+
+std::map<std::uint64_t, Bytes> ShardedHive::export_trees(std::size_t index) {
+  SB_CHECK(index < shards_.size());
+  std::map<std::uint64_t, Bytes> out;
+  for (const auto& entry : *corpus_) {
+    if (shard_index(entry.program.id) != index) continue;
+    if (ExecTree* tree = shards_[index].hive->tree(entry.program.id)) {
+      out[entry.program.id.value] = encode_tree(*tree);
+    }
+  }
+  return out;
+}
+
+}  // namespace softborg

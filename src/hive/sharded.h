@@ -1,0 +1,76 @@
+// Distributed hive deployment (paper §3: "the hive may be physically
+// centralized (a cluster behind a web service), entirely distributed
+// (running on end-users' machines), or hybrid").
+//
+// ShardedHive runs N independent hive shards behind the simulated network.
+// Each program is owned by exactly one shard (hash routing), so a shard
+// holds the complete knowledge of its programs — trees merge locally with
+// no cross-shard coordination, mirroring how the single-hive pipeline
+// works. An ingress endpoint routes encoded traces to the owning shard's
+// endpoint; analysis (process / guidance / proofs) fans out per shard.
+//
+// Shard state is portable: `export_trees` serializes every tree via
+// tree_codec, so shards can be migrated or their knowledge merged into a
+// centralized hive (the hybrid deployment).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "hive/hive.h"
+#include "net/simnet.h"
+
+namespace softborg {
+
+class ShardedHive {
+ public:
+  // Creates `num_shards` hives, each with an endpoint on `net`, plus one
+  // ingress endpoint that routes upstream traffic.
+  ShardedHive(const std::vector<CorpusEntry>* corpus, std::size_t num_shards,
+              SimNet& net, HiveConfig config = {});
+
+  Endpoint ingress() const { return ingress_; }
+  std::size_t num_shards() const { return shards_.size(); }
+
+  // Which shard owns a program (stable hash routing).
+  std::size_t shard_index(ProgramId program) const;
+  Hive& shard(std::size_t index) { return *shards_[index].hive; }
+  Hive& shard_for(ProgramId program) {
+    return *shards_[shard_index(program)].hive;
+  }
+
+  // Drains the ingress (routing traces onward) and every shard endpoint
+  // (ingesting what arrived). Call after net ticks.
+  void pump(SimNet& net);
+
+  // Fans analysis out to every shard and concatenates approved fixes.
+  std::vector<FixCandidate> process_all();
+  std::vector<GuidanceDirective> plan_guidance_all(std::size_t per_program);
+
+  // Aggregated statistics across shards.
+  HiveStats aggregate_stats() const;
+  std::size_t total_bugs() const;
+
+  // Serialized trees of one shard, keyed by program id — the migration /
+  // centralization payload.
+  std::map<std::uint64_t, Bytes> export_trees(std::size_t index);
+
+  // Statistics about routing.
+  std::uint64_t routed() const { return routed_; }
+  std::uint64_t routing_failures() const { return routing_failures_; }
+
+ private:
+  struct Shard {
+    std::unique_ptr<Hive> hive;
+    Endpoint endpoint = 0;
+  };
+
+  const std::vector<CorpusEntry>* corpus_;
+  std::vector<Shard> shards_;
+  Endpoint ingress_ = 0;
+  std::uint64_t routed_ = 0;
+  std::uint64_t routing_failures_ = 0;
+};
+
+}  // namespace softborg

@@ -1,0 +1,100 @@
+// Fluent assembler for MiniVM programs.
+//
+// Labels may be referenced before they are bound; build() resolves all
+// fixups, assigns dense branch-site ids in code order, and validates the
+// result. The corpus (corpus.h) and all tests construct programs with this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "minivm/program.h"
+
+namespace softborg {
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name, std::uint64_t id = 1);
+
+  // --- resource allocation -------------------------------------------------
+  Reg reg();                    // next per-thread register
+  std::uint32_t global();       // next shared global slot
+  std::uint32_t lock();         // next lock id
+  std::uint32_t input_slot();   // next program-external input slot
+
+  // --- labels ---------------------------------------------------------------
+  using Label = std::uint32_t;
+  Label label();            // fresh, unbound label
+  void bind(Label l);       // bind at the current pc
+  Label here();             // label bound at the current pc
+
+  // --- instructions ----------------------------------------------------------
+  void const_(Reg r, Value v);
+  void mov(Reg dst, Reg src);
+  void add(Reg d, Reg a, Reg b);
+  void sub(Reg d, Reg a, Reg b);
+  void mul(Reg d, Reg a, Reg b);
+  void div(Reg d, Reg a, Reg b);
+  void mod(Reg d, Reg a, Reg b);
+  void cmp_lt(Reg d, Reg a, Reg b);
+  void cmp_le(Reg d, Reg a, Reg b);
+  void cmp_eq(Reg d, Reg a, Reg b);
+  void cmp_ne(Reg d, Reg a, Reg b);
+  void branch_if(Reg cond, Label then_l, Label else_l);
+  void jump(Label l);
+  void input(Reg r, std::uint32_t slot);
+  void syscall(Reg r, std::uint16_t sys_id, Reg arg);
+  void loadg(Reg r, std::uint32_t g);
+  void storeg(std::uint32_t g, Reg r);
+  void lock_acq(std::uint32_t l);
+  void lock_rel(std::uint32_t l);
+  void assert_true(Reg r, std::int64_t msg_id);
+  void abort_now(std::int64_t code);
+  void output(Reg r);
+  void yield();
+  void halt();
+
+  // Starts a new thread whose entry is the current pc. The first thread
+  // (thread 0) starts implicitly at pc 0.
+  void start_thread();
+
+  // Convenience: d = a <op> const. Allocates a scratch register once.
+  void add_const(Reg d, Reg a, Value v);
+  void cmp_lt_const(Reg d, Reg a, Value v);
+  void cmp_eq_const(Reg d, Reg a, Value v);
+
+  // Resolves labels, assigns branch sites, validates. Aborts on invalid
+  // programs (builder misuse is a programming error, not an input error).
+  Program build();
+
+  std::uint32_t current_pc() const {
+    return static_cast<std::uint32_t>(code_.size());
+  }
+
+ private:
+  void emit(Instr ins);
+  Reg scratch();
+
+  std::string name_;
+  std::uint64_t id_;
+  std::vector<Instr> code_;
+  std::vector<std::uint32_t> thread_entries_{0};
+  std::uint16_t num_regs_ = 0;
+  std::uint16_t num_globals_ = 0;
+  std::uint16_t num_locks_ = 0;
+  std::uint16_t num_inputs_ = 0;
+
+  static constexpr std::uint32_t kUnbound = 0xffffffffu;
+  std::vector<std::uint32_t> label_pc_;  // label -> pc or kUnbound
+  struct Fixup {
+    std::uint32_t pc;
+    int operand;  // 0=a, 1=b, 2=c
+    Label label;
+  };
+  std::vector<Fixup> fixups_;
+  Reg scratch_ = 0;
+  bool have_scratch_ = false;
+};
+
+}  // namespace softborg

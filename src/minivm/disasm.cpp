@@ -1,0 +1,98 @@
+#include "minivm/disasm.h"
+
+#include <cstdio>
+
+namespace softborg {
+
+std::string disassemble_instr(const Instr& ins, std::uint32_t pc) {
+  char buf[128];
+  switch (ins.op) {
+    case Op::kConst:
+      std::snprintf(buf, sizeof(buf), "%4u: const r%u = %lld", pc, ins.a,
+                    static_cast<long long>(ins.imm));
+      break;
+    case Op::kMov:
+      std::snprintf(buf, sizeof(buf), "%4u: mov   r%u = r%u", pc, ins.a,
+                    ins.b);
+      break;
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDiv:
+    case Op::kMod:
+    case Op::kCmpLt:
+    case Op::kCmpLe:
+    case Op::kCmpEq:
+    case Op::kCmpNe:
+      std::snprintf(buf, sizeof(buf), "%4u: %-5s r%u = r%u, r%u", pc,
+                    op_name(ins.op), ins.a, ins.b, ins.c);
+      break;
+    case Op::kBranchIf:
+      std::snprintf(buf, sizeof(buf),
+                    "%4u: brif  r%u ? ->%u : ->%u   (site %u)", pc, ins.a,
+                    ins.b, ins.c, ins.site);
+      break;
+    case Op::kJump:
+      std::snprintf(buf, sizeof(buf), "%4u: jump  ->%u", pc, ins.a);
+      break;
+    case Op::kInput:
+      std::snprintf(buf, sizeof(buf), "%4u: input r%u = in[%u]", pc, ins.a,
+                    ins.b);
+      break;
+    case Op::kSyscall:
+      std::snprintf(buf, sizeof(buf), "%4u: sys   r%u = sys%u(r%u)", pc,
+                    ins.a, ins.b, ins.c);
+      break;
+    case Op::kLoadG:
+      std::snprintf(buf, sizeof(buf), "%4u: loadg r%u = g[%u]", pc, ins.a,
+                    ins.b);
+      break;
+    case Op::kStoreG:
+      std::snprintf(buf, sizeof(buf), "%4u: storg g[%u] = r%u", pc, ins.a,
+                    ins.b);
+      break;
+    case Op::kLock:
+      std::snprintf(buf, sizeof(buf), "%4u: lock  L%u", pc, ins.a);
+      break;
+    case Op::kUnlock:
+      std::snprintf(buf, sizeof(buf), "%4u: unlck L%u", pc, ins.a);
+      break;
+    case Op::kAssert:
+      std::snprintf(buf, sizeof(buf), "%4u: asert r%u (msg %u)", pc, ins.a,
+                    ins.b);
+      break;
+    case Op::kAbort:
+      std::snprintf(buf, sizeof(buf), "%4u: abort (%u)", pc, ins.a);
+      break;
+    case Op::kOutput:
+      std::snprintf(buf, sizeof(buf), "%4u: out   r%u", pc, ins.a);
+      break;
+    case Op::kYield:
+      std::snprintf(buf, sizeof(buf), "%4u: yield", pc);
+      break;
+    case Op::kHalt:
+      std::snprintf(buf, sizeof(buf), "%4u: halt", pc);
+      break;
+  }
+  return buf;
+}
+
+std::string disassemble(const Program& p) {
+  std::string out = "program '" + p.name + "' (id " +
+                    std::to_string(p.id.value) + "): " +
+                    std::to_string(p.code.size()) + " instrs, " +
+                    std::to_string(p.num_threads()) + " thread(s), " +
+                    std::to_string(p.num_inputs) + " input(s), " +
+                    std::to_string(p.num_branch_sites) + " branch site(s)\n";
+  for (std::uint32_t pc = 0; pc < p.code.size(); ++pc) {
+    for (std::size_t t = 0; t < p.thread_entries.size(); ++t) {
+      if (p.thread_entries[t] == pc) {
+        out += "     --- thread " + std::to_string(t) + " ---\n";
+      }
+    }
+    out += disassemble_instr(p.code[pc], pc) + "\n";
+  }
+  return out;
+}
+
+}  // namespace softborg

@@ -1,0 +1,17 @@
+// Human-readable disassembly of MiniVM programs (debugging, the repair
+// lab's human-facing output, and golden tests).
+#pragma once
+
+#include <string>
+
+#include "minivm/program.h"
+
+namespace softborg {
+
+// One instruction, e.g. "  12: brif  r3 ? ->14 : ->17   (site 2)".
+std::string disassemble_instr(const Instr& ins, std::uint32_t pc);
+
+// Whole program listing with thread-entry markers.
+std::string disassemble(const Program& p);
+
+}  // namespace softborg

@@ -1,0 +1,61 @@
+#include "minivm/env.h"
+
+#include <algorithm>
+
+namespace softborg {
+
+EnvModel::EnvModel() {
+  specs_ = {
+      // 0: read(fd-ish, wants `arg` bytes) -> [0, arg], 5% failure
+      {.lo = 0, .hi = 1 << 16, .fail_prob = 0.05, .fail_value = -1,
+       .arg_bounded = true},
+      // 1: alloc(size) -> size on success, 2% failure
+      {.lo = 0, .hi = 1 << 20, .fail_prob = 0.02, .fail_value = -1,
+       .arg_bounded = true},
+      // 2: clock() -> monotonic-ish value
+      {.lo = 0, .hi = 1 << 20, .fail_prob = 0.0, .fail_value = -1,
+       .arg_bounded = false},
+      // 3: send(n) -> [0, n], 10% failure
+      {.lo = 0, .hi = 1 << 16, .fail_prob = 0.10, .fail_value = -1,
+       .arg_bounded = true},
+  };
+}
+
+const SyscallSpec& EnvModel::spec(std::uint16_t sys_id) const {
+  static const SyscallSpec kDefault{.lo = 0,
+                                    .hi = 1 << 10,
+                                    .fail_prob = 0.05,
+                                    .fail_value = -1,
+                                    .arg_bounded = false};
+  if (sys_id < specs_.size()) return specs_[sys_id];
+  return kDefault;
+}
+
+Value EnvModel::call(std::uint16_t sys_id, Value arg,
+                     std::uint32_t call_index, Rng& rng,
+                     const FaultPlan* faults) const {
+  if (faults != nullptr) {
+    auto it = faults->forced.find(call_index);
+    if (it != faults->forced.end()) return it->second;
+  }
+  const SyscallSpec& sp = spec(sys_id);
+  if (sp.fail_prob > 0.0 && rng.next_bool(sp.fail_prob)) return sp.fail_value;
+  Value lo = sp.lo, hi = sp.hi;
+  if (sp.arg_bounded) {
+    hi = std::min(hi, std::max<Value>(arg, 0));
+    lo = std::min(lo, hi);
+  }
+  if (lo >= hi) return lo;
+  return rng.next_in(lo, hi);
+}
+
+std::int8_t EnvModel::classify(std::uint16_t sys_id, Value arg,
+                               Value result) const {
+  const SyscallSpec& sp = spec(sys_id);
+  if (result == sp.fail_value && sp.fail_prob > 0.0) return -1;
+  if (result < 0) return -1;
+  if (sp.arg_bounded && result < arg) return 1;  // short read/write
+  return 0;
+}
+
+}  // namespace softborg

@@ -1,0 +1,55 @@
+// Environment model: the program-external world MiniVM programs interact
+// with via kSyscall. Results are drawn from per-syscall distributions
+// (seeded, deterministic), and can be overridden by a hive guidance
+// FaultPlan ("produce specific test cases ... in terms of system call
+// faults to be injected (e.g., a short socket read())", §3.3).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "minivm/program.h"
+
+namespace softborg {
+
+struct SyscallSpec {
+  Value lo = 0;            // nominal result range [lo, hi]
+  Value hi = 0;
+  double fail_prob = 0.0;  // probability of returning fail_value
+  Value fail_value = -1;
+  bool arg_bounded = true;  // if true, nominal result is clamped to [0, arg]
+};
+
+// Forced syscall results, keyed by dynamic call index (the N-th syscall
+// executed in the run). Used by guidance directives for fault injection.
+struct FaultPlan {
+  std::map<std::uint32_t, Value> forced;
+};
+
+class EnvModel {
+ public:
+  // Default world: sys 0 = read (short reads possible), sys 1 = alloc
+  // (rare failure), sys 2 = clock, sys 3 = net send (fails sometimes).
+  EnvModel();
+  explicit EnvModel(std::vector<SyscallSpec> specs)
+      : specs_(std::move(specs)) {}
+
+  const SyscallSpec& spec(std::uint16_t sys_id) const;
+
+  // Result of syscall #call_index with id sys_id and argument arg.
+  Value call(std::uint16_t sys_id, Value arg, std::uint32_t call_index,
+             Rng& rng, const FaultPlan* faults) const;
+
+  // Coarse result classification for the trace summary:
+  // -1 failure, 1 partial/short (result < arg for arg-bounded calls), 0 ok.
+  std::int8_t classify(std::uint16_t sys_id, Value arg, Value result) const;
+
+  std::size_t num_syscalls() const { return specs_.size(); }
+
+ private:
+  std::vector<SyscallSpec> specs_;
+};
+
+}  // namespace softborg

@@ -1,0 +1,97 @@
+// Fix artifacts the hive synthesizes and pods apply (paper §3.3).
+//
+// Two families, mirroring the paper's examples:
+//  * GuardPatch — ClearView-style [24] behaviour smoothing: at a branch
+//    site on a known crash path, when the synthesized input predicate holds
+//    and execution is about to take the crash direction, steer to the safe
+//    side instead. Never fires on executions outside the predicate, so the
+//    semantics of correct runs are untouched.
+//  * LockAvoidanceFix — deadlock immunity [16]: the locks of a diagnosed
+//    deadlock cycle; the pod runtime serializes entry into that lock set by
+//    yielding, so the bad interleaving pattern can never re-form.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "minivm/program.h"
+
+namespace softborg {
+
+struct InputBound {
+  std::uint16_t input = 0;
+  Value lo = INT64_MIN;
+  Value hi = INT64_MAX;
+
+  bool contains(Value v) const { return v >= lo && v <= hi; }
+  bool operator==(const InputBound&) const = default;
+};
+
+struct GuardPatch {
+  FixId id;
+  ProgramId program;
+  std::uint32_t site = 0;        // branch site being guarded
+  bool crash_direction = true;   // direction that leads to the failure
+  std::vector<InputBound> when;  // fire only if all bounds hold (conjunction)
+
+  bool matches(const std::vector<Value>& inputs) const {
+    for (const auto& b : when) {
+      if (b.input >= inputs.size() || !b.contains(inputs[b.input])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool operator==(const GuardPatch&) const = default;
+};
+
+// Crash-site guard (also ClearView-style): intercept a known crash right at
+// the faulting instruction. For kDiv/kMod it substitutes a fallback result
+// when the divisor is zero; for kAssert/kAbort it skips the instruction
+// (failure-oblivious continuation). Used when the crash condition depends on
+// values a branch-steering patch cannot see (e.g. syscall results).
+struct CrashGuardFix {
+  enum class Action : std::uint8_t { kSubstitute = 0, kSkip = 1 };
+
+  FixId id;
+  ProgramId program;
+  std::uint32_t pc = 0;
+  Action action = Action::kSubstitute;
+  Value fallback = 0;  // result substituted for a guarded div/mod
+
+  bool operator==(const CrashGuardFix&) const = default;
+};
+
+struct LockAvoidanceFix {
+  FixId id;
+  ProgramId program;
+  std::vector<std::uint16_t> cycle_locks;  // locks in the deadlock cycle
+
+  bool covers(std::uint16_t lock) const {
+    for (auto l : cycle_locks) {
+      if (l == lock) return true;
+    }
+    return false;
+  }
+
+  bool operator==(const LockAvoidanceFix&) const = default;
+};
+
+// Everything a pod has installed for one program.
+struct FixSet {
+  std::vector<GuardPatch> guards;
+  std::vector<CrashGuardFix> crash_guards;
+  std::vector<LockAvoidanceFix> lock_fixes;
+
+  bool empty() const {
+    return guards.empty() && crash_guards.empty() && lock_fixes.empty();
+  }
+  std::size_t size() const {
+    return guards.size() + crash_guards.size() + lock_fixes.size();
+  }
+};
+
+}  // namespace softborg

@@ -1,0 +1,159 @@
+#include "minivm/random_program.h"
+
+#include "common/rng.h"
+#include "minivm/builder.h"
+
+namespace softborg {
+
+namespace {
+
+class Generator {
+ public:
+  Generator(std::uint64_t seed, const RandomProgramOptions& options)
+      : rng_(seed),
+        options_(options),
+        builder_("random_" + std::to_string(seed), 100'000 + seed) {}
+
+  CorpusEntry generate() {
+    // A small register file: inputs first, then scratch.
+    for (unsigned i = 0; i < options_.num_inputs; ++i) {
+      const Reg r = builder_.reg();
+      builder_.input(r, builder_.input_slot());
+      regs_.push_back(r);
+    }
+    for (unsigned i = 0; i < 3; ++i) {
+      const Reg r = builder_.reg();
+      builder_.const_(r, rng_.next_in(0, 20));
+      regs_.push_back(r);
+    }
+    block(0);
+    const Reg out = any_reg();
+    builder_.output(out);
+    builder_.halt();
+
+    CorpusEntry entry;
+    entry.program = builder_.build();
+    entry.description = "randomly generated program";
+    entry.domains.assign(options_.num_inputs, InputDomain{0, 63});
+    return entry;
+  }
+
+ private:
+  Reg any_reg() { return regs_[rng_.next_below(regs_.size())]; }
+
+  void statement(unsigned depth) {
+    const double roll = rng_.next_double();
+    double acc = 0.0;
+    if (depth < options_.max_depth && roll < (acc += options_.p_branch)) {
+      if_else(depth);
+      return;
+    }
+    if (depth < options_.max_depth && roll < (acc += options_.p_loop)) {
+      loop(depth);
+      return;
+    }
+    if (roll < (acc += options_.p_div)) {
+      division();
+      return;
+    }
+    if (roll < (acc += options_.p_assert)) {
+      assertion();
+      return;
+    }
+    if (roll < (acc += options_.p_syscall)) {
+      const Reg dst = any_reg();
+      builder_.syscall(dst, static_cast<std::uint16_t>(rng_.next_below(4)),
+                       any_reg());
+      return;
+    }
+    alu();
+  }
+
+  void alu() {
+    const Reg d = any_reg(), a = any_reg(), c = any_reg();
+    switch (rng_.next_below(5)) {
+      case 0: builder_.add(d, a, c); break;
+      case 1: builder_.sub(d, a, c); break;
+      case 2: builder_.mul(d, a, c); break;
+      case 3: builder_.cmp_lt(d, a, c); break;
+      default: builder_.mov(d, a); break;
+    }
+  }
+
+  void division() {
+    // Divide by (reg % small + offset) with offset possibly 0: zero
+    // divisors are reachable but not pervasive.
+    const Reg d = any_reg(), a = any_reg(), divisor = any_reg();
+    builder_.mod(d, divisor, make_const_reg(rng_.next_in(2, 9)));
+    // d in (-8..8); divide a by d: crashes when d == 0.
+    builder_.div(d, a, d);
+    (void)a;
+  }
+
+  void assertion() {
+    const Reg c = any_reg(), tmp = make_scratch();
+    builder_.cmp_ne(tmp, c, make_const_reg(rng_.next_in(0, 40)));
+    builder_.assert_true(tmp, rng_.next_in(1, 99));
+  }
+
+  void if_else(unsigned depth) {
+    const Reg cond = make_scratch();
+    builder_.cmp_lt(cond, any_reg(), make_const_reg(rng_.next_in(0, 50)));
+    auto then_l = builder_.label(), else_l = builder_.label(),
+         join = builder_.label();
+    builder_.branch_if(cond, then_l, else_l);
+    builder_.bind(then_l);
+    block(depth + 1);
+    builder_.jump(join);
+    builder_.bind(else_l);
+    block(depth + 1);
+    builder_.jump(join);
+    builder_.bind(join);
+  }
+
+  void loop(unsigned depth) {
+    // Constant trip count: termination by construction.
+    const Reg i = make_scratch(), limit = make_const_reg(rng_.next_in(1, 4)),
+              cond = make_scratch();
+    builder_.const_(i, 0);
+    auto top = builder_.here();
+    auto body = builder_.label(), done = builder_.label();
+    builder_.cmp_lt(cond, i, limit);
+    builder_.branch_if(cond, body, done);
+    builder_.bind(body);
+    block(depth + 1);
+    builder_.add_const(i, i, 1);
+    builder_.jump(top);
+    builder_.bind(done);
+  }
+
+  void block(unsigned depth) {
+    const std::uint64_t n =
+        options_.block_min +
+        rng_.next_below(options_.block_max - options_.block_min + 1);
+    for (std::uint64_t s = 0; s < n; ++s) statement(depth);
+  }
+
+  Reg make_const_reg(Value v) {
+    const Reg r = builder_.reg();
+    builder_.const_(r, v);
+    return r;
+  }
+
+  Reg make_scratch() { return builder_.reg(); }
+
+  Rng rng_;
+  RandomProgramOptions options_;
+  ProgramBuilder builder_;
+  std::vector<Reg> regs_;
+};
+
+}  // namespace
+
+CorpusEntry make_random_program(std::uint64_t seed,
+                                const RandomProgramOptions& options) {
+  Generator gen(seed, options);
+  return gen.generate();
+}
+
+}  // namespace softborg

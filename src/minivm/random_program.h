@@ -1,0 +1,33 @@
+// Random well-formed MiniVM programs, for property-based testing.
+//
+// Generated programs are single-threaded, always valid (builder-checked),
+// and always terminate: control flow is forward-only branches plus
+// constant-bounded loops. They may crash (random divisions and asserts) —
+// intentionally, so the whole pipeline (interpreter, replay, symbolic
+// executor, fixer, proof engine) gets exercised on arbitrary shapes, not
+// just the hand-written corpus.
+#pragma once
+
+#include <cstdint>
+
+#include "minivm/corpus.h"
+
+namespace softborg {
+
+struct RandomProgramOptions {
+  unsigned num_inputs = 2;       // each with domain [0, 63]
+  unsigned max_depth = 3;        // nesting of if/else and loops
+  unsigned block_min = 2;        // statements per block
+  unsigned block_max = 6;
+  double p_branch = 0.30;        // P(statement is an if/else)
+  double p_loop = 0.15;          // P(statement is a bounded loop)
+  double p_div = 0.08;           // P(statement is a division) — may crash
+  double p_assert = 0.06;        // P(statement is an assert) — may crash
+  double p_syscall = 0.10;       // P(statement reads the environment)
+};
+
+// Deterministic in (seed, options). The entry's domains are filled in.
+CorpusEntry make_random_program(std::uint64_t seed,
+                                const RandomProgramOptions& options = {});
+
+}  // namespace softborg

@@ -1,0 +1,41 @@
+// Hive-side trace replay: reconstructing the deterministic branches
+// (paper §3.2).
+//
+// The hive receives only the by-products — a bit-vector of input-dependent
+// branch directions, the thread-schedule summary, and the outcome. It does
+// NOT receive input values (privacy). Replay re-executes the program with
+// three-valued registers (known concrete / unknown-tainted): instructions on
+// known values compute concretely; inputs and syscalls produce unknown
+// values; a branch on a known condition is *reconstructed* (no bit needed),
+// while a branch on an unknown condition consumes the next bit from the
+// trace. The output is the full decision stream — the root-to-leaf path of
+// Fig. 2/3 — that the collective execution tree merges.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "minivm/interp.h"
+#include "minivm/program.h"
+#include "trace/trace.h"
+
+namespace softborg {
+
+struct ReplayResult {
+  bool ok = false;     // trace is consistent with the program
+  std::string error;   // when !ok: what went wrong
+  // Tainted (input-dependent) branch decisions in serialized execution
+  // order — the canonical path the execution tree stores.
+  std::vector<BranchEvent> decisions;
+  Outcome outcome = Outcome::kOk;
+  std::uint64_t steps_used = 0;
+  std::size_t bits_consumed = 0;
+};
+
+// Replays `trace` against `program`. Works for any granularity that records
+// branch bits (kTaintedBranches, kAllBranches, kFull); at kAllBranches the
+// recorded direction of *deterministic* branches is cross-checked against
+// the reconstructed one, catching corrupt or mismatched traces.
+ReplayResult replay_trace(const Program& program, const Trace& trace);
+
+}  // namespace softborg

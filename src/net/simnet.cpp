@@ -1,0 +1,90 @@
+#include "net/simnet.h"
+
+#include "common/check.h"
+
+namespace softborg {
+
+Endpoint SimNet::add_endpoint() {
+  inboxes_.emplace_back();
+  return static_cast<Endpoint>(inboxes_.size() - 1);
+}
+
+bool SimNet::blocked(Endpoint a, Endpoint b) const {
+  if (isolated_.count(a) != 0 || isolated_.count(b) != 0) return true;
+  const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  return partitions_.count(key) != 0;
+}
+
+void SimNet::send(Endpoint from, Endpoint to, std::uint32_t type,
+                  Bytes payload) {
+  SB_CHECK(from < inboxes_.size() && to < inboxes_.size());
+  stats_.sent++;
+  stats_.bytes_sent += payload.size();
+  if (blocked(from, to)) {
+    stats_.blocked_by_partition++;
+    return;
+  }
+  if (config_.drop_prob > 0 && rng_.next_bool(config_.drop_prob)) {
+    stats_.dropped++;
+    return;
+  }
+  auto enqueue = [&](Bytes body) {
+    Message m;
+    m.from = from;
+    m.to = to;
+    m.type = type;
+    m.payload = std::move(body);
+    m.sent_tick = now_;
+    const std::uint32_t span =
+        config_.max_latency_ticks - config_.min_latency_ticks;
+    m.deliver_tick = now_ + config_.min_latency_ticks +
+                     (span > 0 ? rng_.next_below(span + 1) : 0);
+    in_flight_.emplace(m.deliver_tick, std::move(m));
+  };
+  if (config_.dup_prob > 0 && rng_.next_bool(config_.dup_prob)) {
+    stats_.duplicated++;
+    enqueue(payload);
+  }
+  enqueue(std::move(payload));
+}
+
+void SimNet::tick() {
+  now_++;
+  auto end = in_flight_.upper_bound(now_);
+  for (auto it = in_flight_.begin(); it != end; ++it) {
+    Message& m = it->second;
+    if (blocked(m.from, m.to)) {
+      stats_.blocked_by_partition++;
+      continue;  // partitions that formed mid-flight eat the message
+    }
+    stats_.delivered++;
+    inboxes_[m.to].push_back(std::move(m));
+  }
+  in_flight_.erase(in_flight_.begin(), end);
+}
+
+std::vector<Message> SimNet::drain(Endpoint ep) {
+  SB_CHECK(ep < inboxes_.size());
+  std::vector<Message> out(inboxes_[ep].begin(), inboxes_[ep].end());
+  inboxes_[ep].clear();
+  return out;
+}
+
+void SimNet::set_partitioned(Endpoint a, Endpoint b, bool blocked_now) {
+  const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  if (blocked_now) {
+    partitions_.insert(key);
+  } else {
+    partitions_.erase(key);
+  }
+}
+
+void SimNet::set_isolated(Endpoint ep, bool isolated) {
+  if (isolated) {
+    isolated_.insert(ep);
+  } else {
+    isolated_.erase(ep);
+  }
+}
+
+}  // namespace softborg

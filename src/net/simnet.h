@@ -1,0 +1,88 @@
+// Simulated unreliable network connecting pods and hive nodes.
+//
+// The paper's hive nodes are "mostly end-user machines communicating over a
+// potentially unreliable network" (§4), and pods relay by-products "over
+// the Internet" (§3). SimNet models that: tick-driven delivery with
+// per-message random latency, loss, duplication, and pairwise partitions —
+// all seeded and deterministic so whole-fleet experiments reproduce.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/varint.h"
+
+namespace softborg {
+
+using Endpoint = std::uint64_t;
+
+struct NetConfig {
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  std::uint32_t min_latency_ticks = 1;
+  std::uint32_t max_latency_ticks = 3;
+  std::uint64_t seed = 1;
+};
+
+struct Message {
+  Endpoint from = 0;
+  Endpoint to = 0;
+  std::uint32_t type = 0;
+  Bytes payload;
+  std::uint64_t sent_tick = 0;
+  std::uint64_t deliver_tick = 0;
+};
+
+struct NetStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t blocked_by_partition = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class SimNet {
+ public:
+  explicit SimNet(NetConfig config = {})
+      : config_(config), rng_(config.seed) {}
+
+  Endpoint add_endpoint();
+  std::size_t num_endpoints() const { return inboxes_.size(); }
+
+  // Queues a message; it may be dropped, duplicated, or delayed.
+  void send(Endpoint from, Endpoint to, std::uint32_t type, Bytes payload);
+
+  // Advances time by one tick, moving due messages into inboxes.
+  void tick();
+  std::uint64_t now() const { return now_; }
+
+  // Removes and returns everything delivered to `ep` so far.
+  std::vector<Message> drain(Endpoint ep);
+
+  // Bidirectional partition control between two endpoints.
+  void set_partitioned(Endpoint a, Endpoint b, bool blocked);
+  // Isolates an endpoint from everyone (node churn/failure).
+  void set_isolated(Endpoint ep, bool isolated);
+
+  const NetStats& stats() const { return stats_; }
+
+ private:
+  bool blocked(Endpoint a, Endpoint b) const;
+
+  NetConfig config_;
+  Rng rng_;
+  std::uint64_t now_ = 0;
+  std::vector<std::deque<Message>> inboxes_;
+  // In-flight messages keyed by delivery tick.
+  std::multimap<std::uint64_t, Message> in_flight_;
+  std::set<std::pair<Endpoint, Endpoint>> partitions_;
+  std::set<Endpoint> isolated_;
+  NetStats stats_;
+};
+
+}  // namespace softborg

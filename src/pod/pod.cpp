@@ -1,0 +1,143 @@
+#include "pod/pod.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace softborg {
+
+Pod::Pod(PodId id, const CorpusEntry& entry, UserProfile profile,
+         PodConfig config, std::uint64_t seed)
+    : id_(id),
+      entry_(&entry),
+      profile_(std::move(profile)),
+      config_(config),
+      rng_(seed) {
+  SB_CHECK(profile_.input_prefs.empty() ||
+           profile_.input_prefs.size() == entry.domains.size());
+}
+
+bool Pod::install(const GuardPatch& patch) {
+  if (patch.program != program()) return false;
+  if (std::count(installed_fix_ids_.begin(), installed_fix_ids_.end(),
+                 patch.id.value) != 0) {
+    return false;
+  }
+  installed_fix_ids_.push_back(patch.id.value);
+  fixes_.guards.push_back(patch);
+  return true;
+}
+
+bool Pod::install(const CrashGuardFix& fix) {
+  if (fix.program != program()) return false;
+  if (std::count(installed_fix_ids_.begin(), installed_fix_ids_.end(),
+                 fix.id.value) != 0) {
+    return false;
+  }
+  installed_fix_ids_.push_back(fix.id.value);
+  fixes_.crash_guards.push_back(fix);
+  return true;
+}
+
+bool Pod::install(const LockAvoidanceFix& fix) {
+  if (fix.program != program()) return false;
+  if (std::count(installed_fix_ids_.begin(), installed_fix_ids_.end(),
+                 fix.id.value) != 0) {
+    return false;
+  }
+  installed_fix_ids_.push_back(fix.id.value);
+  fixes_.lock_fixes.push_back(fix);
+  return true;
+}
+
+void Pod::push_guidance(GuidanceDirective directive) {
+  if (directive.program != program()) return;
+  if (!rng_.next_bool(profile_.guidance_compliance)) return;  // declined
+  guidance_.push_back(std::move(directive));
+}
+
+std::uint32_t Pod::draws_for_day() {
+  // Cheap Poisson-ish draw: rate r gives floor(r) runs plus one more with
+  // probability frac(r), jittered by +/-1 occasionally.
+  const double rate = profile_.executions_per_day;
+  std::uint32_t n = static_cast<std::uint32_t>(rate);
+  if (rng_.next_bool(rate - static_cast<double>(n))) n++;
+  if (n > 0 && rng_.next_bool(0.1)) n--;
+  if (rng_.next_bool(0.1)) n++;
+  return n;
+}
+
+std::vector<Value> Pod::draw_inputs() {
+  std::vector<Value> inputs;
+  inputs.reserve(entry_->domains.size());
+  for (std::size_t i = 0; i < entry_->domains.size(); ++i) {
+    const InputDomain& domain = profile_.input_prefs.empty()
+                                    ? entry_->domains[i]
+                                    : profile_.input_prefs[i];
+    inputs.push_back(rng_.next_in(domain.lo, domain.hi));
+  }
+  return inputs;
+}
+
+PodRun Pod::run_once(std::uint64_t day) {
+  // Consume a guidance directive if one is queued.
+  std::optional<GuidanceDirective> directive;
+  if (!guidance_.empty()) {
+    directive = std::move(guidance_.front());
+    guidance_.pop_front();
+  }
+
+  ExecConfig cfg;
+  cfg.inputs = directive && directive->input_seed ? *directive->input_seed
+                                                  : draw_inputs();
+  cfg.seed = rng_();
+  cfg.max_steps = config_.max_steps;
+  cfg.granularity = config_.granularity;
+  cfg.fixes = &fixes_;
+  if (directive && directive->schedule) {
+    cfg.schedule_plan = &*directive->schedule;
+  }
+  if (directive && directive->faults) cfg.fault_plan = &*directive->faults;
+  cfg.collect_branch_events = config_.sampling_rate > 0;
+
+  ExecResult exec = execute(entry_->program, cfg);
+
+  // Inferred end-user feedback: a hung program is usually force-killed.
+  if (exec.trace.outcome == Outcome::kHang &&
+      rng_.next_bool(profile_.kill_on_hang)) {
+    exec.trace.outcome = Outcome::kUserKilled;
+  }
+
+  exec.trace.id = TraceId((id_.value << 24) | next_trace_seq_++);
+  exec.trace.pod = id_;
+  exec.trace.day = day;
+  exec.trace.guided = directive.has_value();
+
+  PodRun run;
+  run.fix_intervened = exec.fix_intervened;
+  run.deadlock_cycle = std::move(exec.deadlock_cycle);
+
+  // Coordinated sampling: site-level observations instead of the path.
+  if (config_.sampling_rate > 0) {
+    SampledTrace st;
+    st.program = program();
+    st.pod = id_;
+    st.outcome = exec.trace.outcome;
+    for (const auto& ev : exec.branch_events) {
+      if (sample_site(ev.site, id_, config_.sampling_rate)) {
+        st.observations.push_back({ev.site, ev.taken});
+      }
+    }
+    run.sampled = std::move(st);
+  }
+
+  run.trace = anonymize(exec.trace, config_.anonymize);
+
+  stats_.runs++;
+  if (run.trace.outcome != Outcome::kOk) stats_.failures++;
+  if (exec.fix_intervened) stats_.fix_interventions++;
+  if (directive) stats_.guided_runs++;
+  return run;
+}
+
+}  // namespace softborg

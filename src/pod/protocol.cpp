@@ -1,0 +1,209 @@
+#include "pod/protocol.h"
+
+namespace softborg {
+
+namespace {
+constexpr std::uint64_t kMaxItems = 1u << 16;
+
+struct Reader {
+  const Bytes& bytes;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint64_t u() {
+    auto v = get_varint(bytes, pos);
+    if (!v) {
+      ok = false;
+      return 0;
+    }
+    return *v;
+  }
+  std::int64_t s() {
+    auto v = get_varint_signed(bytes, pos);
+    if (!v) {
+      ok = false;
+      return 0;
+    }
+    return *v;
+  }
+  bool done() const { return ok && pos == bytes.size(); }
+};
+}  // namespace
+
+bool GuidanceDirective::operator==(const GuidanceDirective& o) const {
+  if (program != o.program || input_seed != o.input_seed) return false;
+  const bool sched_eq =
+      schedule.has_value() == o.schedule.has_value() &&
+      (!schedule.has_value() || schedule->runs == o.schedule->runs);
+  const bool faults_eq =
+      faults.has_value() == o.faults.has_value() &&
+      (!faults.has_value() || faults->forced == o.faults->forced);
+  return sched_eq && faults_eq;
+}
+
+Bytes encode_guard_patch(const GuardPatch& p) {
+  Bytes out;
+  put_varint(out, p.id.value);
+  put_varint(out, p.program.value);
+  put_varint(out, p.site);
+  put_varint(out, p.crash_direction ? 1 : 0);
+  put_varint(out, p.when.size());
+  for (const auto& b : p.when) {
+    put_varint(out, b.input);
+    put_varint_signed(out, b.lo);
+    put_varint_signed(out, b.hi);
+  }
+  return out;
+}
+
+std::optional<GuardPatch> decode_guard_patch(const Bytes& bytes) {
+  Reader r{bytes};
+  GuardPatch p;
+  p.id = FixId(r.u());
+  p.program = ProgramId(r.u());
+  p.site = static_cast<std::uint32_t>(r.u());
+  const std::uint64_t dir = r.u();
+  if (dir > 1) return std::nullopt;
+  p.crash_direction = dir == 1;
+  const std::uint64_t n = r.u();
+  if (!r.ok || n > kMaxItems) return std::nullopt;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    InputBound b;
+    const std::uint64_t input = r.u();
+    if (input > 0xffff) return std::nullopt;
+    b.input = static_cast<std::uint16_t>(input);
+    b.lo = r.s();
+    b.hi = r.s();
+    if (!r.ok || b.lo > b.hi) return std::nullopt;
+    p.when.push_back(b);
+  }
+  if (!r.done()) return std::nullopt;
+  return p;
+}
+
+Bytes encode_crash_guard(const CrashGuardFix& f) {
+  Bytes out;
+  put_varint(out, f.id.value);
+  put_varint(out, f.program.value);
+  put_varint(out, f.pc);
+  put_varint(out, static_cast<std::uint64_t>(f.action));
+  put_varint_signed(out, f.fallback);
+  return out;
+}
+
+std::optional<CrashGuardFix> decode_crash_guard(const Bytes& bytes) {
+  Reader r{bytes};
+  CrashGuardFix f;
+  f.id = FixId(r.u());
+  f.program = ProgramId(r.u());
+  f.pc = static_cast<std::uint32_t>(r.u());
+  const std::uint64_t action = r.u();
+  if (action > 1) return std::nullopt;
+  f.action = static_cast<CrashGuardFix::Action>(action);
+  f.fallback = r.s();
+  if (!r.done()) return std::nullopt;
+  return f;
+}
+
+Bytes encode_lock_fix(const LockAvoidanceFix& f) {
+  Bytes out;
+  put_varint(out, f.id.value);
+  put_varint(out, f.program.value);
+  put_varint(out, f.cycle_locks.size());
+  for (auto l : f.cycle_locks) put_varint(out, l);
+  return out;
+}
+
+std::optional<LockAvoidanceFix> decode_lock_fix(const Bytes& bytes) {
+  Reader r{bytes};
+  LockAvoidanceFix f;
+  f.id = FixId(r.u());
+  f.program = ProgramId(r.u());
+  const std::uint64_t n = r.u();
+  if (!r.ok || n > kMaxItems) return std::nullopt;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t lock = r.u();
+    if (lock > 0xffff) return std::nullopt;
+    f.cycle_locks.push_back(static_cast<std::uint16_t>(lock));
+  }
+  if (!r.done()) return std::nullopt;
+  return f;
+}
+
+Bytes encode_guidance(const GuidanceDirective& g) {
+  Bytes out;
+  put_varint(out, g.program.value);
+  put_varint(out, g.input_seed.has_value() ? 1 : 0);
+  if (g.input_seed) {
+    put_varint(out, g.input_seed->size());
+    for (auto v : *g.input_seed) put_varint_signed(out, v);
+  }
+  put_varint(out, g.schedule.has_value() ? 1 : 0);
+  if (g.schedule) {
+    put_varint(out, g.schedule->runs.size());
+    for (const auto& run : g.schedule->runs) {
+      put_varint(out, run.thread);
+      put_varint(out, run.steps);
+    }
+  }
+  put_varint(out, g.faults.has_value() ? 1 : 0);
+  if (g.faults) {
+    put_varint(out, g.faults->forced.size());
+    for (const auto& [index, value] : g.faults->forced) {
+      put_varint(out, index);
+      put_varint_signed(out, value);
+    }
+  }
+  return out;
+}
+
+std::optional<GuidanceDirective> decode_guidance(const Bytes& bytes) {
+  Reader r{bytes};
+  GuidanceDirective g;
+  g.program = ProgramId(r.u());
+
+  const std::uint64_t has_seed = r.u();
+  if (has_seed > 1) return std::nullopt;
+  if (has_seed == 1) {
+    const std::uint64_t n = r.u();
+    if (!r.ok || n > kMaxItems) return std::nullopt;
+    std::vector<Value> seed;
+    for (std::uint64_t i = 0; i < n; ++i) seed.push_back(r.s());
+    g.input_seed = std::move(seed);
+  }
+
+  const std::uint64_t has_schedule = r.u();
+  if (has_schedule > 1) return std::nullopt;
+  if (has_schedule == 1) {
+    const std::uint64_t n = r.u();
+    if (!r.ok || n > kMaxItems) return std::nullopt;
+    SchedulePlan plan;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t thread = r.u(), steps = r.u();
+      if (thread > 0xff || steps > 0xffffffffULL) return std::nullopt;
+      plan.runs.push_back({static_cast<std::uint8_t>(thread),
+                           static_cast<std::uint32_t>(steps)});
+    }
+    g.schedule = std::move(plan);
+  }
+
+  const std::uint64_t has_faults = r.u();
+  if (has_faults > 1) return std::nullopt;
+  if (has_faults == 1) {
+    const std::uint64_t n = r.u();
+    if (!r.ok || n > kMaxItems) return std::nullopt;
+    FaultPlan faults;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t index = r.u();
+      const std::int64_t value = r.s();
+      if (index > 0xffffffffULL) return std::nullopt;
+      faults.forced[static_cast<std::uint32_t>(index)] = value;
+    }
+    g.faults = std::move(faults);
+  }
+
+  if (!r.done()) return std::nullopt;
+  return g;
+}
+
+}  // namespace softborg

@@ -1,0 +1,54 @@
+// Wire protocol between pods and the hive (paper Fig. 1).
+//
+// Upstream:   by-products (traces, sampled site observations).
+// Downstream: fixes (guard patches, crash guards, lock-avoidance sets) and
+//             guidance directives (input seeds, schedule steering, syscall
+//             fault plans).
+//
+// Everything is varint-encoded like trace/codec.h; decoders validate and
+// return nullopt on malformed input.
+#pragma once
+
+#include <optional>
+
+#include "common/varint.h"
+#include "minivm/fixes.h"
+#include "minivm/interp.h"
+
+namespace softborg {
+
+enum MsgType : std::uint32_t {
+  kMsgTrace = 1,
+  kMsgGuardPatch = 2,
+  kMsgCrashGuard = 3,
+  kMsgLockFix = 4,
+  kMsgGuidance = 5,
+  kMsgWorkRequest = 6,
+  kMsgWorkAssign = 7,
+  kMsgWorkResult = 8,
+};
+
+// A guidance directive: "run the program this way once" (§3.3). Any subset
+// of the fields may be present.
+struct GuidanceDirective {
+  ProgramId program;
+  std::optional<std::vector<Value>> input_seed;
+  std::optional<SchedulePlan> schedule;
+  std::optional<FaultPlan> faults;
+
+  bool operator==(const GuidanceDirective& o) const;
+};
+
+Bytes encode_guard_patch(const GuardPatch& p);
+std::optional<GuardPatch> decode_guard_patch(const Bytes& bytes);
+
+Bytes encode_crash_guard(const CrashGuardFix& f);
+std::optional<CrashGuardFix> decode_crash_guard(const Bytes& bytes);
+
+Bytes encode_lock_fix(const LockAvoidanceFix& f);
+std::optional<LockAvoidanceFix> decode_lock_fix(const Bytes& bytes);
+
+Bytes encode_guidance(const GuidanceDirective& g);
+std::optional<GuidanceDirective> decode_guidance(const Bytes& bytes);
+
+}  // namespace softborg

@@ -1,0 +1,50 @@
+#include "privacy/anonymize.h"
+
+namespace softborg {
+
+Trace anonymize(const Trace& t, const AnonymizeConfig& config) {
+  Trace out = t;
+  if (config.strip_pod_id) {
+    out.pod = config.pod_bucket_count > 0
+                  ? PodId(t.pod.value % config.pod_bucket_count)
+                  : PodId(0);
+  }
+  if (config.quantize_day) out.day = (t.day / 7) * 7;
+  if (config.coarsen_syscalls) {
+    for (auto& sc : out.syscalls) sc.call_index = 0;
+  }
+  if (config.bit_suppression > 0) {
+    BitVec kept;
+    for (std::size_t i = 0; i < t.branch_bits.size(); ++i) {
+      if ((i + 1) % config.bit_suppression == 0) continue;  // drop n-th
+      kept.push_back(t.branch_bits[i]);
+    }
+    out.branch_bits = kept;
+  }
+  return out;
+}
+
+bool has_identifiers(const Trace& t) { return t.pod.value != 0; }
+
+std::vector<Trace> KAnonymityGate::add(Trace t) {
+  const std::uint64_t key = t.branch_bits.hash();
+  if (released_.count(key) != 0) return {std::move(t)};
+
+  Bucket& bucket = buckets_[key];
+  bucket.pods.insert(t.pod.value);
+  bucket.pending.push_back(std::move(t));
+  if (bucket.pods.size() < k_) return {};
+
+  std::vector<Trace> out = std::move(bucket.pending);
+  buckets_.erase(key);
+  released_.insert(key);
+  return out;
+}
+
+std::size_t KAnonymityGate::buffered() const {
+  std::size_t n = 0;
+  for (const auto& [key, bucket] : buckets_) n += bucket.pending.size();
+  return n;
+}
+
+}  // namespace softborg

@@ -1,0 +1,33 @@
+#include "privacy/entropy.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace softborg {
+
+PopulationPrivacy measure_population(const std::vector<Trace>& traces) {
+  PopulationPrivacy out;
+  out.traces = traces.size();
+  if (traces.empty()) return out;
+
+  std::unordered_map<std::uint64_t, std::size_t> counts;
+  double total_bits = 0;
+  for (const auto& t : traces) {
+    counts[t.branch_bits.hash()]++;
+    total_bits += static_cast<double>(t.branch_bits.size());
+  }
+  out.distinct_paths = counts.size();
+  out.mean_bits_per_trace = total_bits / static_cast<double>(traces.size());
+
+  const double n = static_cast<double>(traces.size());
+  std::size_t unique = 0;
+  for (const auto& [key, count] : counts) {
+    const double p = static_cast<double>(count) / n;
+    out.path_entropy_bits -= p * std::log2(p);
+    if (count == 1) unique++;
+  }
+  out.unique_fraction = static_cast<double>(unique) / n;
+  return out;
+}
+
+}  // namespace softborg

@@ -1,0 +1,29 @@
+// Information-content accounting for execution traces (paper §3.1: "we are
+// investigating ways to quantify this information content").
+//
+// Two lenses:
+//  * per-trace content: how many bits of control-flow detail one trace
+//    reveals (raw bit count; after suppression, fewer);
+//  * population re-identification risk: over a corpus of traces, the
+//    entropy of the path distribution and the fraction of pods whose path
+//    is unique (a unique path = a perfect quasi-identifier).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace softborg {
+
+struct PopulationPrivacy {
+  std::size_t traces = 0;
+  std::size_t distinct_paths = 0;
+  double path_entropy_bits = 0.0;   // H over the empirical path distribution
+  double unique_fraction = 0.0;     // traces whose path appears exactly once
+  double mean_bits_per_trace = 0.0; // released control-flow bits
+};
+
+PopulationPrivacy measure_population(const std::vector<Trace>& traces);
+
+}  // namespace softborg

@@ -1,0 +1,96 @@
+#include "sym/cnf.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace softborg {
+
+bool Cnf::well_formed() const {
+  for (const auto& clause : clauses) {
+    if (clause.empty()) return false;
+    for (Lit lit : clause) {
+      const int v = std::abs(lit);
+      if (v < 1 || v > num_vars) return false;
+    }
+  }
+  return true;
+}
+
+bool cnf_satisfied(const Cnf& cnf, const std::vector<bool>& model) {
+  SB_CHECK(static_cast<int>(model.size()) >= cnf.num_vars);
+  for (const auto& clause : cnf.clauses) {
+    bool sat = false;
+    for (Lit lit : clause) {
+      const int v = std::abs(lit) - 1;
+      if (model[static_cast<std::size_t>(v)] == (lit > 0)) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+Cnf random_ksat(int num_vars, int num_clauses, int k, std::uint64_t seed) {
+  SB_CHECK(num_vars >= k && k >= 1);
+  Rng rng(seed);
+  Cnf cnf;
+  cnf.num_vars = num_vars;
+  cnf.clauses.reserve(static_cast<std::size_t>(num_clauses));
+  for (int c = 0; c < num_clauses; ++c) {
+    Clause clause;
+    while (static_cast<int>(clause.size()) < k) {
+      const int v =
+          1 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(num_vars)));
+      bool dup = false;
+      for (Lit lit : clause) {
+        if (std::abs(lit) == v) dup = true;
+      }
+      if (dup) continue;
+      clause.push_back(rng.next_bool() ? v : -v);
+    }
+    cnf.clauses.push_back(std::move(clause));
+  }
+  return cnf;
+}
+
+Cnf pigeonhole(int holes) {
+  SB_CHECK(holes >= 1);
+  const int pigeons = holes + 1;
+  auto var = [holes](int pigeon, int hole) {
+    return pigeon * holes + hole + 1;  // 1-based
+  };
+  Cnf cnf;
+  cnf.num_vars = pigeons * holes;
+  // Every pigeon is in some hole.
+  for (int p = 0; p < pigeons; ++p) {
+    Clause clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(var(p, h));
+    cnf.clauses.push_back(std::move(clause));
+  }
+  // No two pigeons share a hole.
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        cnf.clauses.push_back({-var(p1, h), -var(p2, h)});
+      }
+    }
+  }
+  return cnf;
+}
+
+Cnf chain(int length) {
+  SB_CHECK(length >= 2);
+  Cnf cnf;
+  cnf.num_vars = length;
+  cnf.clauses.push_back({1});  // x1
+  for (int v = 1; v < length; ++v) {
+    cnf.clauses.push_back({-v, v + 1});  // x_v -> x_{v+1}
+  }
+  return cnf;
+}
+
+}  // namespace softborg

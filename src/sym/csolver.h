@@ -1,0 +1,57 @@
+// Constraint solver for path constraints over bounded variables.
+//
+// Branch-and-prune: interval arithmetic over the current variable box tests
+// each literal (definitely-true / definitely-false / undecided); undecided
+// boxes are split on the widest variable until a decision or the node
+// budget runs out. Interval operations are overflow-aware: any operation
+// that could wrap returns the full int64 interval, so pruning is always
+// sound with respect to MiniVM's wrapping semantics.
+//
+// Complete for the bounded domains SoftBorg uses (program input domains and
+// syscall result ranges); returns kUnknown only on budget exhaustion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sym/expr.h"
+
+namespace softborg {
+
+struct VarDomain {
+  Value lo = 0;
+  Value hi = 0;
+};
+
+struct Assignment {
+  std::vector<Value> inputs;
+  std::vector<Value> unknowns;
+};
+
+enum class SolveStatus : std::uint8_t { kSat, kUnsat, kUnknown };
+
+const char* solve_status_name(SolveStatus s);
+
+struct SolveResult {
+  SolveStatus status = SolveStatus::kUnknown;
+  Assignment model;  // valid iff status == kSat
+  std::uint64_t nodes = 0;
+};
+
+struct SolverOptions {
+  std::uint64_t max_nodes = 200'000;
+};
+
+// Decides satisfiability of `pc` with input i ranging over
+// input_domains[i] and syscall-unknown j over unknown_domains[j].
+// Variables referenced by the constraint but absent from the domain vectors
+// default to [0, 0].
+SolveResult solve_path(const PathConstraint& pc,
+                       const std::vector<VarDomain>& input_domains,
+                       const std::vector<VarDomain>& unknown_domains = {},
+                       const SolverOptions& options = {});
+
+// True iff `assignment` satisfies every literal (exact, wrap-aware).
+bool satisfies(const PathConstraint& pc, const Assignment& assignment);
+
+}  // namespace softborg

@@ -1,0 +1,82 @@
+#include "sym/portfolio.h"
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+
+#include "common/check.h"
+
+namespace softborg {
+
+PortfolioSolver::PortfolioSolver(
+    std::vector<std::unique_ptr<SatSolver>> solvers)
+    : solvers_(std::move(solvers)) {
+  SB_CHECK(!solvers_.empty());
+}
+
+PortfolioOutcome PortfolioSolver::solve_simulated(
+    const Cnf& cnf, std::uint64_t budget_ticks_per_solver) {
+  PortfolioOutcome out;
+  std::vector<SatOutcome> results;
+  results.reserve(solvers_.size());
+  for (auto& solver : solvers_) {
+    results.push_back(solver->solve(cnf, budget_ticks_per_solver));
+  }
+
+  // Winner: fewest ticks among solvers that decided.
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    out.per_solver_ticks.push_back(results[i].ticks);
+    if (results[i].status == SatStatus::kUnknown) continue;
+    if (out.winner < 0 || results[i].ticks < out.wall_ticks) {
+      out.winner = static_cast<int>(i);
+      out.wall_ticks = results[i].ticks;
+      out.status = results[i].status;
+      out.model = results[i].model;
+    }
+  }
+  if (out.winner < 0) {
+    // Nobody decided within budget.
+    out.wall_ticks = budget_ticks_per_solver;
+  }
+  // Losers are cancelled at the winner's finish time.
+  for (const auto& r : results) {
+    out.cost_ticks += std::min(r.ticks, out.wall_ticks);
+  }
+  return out;
+}
+
+PortfolioOutcome PortfolioSolver::solve_threaded(
+    const Cnf& cnf, std::uint64_t budget_ticks_per_solver, ThreadPool& pool) {
+  std::atomic<bool> cancel{false};
+  std::vector<std::future<SatOutcome>> futures;
+  futures.reserve(solvers_.size());
+  for (auto& solver : solvers_) {
+    SatSolver* s = solver.get();
+    futures.push_back(pool.submit([s, &cnf, budget_ticks_per_solver,
+                                   &cancel]() {
+      SatOutcome r = s->solve(cnf, budget_ticks_per_solver, &cancel);
+      if (r.status != SatStatus::kUnknown) {
+        cancel.store(true, std::memory_order_relaxed);
+      }
+      return r;
+    }));
+  }
+
+  PortfolioOutcome out;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    SatOutcome r = futures[i].get();
+    out.per_solver_ticks.push_back(r.ticks);
+    out.cost_ticks += r.ticks;
+    if (r.status == SatStatus::kUnknown) continue;
+    if (out.winner < 0 || r.ticks < out.wall_ticks) {
+      out.winner = static_cast<int>(i);
+      out.wall_ticks = r.ticks;
+      out.status = r.status;
+      out.model = std::move(r.model);
+    }
+  }
+  if (out.winner < 0) out.wall_ticks = budget_ticks_per_solver;
+  return out;
+}
+
+}  // namespace softborg

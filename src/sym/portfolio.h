@@ -1,0 +1,51 @@
+// Solver portfolio (paper §4).
+//
+// "Choosing the equities with the highest return is undecidable, so one
+// must invest in parallel" — the portfolio runs heterogeneous solvers on
+// the same instance and takes the first decision. Two execution modes:
+//
+//  * solve_simulated — deterministic model of perfect parallelism: every
+//    solver runs to its own decision; the winner is the one with the fewest
+//    ticks; resource cost charges each loser only up to the winner's tick
+//    count (they would have been cancelled). This is what E2 measures,
+//    reproducing the paper's "~10x time for ~3x resources" shape.
+//  * solve_threaded — real threads with first-winner cancellation, for
+//    wall-clock demonstrations.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "sym/sat.h"
+
+namespace softborg {
+
+struct PortfolioOutcome {
+  SatStatus status = SatStatus::kUnknown;
+  std::vector<bool> model;        // valid iff kSat
+  int winner = -1;                // index of the deciding solver
+  std::uint64_t wall_ticks = 0;   // simulated elapsed time (winner's ticks)
+  std::uint64_t cost_ticks = 0;   // total resource consumption
+  std::vector<std::uint64_t> per_solver_ticks;
+};
+
+class PortfolioSolver {
+ public:
+  explicit PortfolioSolver(std::vector<std::unique_ptr<SatSolver>> solvers);
+
+  std::size_t size() const { return solvers_.size(); }
+  const SatSolver& solver(std::size_t i) const { return *solvers_[i]; }
+
+  PortfolioOutcome solve_simulated(const Cnf& cnf,
+                                   std::uint64_t budget_ticks_per_solver);
+
+  PortfolioOutcome solve_threaded(const Cnf& cnf,
+                                  std::uint64_t budget_ticks_per_solver,
+                                  ThreadPool& pool);
+
+ private:
+  std::vector<std::unique_ptr<SatSolver>> solvers_;
+};
+
+}  // namespace softborg

@@ -1,0 +1,357 @@
+#include "sym/sat.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace softborg {
+
+const char* sat_status_name(SatStatus s) {
+  switch (s) {
+    case SatStatus::kSat: return "sat";
+    case SatStatus::kUnsat: return "unsat";
+    case SatStatus::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+// ----------------------------------------------------------------- DPLL ----
+
+// Recursive DPLL with unit propagation. Assignment: 0 unknown, +1 true,
+// -1 false.
+class DpllSolver final : public SatSolver {
+ public:
+  explicit DpllSolver(DpllHeuristic heuristic) : heuristic_(heuristic) {}
+
+  SatOutcome solve(const Cnf& cnf, std::uint64_t budget_ticks,
+                   const std::atomic<bool>* cancel) override {
+    cnf_ = &cnf;
+    budget_ = budget_ticks;
+    cancel_ = cancel;
+    ticks_ = 0;
+    aborted_ = false;
+    assign_.assign(static_cast<std::size_t>(cnf.num_vars) + 1, 0);
+    activity_.assign(static_cast<std::size_t>(cnf.num_vars) + 1, 0.0);
+    if (heuristic_ == DpllHeuristic::kActivity) {
+      // Seed activities with occurrence counts.
+      for (const auto& clause : cnf.clauses) {
+        for (Lit lit : clause) {
+          activity_[static_cast<std::size_t>(std::abs(lit))] += 1.0;
+        }
+      }
+    }
+
+    SatOutcome out;
+    const int verdict = search();
+    out.ticks = ticks_;
+    if (aborted_) {
+      out.status = SatStatus::kUnknown;
+    } else if (verdict == 1) {
+      out.status = SatStatus::kSat;
+      out.model.resize(static_cast<std::size_t>(cnf.num_vars));
+      for (int v = 1; v <= cnf.num_vars; ++v) {
+        out.model[static_cast<std::size_t>(v - 1)] =
+            assign_[static_cast<std::size_t>(v)] >= 0;  // unassigned -> true
+      }
+      SB_CHECK(cnf_satisfied(cnf, out.model));
+    } else {
+      out.status = SatStatus::kUnsat;
+    }
+    return out;
+  }
+
+  std::string name() const override {
+    return heuristic_ == DpllHeuristic::kActivity ? "dpll-activity"
+                                                  : "dpll-negstatic";
+  }
+
+ private:
+  bool out_of_budget() {
+    if (ticks_ >= budget_ ||
+        (cancel_ != nullptr && ((ticks_ & 0x3ff) == 0) &&
+         cancel_->load(std::memory_order_relaxed))) {
+      aborted_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  // Clause status under the current assignment.
+  enum class CStat { kSat, kConflict, kUnit, kOpen };
+  CStat clause_status(const Clause& clause, Lit* unit) {
+    int unassigned = 0;
+    Lit last = 0;
+    for (Lit lit : clause) {
+      const int v = std::abs(lit);
+      const int a = assign_[static_cast<std::size_t>(v)];
+      if (a == 0) {
+        unassigned++;
+        last = lit;
+      } else if ((a > 0) == (lit > 0)) {
+        return CStat::kSat;
+      }
+    }
+    if (unassigned == 0) return CStat::kConflict;
+    if (unassigned == 1) {
+      *unit = last;
+      return CStat::kUnit;
+    }
+    return CStat::kOpen;
+  }
+
+  // Returns false on conflict. Appends assigned vars to `trail`.
+  bool propagate(std::vector<int>* trail) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& clause : cnf_->clauses) {
+        ticks_++;
+        if (out_of_budget()) return true;  // abort unwinds via aborted_
+        Lit unit = 0;
+        switch (clause_status(clause, &unit)) {
+          case CStat::kConflict:
+            return false;
+          case CStat::kUnit: {
+            const int v = std::abs(unit);
+            assign_[static_cast<std::size_t>(v)] = unit > 0 ? 1 : -1;
+            trail->push_back(v);
+            if (heuristic_ == DpllHeuristic::kActivity) {
+              activity_[static_cast<std::size_t>(v)] += 0.1;
+            }
+            changed = true;
+            break;
+          }
+          default:
+            break;
+        }
+      }
+    }
+    return true;
+  }
+
+  int pick_variable() const {
+    if (heuristic_ == DpllHeuristic::kNegativeStatic) {
+      for (int v = 1; v <= cnf_->num_vars; ++v) {
+        if (assign_[static_cast<std::size_t>(v)] == 0) return v;
+      }
+      return 0;
+    }
+    int best = 0;
+    double best_activity = -1.0;
+    for (int v = 1; v <= cnf_->num_vars; ++v) {
+      if (assign_[static_cast<std::size_t>(v)] == 0 &&
+          activity_[static_cast<std::size_t>(v)] > best_activity) {
+        best = v;
+        best_activity = activity_[static_cast<std::size_t>(v)];
+      }
+    }
+    return best;
+  }
+
+  // 1 = sat, 0 = unsat (within this subtree).
+  int search() {
+    std::vector<int> trail;
+    const bool no_conflict = propagate(&trail);
+    if (aborted_) return 0;
+    if (no_conflict) {
+      const int var = pick_variable();
+      if (var == 0) return 1;  // fully assigned, no conflict => model
+      const int first = heuristic_ == DpllHeuristic::kNegativeStatic ? -1 : 1;
+      for (int phase : {first, -first}) {
+        assign_[static_cast<std::size_t>(var)] = phase;
+        const int sub = search();
+        if (aborted_) return 0;
+        if (sub == 1) return 1;
+        assign_[static_cast<std::size_t>(var)] = 0;
+      }
+    }
+    for (int v : trail) assign_[static_cast<std::size_t>(v)] = 0;
+    return 0;
+  }
+
+  DpllHeuristic heuristic_;
+  const Cnf* cnf_ = nullptr;
+  std::uint64_t budget_ = 0;
+  std::uint64_t ticks_ = 0;
+  bool aborted_ = false;
+  const std::atomic<bool>* cancel_ = nullptr;
+  std::vector<int> assign_;
+  std::vector<double> activity_;
+};
+
+// -------------------------------------------------------------- WalkSAT ----
+
+// Standard efficient WalkSAT: occurrence lists plus incrementally
+// maintained per-clause satisfied-literal counts, so a flip touches only
+// the clauses containing the flipped variable. Ticks are charged per
+// clause actually visited — the real cost profile of the algorithm.
+class WalkSatSolver final : public SatSolver {
+ public:
+  WalkSatSolver(std::uint64_t seed, double noise)
+      : seed_(seed), noise_(noise) {}
+
+  SatOutcome solve(const Cnf& cnf, std::uint64_t budget_ticks,
+                   const std::atomic<bool>* cancel) override {
+    Rng rng(seed_);
+    SatOutcome out;
+    const std::size_t n = static_cast<std::size_t>(cnf.num_vars);
+    const std::size_t m = cnf.clauses.size();
+
+    // Occurrence lists.
+    std::vector<std::vector<std::uint32_t>> occurs(n);
+    for (std::size_t c = 0; c < m; ++c) {
+      for (Lit lit : cnf.clauses[c]) {
+        occurs[static_cast<std::size_t>(std::abs(lit) - 1)].push_back(
+            static_cast<std::uint32_t>(c));
+      }
+    }
+
+    std::vector<bool> model(n);
+    std::vector<std::uint32_t> sat_count(m);
+    std::vector<std::uint32_t> unsat;          // clause ids
+    std::vector<std::uint32_t> unsat_pos(m);   // clause -> index in `unsat`
+
+    std::uint64_t ticks = 0;
+    auto init = [&]() {
+      for (std::size_t v = 0; v < n; ++v) model[v] = rng.next_bool();
+      unsat.clear();
+      for (std::size_t c = 0; c < m; ++c) {
+        ticks++;
+        std::uint32_t count = 0;
+        for (Lit lit : cnf.clauses[c]) {
+          if (model[static_cast<std::size_t>(std::abs(lit) - 1)] ==
+              (lit > 0)) {
+            count++;
+          }
+        }
+        sat_count[c] = count;
+        if (count == 0) {
+          unsat_pos[c] = static_cast<std::uint32_t>(unsat.size());
+          unsat.push_back(static_cast<std::uint32_t>(c));
+        }
+      }
+    };
+    auto flip = [&](int var) {  // var is 1-based
+      const std::size_t v = static_cast<std::size_t>(var - 1);
+      model[v] = !model[v];
+      for (std::uint32_t c : occurs[v]) {
+        ticks++;
+        // Does this clause now gain or lose the flipped literal?
+        bool makes_true = false;
+        for (Lit lit : cnf.clauses[c]) {
+          if (std::abs(lit) == var) {
+            makes_true = model[v] == (lit > 0);
+            break;
+          }
+        }
+        if (makes_true) {
+          if (sat_count[c]++ == 0) {
+            // Remove from unsat (swap with last).
+            const std::uint32_t pos = unsat_pos[c];
+            unsat[pos] = unsat.back();
+            unsat_pos[unsat[pos]] = pos;
+            unsat.pop_back();
+          }
+        } else {
+          if (--sat_count[c] == 0) {
+            unsat_pos[c] = static_cast<std::uint32_t>(unsat.size());
+            unsat.push_back(c);
+          }
+        }
+      }
+    };
+    // break(var) = clauses that would become unsatisfied if var flipped.
+    auto break_count = [&](int var) {
+      const std::size_t v = static_cast<std::size_t>(var - 1);
+      std::uint64_t breaks = 0;
+      for (std::uint32_t c : occurs[v]) {
+        ticks++;
+        if (sat_count[c] != 1) continue;
+        // Broken iff the single satisfying literal is this variable's.
+        for (Lit lit : cnf.clauses[c]) {
+          if (std::abs(lit) == var &&
+              model[v] == (lit > 0)) {
+            breaks++;
+            break;
+          }
+        }
+      }
+      return breaks;
+    };
+
+    init();
+    std::uint64_t since_restart = 0;
+    const std::uint64_t restart_interval = 40 * std::max<std::uint64_t>(n, 1);
+    while (ticks < budget_ticks) {
+      if (cancel != nullptr && (ticks & 0x3ff) < 8 &&
+          cancel->load(std::memory_order_relaxed)) {
+        break;
+      }
+      if (unsat.empty()) {
+        out.status = SatStatus::kSat;
+        out.model = std::move(model);
+        out.ticks = ticks;
+        SB_CHECK(cnf_satisfied(cnf, out.model));
+        return out;
+      }
+      if (++since_restart > restart_interval) {
+        since_restart = 0;
+        init();
+        continue;
+      }
+      const Clause& clause = cnf.clauses[unsat[rng.next_below(unsat.size())]];
+      int flip_var;
+      if (rng.next_bool(noise_)) {
+        flip_var = std::abs(clause[rng.next_below(clause.size())]);
+      } else {
+        flip_var = std::abs(clause[0]);
+        std::uint64_t best = UINT64_MAX;
+        for (Lit lit : clause) {
+          const int v = std::abs(lit);
+          const std::uint64_t b = break_count(v);
+          if (b < best) {
+            best = b;
+            flip_var = v;
+          }
+        }
+      }
+      flip(flip_var);
+      ticks++;
+    }
+    out.status = SatStatus::kUnknown;  // local search can never prove UNSAT
+    out.ticks = std::min(ticks, budget_ticks);
+    return out;
+  }
+
+  std::string name() const override { return "walksat"; }
+
+ private:
+  std::uint64_t seed_;
+  double noise_;
+};
+
+}  // namespace
+
+std::unique_ptr<SatSolver> make_dpll_solver(DpllHeuristic heuristic) {
+  return std::make_unique<DpllSolver>(heuristic);
+}
+
+std::unique_ptr<SatSolver> make_walksat_solver(std::uint64_t seed,
+                                               double noise) {
+  return std::make_unique<WalkSatSolver>(seed, noise);
+}
+
+std::vector<std::unique_ptr<SatSolver>> make_standard_portfolio(
+    std::uint64_t seed) {
+  std::vector<std::unique_ptr<SatSolver>> solvers;
+  solvers.push_back(make_dpll_solver(DpllHeuristic::kActivity));
+  solvers.push_back(make_dpll_solver(DpllHeuristic::kNegativeStatic));
+  solvers.push_back(make_walksat_solver(seed));
+  return solvers;
+}
+
+}  // namespace softborg

@@ -1,0 +1,63 @@
+// SAT solver interface and the three concrete engines of the portfolio.
+//
+// The paper's portfolio claim (§4) needs solvers whose per-instance costs
+// are *complementary*, so these are genuinely different algorithms:
+//   * DpllSolver / kActivity  — DPLL with unit propagation and a dynamic
+//     activity (VSIDS-flavoured) decision heuristic.
+//   * DpllSolver / kNegativeStatic — DPLL with a static variable order and
+//     negative-first polarity (good on structured/UNSAT instances, bad on
+//     many random SAT ones).
+//   * WalkSatSolver — stochastic local search (often instantly lucky on
+//     satisfiable random instances, hopeless on UNSAT ones).
+//
+// All engines are budgeted and deterministic; cost is measured in abstract
+// "ticks" (propagations/flips) so simulated portfolio runs are exactly
+// reproducible and comparable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sym/cnf.h"
+
+namespace softborg {
+
+enum class SatStatus : std::uint8_t { kSat, kUnsat, kUnknown };
+
+const char* sat_status_name(SatStatus s);
+
+struct SatOutcome {
+  SatStatus status = SatStatus::kUnknown;
+  std::vector<bool> model;   // valid iff kSat
+  std::uint64_t ticks = 0;   // abstract work performed
+};
+
+class SatSolver {
+ public:
+  virtual ~SatSolver() = default;
+
+  // Solves within `budget_ticks`; kUnknown on exhaustion. `cancel`, when
+  // non-null, is polled so a portfolio can stop losers early.
+  virtual SatOutcome solve(const Cnf& cnf, std::uint64_t budget_ticks,
+                           const std::atomic<bool>* cancel = nullptr) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+enum class DpllHeuristic : std::uint8_t {
+  kActivity,        // dynamic activity, positive-first
+  kNegativeStatic,  // static order, negative-first
+};
+
+std::unique_ptr<SatSolver> make_dpll_solver(DpllHeuristic heuristic);
+std::unique_ptr<SatSolver> make_walksat_solver(std::uint64_t seed,
+                                               double noise = 0.5);
+
+// The standard 3-solver portfolio from the paper's claim.
+std::vector<std::unique_ptr<SatSolver>> make_standard_portfolio(
+    std::uint64_t seed = 1);
+
+}  // namespace softborg

@@ -1,0 +1,203 @@
+#include "trace/codec.h"
+
+#include "common/check.h"
+
+namespace softborg {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x53425452;  // "SBTR"
+constexpr std::uint64_t kVersion = 1;
+
+// Hard caps so a malicious length prefix cannot balloon allocation.
+constexpr std::uint64_t kMaxBits = 1u << 26;
+constexpr std::uint64_t kMaxRecords = 1u << 22;
+}  // namespace
+
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kOk:
+      return "ok";
+    case Outcome::kCrash:
+      return "crash";
+    case Outcome::kDeadlock:
+      return "deadlock";
+    case Outcome::kHang:
+      return "hang";
+    case Outcome::kUserKilled:
+      return "user-killed";
+  }
+  return "?";
+}
+
+const char* crash_kind_name(CrashKind k) {
+  switch (k) {
+    case CrashKind::kAssertFailure:
+      return "assert-failure";
+    case CrashKind::kDivByZero:
+      return "div-by-zero";
+    case CrashKind::kBadGlobalAccess:
+      return "bad-global-access";
+    case CrashKind::kExplicitAbort:
+      return "explicit-abort";
+  }
+  return "?";
+}
+
+Bytes encode_trace(const Trace& t) {
+  Bytes out;
+  put_varint(out, kMagic);
+  put_varint(out, kVersion);
+  put_varint(out, t.id.value);
+  put_varint(out, t.program.value);
+  put_varint(out, t.pod.value);
+  put_varint(out, static_cast<std::uint64_t>(t.outcome));
+  put_varint(out, t.crash.has_value() ? 1 : 0);
+  if (t.crash) {
+    put_varint(out, static_cast<std::uint64_t>(t.crash->kind));
+    put_varint(out, t.crash->pc);
+    put_varint_signed(out, t.crash->detail);
+  }
+  put_varint(out, static_cast<std::uint64_t>(t.granularity));
+
+  put_varint(out, t.branch_bits.size());
+  for (auto w : t.branch_bits.words()) put_varint(out, w);
+
+  put_varint(out, t.schedule.size());
+  for (const auto& run : t.schedule) {
+    put_varint(out, run.thread);
+    put_varint(out, run.steps);
+  }
+
+  put_varint(out, t.lock_events.size());
+  for (const auto& ev : t.lock_events) {
+    put_varint(out, ev.thread);
+    put_varint(out, ev.acquire ? 1 : 0);
+    put_varint(out, ev.lock);
+    put_varint(out, ev.pc);
+    put_varint(out, ev.step);
+  }
+
+  put_varint(out, t.syscalls.size());
+  for (const auto& sc : t.syscalls) {
+    put_varint(out, sc.sys_id);
+    put_varint(out, sc.call_index);
+    put_varint_signed(out, sc.result_class);
+  }
+
+  put_varint(out, t.steps);
+  put_varint(out, (t.patched ? 1u : 0u) | (t.guided ? 2u : 0u));
+  put_varint(out, t.day);
+  return out;
+}
+
+std::optional<Trace> decode_trace(const Bytes& bytes) {
+  std::size_t pos = 0;
+  auto u = [&]() -> std::optional<std::uint64_t> {
+    return get_varint(bytes, pos);
+  };
+  auto s = [&]() -> std::optional<std::int64_t> {
+    return get_varint_signed(bytes, pos);
+  };
+
+  auto magic = u();
+  if (!magic || *magic != kMagic) return std::nullopt;
+  auto version = u();
+  if (!version || *version != kVersion) return std::nullopt;
+
+  Trace t;
+  auto id = u(), prog = u(), pod = u(), outcome = u(), has_crash = u();
+  if (!id || !prog || !pod || !outcome || !has_crash) return std::nullopt;
+  if (*outcome > static_cast<std::uint64_t>(Outcome::kUserKilled)) {
+    return std::nullopt;
+  }
+  t.id = TraceId(*id);
+  t.program = ProgramId(*prog);
+  t.pod = PodId(*pod);
+  t.outcome = static_cast<Outcome>(*outcome);
+
+  if (*has_crash == 1) {
+    auto kind = u(), pc = u();
+    auto detail = s();
+    if (!kind || !pc || !detail) return std::nullopt;
+    if (*kind > static_cast<std::uint64_t>(CrashKind::kExplicitAbort)) {
+      return std::nullopt;
+    }
+    t.crash = CrashInfo{static_cast<CrashKind>(*kind),
+                        static_cast<std::uint32_t>(*pc), *detail};
+  } else if (*has_crash != 0) {
+    return std::nullopt;
+  }
+
+  auto gran = u();
+  if (!gran || *gran > static_cast<std::uint64_t>(Granularity::kFull)) {
+    return std::nullopt;
+  }
+  t.granularity = static_cast<Granularity>(*gran);
+
+  auto nbits = u();
+  if (!nbits || *nbits > kMaxBits) return std::nullopt;
+  const std::size_t nwords = (*nbits + 63) / 64;
+  std::vector<std::uint64_t> words;
+  words.reserve(nwords);
+  for (std::size_t i = 0; i < nwords; ++i) {
+    auto w = u();
+    if (!w) return std::nullopt;
+    words.push_back(*w);
+  }
+  t.branch_bits = BitVec::from_words(std::move(words), *nbits);
+
+  auto nruns = u();
+  if (!nruns || *nruns > kMaxRecords) return std::nullopt;
+  t.schedule.reserve(*nruns);
+  for (std::uint64_t i = 0; i < *nruns; ++i) {
+    auto thread = u(), steps = u();
+    if (!thread || !steps || *thread > 0xff || *steps > 0xffffffffULL) {
+      return std::nullopt;
+    }
+    t.schedule.push_back({static_cast<std::uint8_t>(*thread),
+                          static_cast<std::uint32_t>(*steps)});
+  }
+
+  auto nlocks = u();
+  if (!nlocks || *nlocks > kMaxRecords) return std::nullopt;
+  t.lock_events.reserve(*nlocks);
+  for (std::uint64_t i = 0; i < *nlocks; ++i) {
+    auto thread = u(), acq = u(), lock = u(), pc = u(), step = u();
+    if (!thread || !acq || !lock || !pc || !step || *thread > 0xff ||
+        *acq > 1 || *lock > 0xffff || *pc > 0xffffffffULL ||
+        *step > 0xffffffffULL) {
+      return std::nullopt;
+    }
+    t.lock_events.push_back({static_cast<std::uint8_t>(*thread), *acq == 1,
+                             static_cast<std::uint16_t>(*lock),
+                             static_cast<std::uint32_t>(*pc),
+                             static_cast<std::uint32_t>(*step)});
+  }
+
+  auto nsys = u();
+  if (!nsys || *nsys > kMaxRecords) return std::nullopt;
+  t.syscalls.reserve(*nsys);
+  for (std::uint64_t i = 0; i < *nsys; ++i) {
+    auto sys = u(), idx = u();
+    auto cls = s();
+    if (!sys || !idx || !cls || *sys > 0xffff || *idx > 0xffffffffULL ||
+        *cls < -128 || *cls > 127) {
+      return std::nullopt;
+    }
+    t.syscalls.push_back({static_cast<std::uint16_t>(*sys),
+                          static_cast<std::uint32_t>(*idx),
+                          static_cast<std::int8_t>(*cls)});
+  }
+
+  auto steps = u(), flags = u(), day = u();
+  if (!steps || !flags || !day || *flags > 3) return std::nullopt;
+  t.steps = *steps;
+  t.patched = (*flags & 1) != 0;
+  t.guided = (*flags & 2) != 0;
+  t.day = *day;
+
+  if (pos != bytes.size()) return std::nullopt;  // trailing garbage
+  return t;
+}
+
+}  // namespace softborg

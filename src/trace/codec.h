@@ -1,0 +1,17 @@
+// Wire codec for traces (§3.1: "collecting them efficiently").
+//
+// Varint + bit-packed encoding; decode validates and returns nullopt on any
+// malformed input (the hive must survive hostile/corrupt pods).
+#pragma once
+
+#include <optional>
+
+#include "common/varint.h"
+#include "trace/trace.h"
+
+namespace softborg {
+
+Bytes encode_trace(const Trace& t);
+std::optional<Trace> decode_trace(const Bytes& bytes);
+
+}  // namespace softborg

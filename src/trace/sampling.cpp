@@ -1,0 +1,68 @@
+#include "trace/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace softborg {
+
+bool sample_site(std::uint32_t site, PodId pod, std::uint32_t rate) {
+  if (rate <= 1) return true;
+  // SplitMix-style avalanche of (site, pod).
+  std::uint64_t x = (static_cast<std::uint64_t>(site) << 32) ^ pod.value;
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x % rate == 0;
+}
+
+void SiteStats::add(const SampledTrace& t) {
+  const bool failed = t.outcome != Outcome::kOk;
+  for (const auto& ob : t.observations) {
+    Cell& c = cells_[ob.site];
+    if (ob.taken) {
+      (failed ? c.taken_fail : c.taken_ok)++;
+    } else {
+      (failed ? c.nottaken_fail : c.nottaken_ok)++;
+    }
+  }
+}
+
+const SiteStats::Cell* SiteStats::cell(std::uint32_t site) const {
+  auto it = cells_.find(site);
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+double SiteStats::failure_score(std::uint32_t site, bool taken) const {
+  const Cell* c = cell(site);
+  if (c == nullptr) return 0.0;
+  const double d_fail =
+      static_cast<double>(taken ? c->taken_fail : c->nottaken_fail);
+  const double d_ok = static_cast<double>(taken ? c->taken_ok : c->nottaken_ok);
+  const double o_fail =
+      static_cast<double>(taken ? c->nottaken_fail : c->taken_fail);
+  const double o_ok = static_cast<double>(taken ? c->nottaken_ok : c->taken_ok);
+  // Add-one smoothing keeps rarely observed sites from saturating the score.
+  const double p_with = (d_fail + 1.0) / (d_fail + d_ok + 2.0);
+  const double p_without = (o_fail + 1.0) / (o_fail + o_ok + 2.0);
+  return p_with - p_without;
+}
+
+std::vector<std::uint32_t> SiteStats::ranked_sites() const {
+  std::vector<std::uint32_t> sites;
+  sites.reserve(cells_.size());
+  for (const auto& [site, cell] : cells_) sites.push_back(site);
+  std::sort(sites.begin(), sites.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              const double sa =
+                  std::max(failure_score(a, true), failure_score(a, false));
+              const double sb =
+                  std::max(failure_score(b, true), failure_score(b, false));
+              if (sa != sb) return sa > sb;
+              return a < b;
+            });
+  return sites;
+}
+
+}  // namespace softborg

@@ -1,0 +1,67 @@
+// Coordinated sampling of branch-site observations (paper §3.1, after
+// Liblit et al.'s cooperative bug isolation [18]).
+//
+// Instead of the full bit-vector, a pod can record only the branch *sites*
+// assigned to it by a deterministic hash of (site, pod, rate). Across a
+// large fleet every site is observed by ~1/rate of the pods, so aggregate
+// site statistics converge while each pod pays only a fraction of the
+// recording cost. A sampled trace specifies a *family* of paths; the
+// SiteStats aggregation narrows that family (and, CBI-style, correlates
+// site directions with failure).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "trace/trace.h"
+
+namespace softborg {
+
+// One sampled observation: at static branch site `site`, direction `taken`.
+struct SiteObservation {
+  std::uint32_t site = 0;
+  bool taken = false;
+
+  bool operator==(const SiteObservation&) const = default;
+};
+
+struct SampledTrace {
+  ProgramId program;
+  PodId pod;
+  Outcome outcome = Outcome::kOk;
+  std::vector<SiteObservation> observations;
+};
+
+// Deterministic coordinated assignment: pod `pod` records site `site` iff
+// sample_site(...) is true. rate=1 records everything.
+bool sample_site(std::uint32_t site, PodId pod, std::uint32_t rate);
+
+// Per-site aggregate statistics, split by execution outcome, as the hive
+// accumulates them. The CBI-style "failure score" of a direction d at site s
+// is P(fail | d observed) - P(fail | d not observed) using add-one smoothing.
+class SiteStats {
+ public:
+  void add(const SampledTrace& t);
+
+  struct Cell {
+    std::uint64_t taken_ok = 0, taken_fail = 0;
+    std::uint64_t nottaken_ok = 0, nottaken_fail = 0;
+  };
+
+  const Cell* cell(std::uint32_t site) const;
+
+  // Score of "site taken in direction `taken`" as a failure predictor.
+  double failure_score(std::uint32_t site, bool taken) const;
+
+  // Sites ordered by best failure score, highest first.
+  std::vector<std::uint32_t> ranked_sites() const;
+
+  std::size_t num_sites() const { return cells_.size(); }
+
+ private:
+  std::unordered_map<std::uint32_t, Cell> cells_;
+};
+
+}  // namespace softborg

@@ -1,0 +1,111 @@
+// Execution by-products (paper §3.1).
+//
+// A Trace is everything a pod ships to the hive about one execution of a
+// program P: the bit-vector of input-dependent branch directions, summaries
+// of system-call results, the thread-schedule summary, lock events (for
+// deadlock reasoning), and the outcome label. Traces are pure data — they
+// depend only on `common`, so every other module can speak them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/ids.h"
+
+namespace softborg {
+
+// How the execution ended. Matches the paper's outcome taxonomy: explicit
+// pod-detected failures (crash/deadlock), inferred end-user feedback
+// (user-killed ~ "forceful program termination"), and resource exhaustion.
+enum class Outcome : std::uint8_t {
+  kOk = 0,
+  kCrash = 1,
+  kDeadlock = 2,
+  kHang = 3,        // exceeded step budget
+  kUserKilled = 4,  // end-user feedback: forcefully terminated
+};
+
+const char* outcome_name(Outcome o);
+
+enum class CrashKind : std::uint8_t {
+  kAssertFailure = 0,
+  kDivByZero = 1,
+  kBadGlobalAccess = 2,
+  kExplicitAbort = 3,
+};
+
+const char* crash_kind_name(CrashKind k);
+
+struct CrashInfo {
+  CrashKind kind = CrashKind::kAssertFailure;
+  std::uint32_t pc = 0;       // crashing instruction
+  std::int64_t detail = 0;    // assert message id / divisor site / global idx
+
+  bool operator==(const CrashInfo&) const = default;
+};
+
+// One lock acquisition/release event; captured for deadlock diagnosis and
+// for lock-targeted schedule guidance (`step` = global execution step at
+// which the event happened).
+struct LockEvent {
+  std::uint8_t thread = 0;
+  bool acquire = true;
+  std::uint16_t lock = 0;
+  std::uint32_t pc = 0;
+  std::uint32_t step = 0;
+
+  bool operator==(const LockEvent&) const = default;
+};
+
+// Run-length-encoded scheduler decision: `thread` ran for `steps` steps.
+struct ScheduleRun {
+  std::uint8_t thread = 0;
+  std::uint32_t steps = 0;
+
+  bool operator==(const ScheduleRun&) const = default;
+};
+
+// Summarized system call: which call site, invocation index, and the
+// *class* of result (e.g., success/short/fail) rather than the raw value —
+// coarse on purpose (privacy, §3.1).
+struct SyscallRecord {
+  std::uint16_t sys_id = 0;
+  std::uint32_t call_index = 0;
+  std::int8_t result_class = 0;  // <0 failure, 0 nominal, >0 partial/short
+
+  bool operator==(const SyscallRecord&) const = default;
+};
+
+// Recording granularity knob (§3.1: trade recording detail vs overhead).
+enum class Granularity : std::uint8_t {
+  kNone = 0,             // outcome only
+  kTaintedBranches = 1,  // default: bits for input-dependent branches
+  kAllBranches = 2,      // every conditional branch
+  kFull = 3,             // + syscall summaries + lock events
+};
+
+struct Trace {
+  TraceId id;
+  ProgramId program;
+  PodId pod;
+  Outcome outcome = Outcome::kOk;
+  std::optional<CrashInfo> crash;
+
+  Granularity granularity = Granularity::kTaintedBranches;
+  BitVec branch_bits;                  // directions, in serialized exec order
+  std::vector<ScheduleRun> schedule;   // empty for single-threaded programs
+  std::vector<LockEvent> lock_events;  // kFull, or always on deadlock
+  std::vector<SyscallRecord> syscalls;
+
+  std::uint64_t steps = 0;
+  bool patched = false;   // a distributed fix altered this execution
+  bool guided = false;    // execution followed a hive guidance directive
+  std::uint64_t day = 0;  // virtual capture time
+
+  bool operator==(const Trace&) const = default;
+};
+
+}  // namespace softborg

@@ -1,0 +1,243 @@
+#include "tree/exec_tree.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace softborg {
+
+std::uint32_t ExecTree::find_child(const Node& n, std::uint32_t site,
+                                   bool dir) const {
+  for (const auto& e : n.edges) {
+    if (e.site == site && e.dir == dir) return e.child;
+  }
+  return 0;  // 0 is the root and never a child: "not found"
+}
+
+bool ExecTree::is_infeasible(const Node& n, std::uint32_t site,
+                             bool dir) const {
+  for (const auto& [s, d] : n.infeasible) {
+    if (s == site && d == dir) return true;
+  }
+  return false;
+}
+
+ExecTree::MergeResult ExecTree::add_path(
+    const std::vector<SymDecision>& decisions, Outcome outcome,
+    const std::optional<CrashInfo>& crash) {
+  MergeResult result;
+  std::uint32_t cur = 0;
+  nodes_[0].visits++;
+
+  std::size_t depth = 0;
+  // Walk the shared prefix — the LCA is where we stop matching.
+  for (; depth < decisions.size(); ++depth) {
+    const auto& d = decisions[depth];
+    const std::uint32_t child = find_child(nodes_[cur], d.site, d.taken);
+    if (child == 0) break;
+    cur = child;
+    nodes_[cur].visits++;
+  }
+  result.lca_depth = depth;
+
+  // Paste the divergent suffix.
+  for (; depth < decisions.size(); ++depth) {
+    const auto& d = decisions[depth];
+    const std::uint32_t child = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(Node{});
+    nodes_[cur].edges.push_back({d.site, d.taken, child});
+    cur = child;
+    nodes_[cur].visits++;
+    result.new_nodes++;
+  }
+
+  // Terminal bookkeeping.
+  Node& leaf = nodes_[cur];
+  bool outcome_seen = false;
+  for (auto& [o, count] : leaf.outcomes) {
+    if (o == outcome) {
+      count++;
+      outcome_seen = true;
+    }
+  }
+  if (!outcome_seen) {
+    if (leaf.outcomes.empty()) {
+      num_leaves_++;
+      result.new_path = true;
+    }
+    leaf.outcomes.push_back({outcome, 1});
+  }
+  if (crash.has_value() && !leaf.crash.has_value()) leaf.crash = crash;
+  return result;
+}
+
+const ExecTree::Node* ExecTree::walk(
+    const std::vector<SymDecision>& prefix) const {
+  std::uint32_t cur = 0;
+  for (const auto& d : prefix) {
+    const std::uint32_t child = find_child(nodes_[cur], d.site, d.taken);
+    if (child == 0) return nullptr;
+    cur = child;
+  }
+  return &nodes_[cur];
+}
+
+bool ExecTree::mark_infeasible(const std::vector<SymDecision>& prefix,
+                               std::uint32_t site, bool dir) {
+  std::uint32_t cur = 0;
+  for (const auto& d : prefix) {
+    const std::uint32_t child = find_child(nodes_[cur], d.site, d.taken);
+    if (child == 0) return false;
+    cur = child;
+  }
+  Node& n = nodes_[cur];
+  // The node must actually branch on `site` in the other direction —
+  // otherwise this infeasibility claim is about a point we know nothing of.
+  if (find_child(n, site, !dir) == 0) return false;
+  if (!is_infeasible(n, site, dir)) n.infeasible.push_back({site, dir});
+  return true;
+}
+
+std::uint64_t ExecTree::paths_with_outcome(Outcome o) const {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_) {
+    for (const auto& [outcome, count] : n.outcomes) {
+      if (outcome == o) total++;  // distinct leaves, not executions
+    }
+  }
+  return total;
+}
+
+std::optional<std::vector<SymDecision>> ExecTree::find_path_with_outcome(
+    Outcome o) const {
+  std::vector<SymDecision> prefix;
+  // Iterative DFS carrying the prefix.
+  struct Item {
+    std::uint32_t idx;
+    std::size_t depth;
+    SymDecision via;
+  };
+  std::vector<Item> stack{{0, 0, {}}};
+  bool first = true;
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    prefix.resize(item.depth);
+    if (!first) prefix.push_back(item.via);
+    first = false;
+    const Node& n = nodes_[item.idx];
+    for (const auto& [outcome, count] : n.outcomes) {
+      if (outcome == o) return prefix;
+    }
+    for (const auto& e : n.edges) {
+      stack.push_back({e.child, prefix.size(), {e.site, e.dir}});
+    }
+  }
+  return std::nullopt;
+}
+
+void ExecTree::collect_frontiers(std::uint32_t idx,
+                                 std::vector<SymDecision>& prefix,
+                                 std::vector<Frontier>& out) const {
+  const Node& n = nodes_[idx];
+  // Group edges by site; a site with exactly one direction observed and the
+  // other not proven infeasible is a frontier.
+  for (const auto& e : n.edges) {
+    const bool other_dir = !e.dir;
+    if (find_child(n, e.site, other_dir) == 0 &&
+        !is_infeasible(n, e.site, other_dir)) {
+      Frontier f;
+      f.prefix = prefix;
+      f.site = e.site;
+      f.direction = other_dir;
+      f.parent_visits = n.visits;
+      out.push_back(std::move(f));
+    }
+  }
+  for (const auto& e : n.edges) {
+    prefix.push_back({e.site, e.dir});
+    collect_frontiers(e.child, prefix, out);
+    prefix.pop_back();
+  }
+}
+
+std::vector<ExecTree::Frontier> ExecTree::frontier(
+    std::size_t max_items) const {
+  std::vector<Frontier> out;
+  std::vector<SymDecision> prefix;
+  collect_frontiers(0, prefix, out);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Frontier& a, const Frontier& b) {
+                     return a.parent_visits > b.parent_visits;
+                   });
+  if (out.size() > max_items) out.resize(max_items);
+  return out;
+}
+
+bool ExecTree::complete_from(std::uint32_t idx) const {
+  const Node& n = nodes_[idx];
+  for (const auto& e : n.edges) {
+    if (find_child(n, e.site, !e.dir) == 0 &&
+        !is_infeasible(n, e.site, !e.dir)) {
+      return false;
+    }
+    if (!complete_from(e.child)) return false;
+  }
+  return true;
+}
+
+bool ExecTree::complete() const {
+  if (nodes_[0].visits == 0) return false;  // nothing observed yet
+  return complete_from(0);
+}
+
+void ExecTree::subtree_stats(std::uint32_t idx, SubtreeStats& stats) const {
+  const Node& n = nodes_[idx];
+  stats.nodes++;
+  if (!n.outcomes.empty()) stats.leaves++;
+  for (const auto& e : n.edges) {
+    if (find_child(n, e.site, !e.dir) == 0 &&
+        !is_infeasible(n, e.site, !e.dir)) {
+      stats.open_frontiers++;
+    }
+    subtree_stats(e.child, stats);
+  }
+}
+
+std::optional<ExecTree::SubtreeStats> ExecTree::stats_at(
+    const std::vector<SymDecision>& prefix) const {
+  const Node* n = walk(prefix);
+  if (n == nullptr) return std::nullopt;
+  SubtreeStats stats;
+  stats.visits = n->visits;
+  subtree_stats(static_cast<std::uint32_t>(n - nodes_.data()), stats);
+  return stats;
+}
+
+std::string ExecTree::to_string() const {
+  std::string out;
+  struct Item {
+    std::uint32_t idx;
+    int depth;
+  };
+  std::vector<Item> stack{{0, 0}};
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[item.idx];
+    out.append(static_cast<std::size_t>(item.depth) * 2, ' ');
+    out += "node visits=" + std::to_string(n.visits);
+    for (const auto& [o, count] : n.outcomes) {
+      out += std::string(" ") + outcome_name(o) + "x" + std::to_string(count);
+    }
+    out += "\n";
+    for (auto it = n.edges.rbegin(); it != n.edges.rend(); ++it) {
+      out.append(static_cast<std::size_t>(item.depth) * 2 + 1, ' ');
+      out += "s" + std::to_string(it->site) + (it->dir ? "/T" : "/F") + "\n";
+      stack.push_back({it->child, item.depth + 1});
+    }
+  }
+  return out;
+}
+
+}  // namespace softborg

@@ -1,0 +1,140 @@
+// The collective execution tree (paper §3.2, Fig. 3).
+//
+// Every end-user execution, replayed into its decision stream (input-
+// dependent branch directions), is one guaranteed-feasible root-to-leaf
+// path. The hive merges these paths into a trie: walking the shared prefix
+// finds the lowest common ancestor, and the divergent suffix is pasted in
+// as new nodes. No constraint solving happens during merge — feasibility is
+// inherited from the fact that the path actually executed.
+//
+// Beyond storage, the tree answers the hive's three questions:
+//   * coverage  — how many distinct paths/nodes have been observed?
+//   * frontier  — which (prefix, direction) pairs are still unexplored?
+//     (these drive guidance and symbolic gap-filling, §3.3)
+//   * complete  — is every direction either observed or proven infeasible?
+//     (the precondition for publishing a proof)
+//
+// Edges are keyed by (branch site, direction) rather than direction alone,
+// so interleaving-dependent multi-threaded decision streams merge cleanly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "sym/executor.h"
+#include "trace/trace.h"
+
+namespace softborg {
+
+class ExecTree {
+ public:
+  explicit ExecTree(ProgramId program) : program_(program) {
+    nodes_.push_back(Node{});  // root
+  }
+
+  struct MergeResult {
+    bool new_path = false;     // a previously unseen leaf
+    std::size_t new_nodes = 0; // nodes pasted in
+    std::size_t lca_depth = 0; // depth of the lowest common ancestor
+  };
+
+  // Merges one decision stream ending with `outcome`. Idempotent for
+  // already-present paths (only counters change).
+  MergeResult add_path(const std::vector<SymDecision>& decisions,
+                       Outcome outcome,
+                       const std::optional<CrashInfo>& crash = std::nullopt);
+
+  // Marks direction `dir` at the node reached by `prefix` as proven
+  // infeasible (symbolic gap closure). Returns false if the prefix does not
+  // lead to a node that branches on `site`.
+  bool mark_infeasible(const std::vector<SymDecision>& prefix,
+                       std::uint32_t site, bool dir);
+
+  // ---- coverage -----------------------------------------------------------
+  std::size_t num_paths() const { return num_leaves_; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::uint64_t total_executions() const { return nodes_[0].visits; }
+  std::uint64_t paths_with_outcome(Outcome o) const;
+
+  // Decision path of some leaf with outcome `o`, if any (counterexamples).
+  std::optional<std::vector<SymDecision>> find_path_with_outcome(
+      Outcome o) const;
+
+  // ---- frontier -----------------------------------------------------------
+  struct Frontier {
+    std::vector<SymDecision> prefix;  // decisions leading to the node
+    std::uint32_t site = 0;           // branch site with a missing direction
+    bool direction = false;           // the unexplored direction
+    std::uint64_t parent_visits = 0;  // how "hot" this region is
+  };
+
+  // Enumerates unexplored directions, hottest-first, up to `max_items`.
+  std::vector<Frontier> frontier(std::size_t max_items = SIZE_MAX) const;
+
+  // ---- completeness -------------------------------------------------------
+  // True iff every observed branch site has both directions observed or
+  // proven infeasible, recursively. An empty tree is not complete.
+  bool complete() const;
+
+  // ---- subtree statistics (portfolio allocation, §4) ----------------------
+  struct SubtreeStats {
+    std::uint64_t visits = 0;
+    std::size_t leaves = 0;
+    std::size_t nodes = 0;
+    std::size_t open_frontiers = 0;
+  };
+
+  // Stats of the subtree reached by `prefix`; nullopt if absent.
+  std::optional<SubtreeStats> stats_at(
+      const std::vector<SymDecision>& prefix) const;
+
+  ProgramId program() const { return program_; }
+
+  // ---- persistence (see tree_codec.h) ---------------------------------------
+  std::vector<std::uint8_t> encode() const;
+  static std::optional<ExecTree> decode(
+      const std::vector<std::uint8_t>& bytes);
+
+  bool operator==(const ExecTree& other) const;
+
+  // Graphviz-ish debug rendering (small trees only).
+  std::string to_string() const;
+
+ private:
+  struct Edge {
+    std::uint32_t site = 0;
+    bool dir = false;
+    std::uint32_t child = 0;
+
+    bool operator==(const Edge&) const = default;
+  };
+
+  struct Node {
+    std::vector<Edge> edges;                     // usually 0..2 entries
+    std::vector<std::pair<std::uint32_t, bool>> infeasible;
+    std::uint64_t visits = 0;
+    // Leaf bookkeeping: outcome counts materialize once a path terminates
+    // here. A node can be both internal and terminal for MT programs.
+    std::vector<std::pair<Outcome, std::uint64_t>> outcomes;
+    std::optional<CrashInfo> crash;
+
+    bool operator==(const Node&) const = default;
+  };
+
+  const Node* walk(const std::vector<SymDecision>& prefix) const;
+  std::uint32_t find_child(const Node& n, std::uint32_t site, bool dir) const;
+  bool is_infeasible(const Node& n, std::uint32_t site, bool dir) const;
+  bool complete_from(std::uint32_t idx) const;
+  void collect_frontiers(std::uint32_t idx, std::vector<SymDecision>& prefix,
+                         std::vector<Frontier>& out) const;
+  void subtree_stats(std::uint32_t idx, SubtreeStats& stats) const;
+
+  ProgramId program_;
+  std::vector<Node> nodes_;
+  std::size_t num_leaves_ = 0;
+};
+
+}  // namespace softborg

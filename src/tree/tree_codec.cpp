@@ -1,0 +1,130 @@
+#include "tree/tree_codec.h"
+
+namespace softborg {
+
+namespace {
+constexpr std::uint64_t kTreeMagic = 0x53425452'45ULL;  // "SBTRE"
+constexpr std::uint64_t kTreeVersion = 1;
+constexpr std::uint64_t kMaxNodes = 1u << 26;
+constexpr std::uint64_t kMaxPerNode = 1u << 20;
+}  // namespace
+
+Bytes ExecTree::encode() const {
+  Bytes out;
+  put_varint(out, kTreeMagic);
+  put_varint(out, kTreeVersion);
+  put_varint(out, program_.value);
+  put_varint(out, num_leaves_);
+  put_varint(out, nodes_.size());
+  for (const auto& n : nodes_) {
+    put_varint(out, n.visits);
+    put_varint(out, n.edges.size());
+    for (const auto& e : n.edges) {
+      put_varint(out, e.site);
+      put_varint(out, e.dir ? 1 : 0);
+      put_varint(out, e.child);
+    }
+    put_varint(out, n.infeasible.size());
+    for (const auto& [site, dir] : n.infeasible) {
+      put_varint(out, site);
+      put_varint(out, dir ? 1 : 0);
+    }
+    put_varint(out, n.outcomes.size());
+    for (const auto& [outcome, count] : n.outcomes) {
+      put_varint(out, static_cast<std::uint64_t>(outcome));
+      put_varint(out, count);
+    }
+    put_varint(out, n.crash.has_value() ? 1 : 0);
+    if (n.crash) {
+      put_varint(out, static_cast<std::uint64_t>(n.crash->kind));
+      put_varint(out, n.crash->pc);
+      put_varint_signed(out, n.crash->detail);
+    }
+  }
+  return out;
+}
+
+std::optional<ExecTree> ExecTree::decode(const Bytes& bytes) {
+  std::size_t pos = 0;
+  auto u = [&]() { return get_varint(bytes, pos); };
+
+  auto magic = u(), version = u(), program = u(), leaves = u(), count = u();
+  if (!magic || *magic != kTreeMagic) return std::nullopt;
+  if (!version || *version != kTreeVersion) return std::nullopt;
+  if (!program || !leaves || !count || *count == 0 || *count > kMaxNodes) {
+    return std::nullopt;
+  }
+
+  ExecTree tree{ProgramId{*program}};
+  tree.nodes_.clear();
+  tree.nodes_.reserve(*count);
+  tree.num_leaves_ = *leaves;
+
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    Node n;
+    auto visits = u();
+    if (!visits) return std::nullopt;
+    n.visits = *visits;
+
+    auto n_edges = u();
+    if (!n_edges || *n_edges > kMaxPerNode) return std::nullopt;
+    for (std::uint64_t k = 0; k < *n_edges; ++k) {
+      auto site = u(), dir = u(), child = u();
+      if (!site || !dir || !child || *dir > 1 || *child == 0 ||
+          *child >= *count) {
+        return std::nullopt;  // child 0 (the root) is never a target
+      }
+      n.edges.push_back({static_cast<std::uint32_t>(*site), *dir == 1,
+                         static_cast<std::uint32_t>(*child)});
+    }
+
+    auto n_infeasible = u();
+    if (!n_infeasible || *n_infeasible > kMaxPerNode) return std::nullopt;
+    for (std::uint64_t k = 0; k < *n_infeasible; ++k) {
+      auto site = u(), dir = u();
+      if (!site || !dir || *dir > 1) return std::nullopt;
+      n.infeasible.push_back({static_cast<std::uint32_t>(*site), *dir == 1});
+    }
+
+    auto n_outcomes = u();
+    if (!n_outcomes || *n_outcomes > kMaxPerNode) return std::nullopt;
+    for (std::uint64_t k = 0; k < *n_outcomes; ++k) {
+      auto outcome = u(), occurrences = u();
+      if (!outcome || !occurrences ||
+          *outcome > static_cast<std::uint64_t>(Outcome::kUserKilled)) {
+        return std::nullopt;
+      }
+      n.outcomes.push_back({static_cast<Outcome>(*outcome), *occurrences});
+    }
+
+    auto has_crash = u();
+    if (!has_crash || *has_crash > 1) return std::nullopt;
+    if (*has_crash == 1) {
+      auto kind = u(), pc = u();
+      auto detail = get_varint_signed(bytes, pos);
+      if (!kind || !pc || !detail ||
+          *kind > static_cast<std::uint64_t>(CrashKind::kExplicitAbort)) {
+        return std::nullopt;
+      }
+      n.crash = CrashInfo{static_cast<CrashKind>(*kind),
+                          static_cast<std::uint32_t>(*pc), *detail};
+    }
+    tree.nodes_.push_back(std::move(n));
+  }
+
+  if (pos != bytes.size()) return std::nullopt;
+  return tree;
+}
+
+bool ExecTree::operator==(const ExecTree& other) const {
+  return program_ == other.program_ && num_leaves_ == other.num_leaves_ &&
+         nodes_ == other.nodes_;
+}
+
+Bytes encode_tree(const ExecTree& tree) { return tree.encode(); }
+
+std::optional<ExecTree> decode_tree(const Bytes& bytes) {
+  return ExecTree::decode(bytes);
+}
+
+}  // namespace softborg

@@ -1,0 +1,20 @@
+// Serialization of collective execution trees.
+//
+// The hive is long-lived but not immortal (restarts, migration between
+// centralized/distributed deployments, §3's "physically centralized …
+// entirely distributed, or hybrid"); its accumulated knowledge of P must
+// survive. Trees serialize to the same varint wire format as traces and
+// decode with full validation.
+#pragma once
+
+#include <optional>
+
+#include "common/varint.h"
+#include "tree/exec_tree.h"
+
+namespace softborg {
+
+Bytes encode_tree(const ExecTree& tree);
+std::optional<ExecTree> decode_tree(const Bytes& bytes);
+
+}  // namespace softborg

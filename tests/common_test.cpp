@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/varint.h"
+
+namespace softborg {
+namespace {
+
+// ---------------------------------------------------------------- Rng ------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) same++;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, NextInSingletonRange) {
+  Rng r(3);
+  EXPECT_EQ(r.next_in(42, 42), 42);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, SplitIsIndependentAndDeterministic) {
+  Rng a(99), b(99);
+  Rng ca = a.split(1), cb = b.split(1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(ca(), cb());
+  Rng c1 = a.split(2), c2 = a.split(2);
+  // Different parent state => different children.
+  EXPECT_NE(c1(), c2());
+}
+
+TEST(Rng, ApproximatelyUniformMean) {
+  Rng r(17);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+// -------------------------------------------------------------- BitVec -----
+
+TEST(BitVec, PushAndIndex) {
+  BitVec v;
+  v.push_back(true);
+  v.push_back(false);
+  v.push_back(true);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_TRUE(v[0]);
+  EXPECT_FALSE(v[1]);
+  EXPECT_TRUE(v[2]);
+}
+
+TEST(BitVec, CrossesWordBoundary) {
+  BitVec v;
+  for (int i = 0; i < 130; ++i) v.push_back(i % 3 == 0);
+  ASSERT_EQ(v.size(), 130u);
+  for (int i = 0; i < 130; ++i) EXPECT_EQ(v[i], i % 3 == 0) << i;
+}
+
+TEST(BitVec, SetOverwrites) {
+  BitVec v(10);
+  v.set(7, true);
+  EXPECT_TRUE(v[7]);
+  v.set(7, false);
+  EXPECT_FALSE(v[7]);
+}
+
+TEST(BitVec, PopcountMatchesManualCount) {
+  BitVec v;
+  int expect = 0;
+  Rng r(1);
+  for (int i = 0; i < 500; ++i) {
+    const bool bit = r.next_bool();
+    v.push_back(bit);
+    expect += bit;
+  }
+  EXPECT_EQ(v.popcount(), static_cast<std::size_t>(expect));
+}
+
+TEST(BitVec, CommonPrefixBasic) {
+  BitVec a, b;
+  for (bool bit : {true, true, false, true}) a.push_back(bit);
+  for (bool bit : {true, true, true, true}) b.push_back(bit);
+  EXPECT_EQ(a.common_prefix(b), 2u);
+  EXPECT_EQ(b.common_prefix(a), 2u);
+}
+
+TEST(BitVec, CommonPrefixIdentical) {
+  BitVec a;
+  for (int i = 0; i < 100; ++i) a.push_back(i % 2 == 0);
+  BitVec b = a;
+  EXPECT_EQ(a.common_prefix(b), 100u);
+}
+
+TEST(BitVec, CommonPrefixAcrossWords) {
+  BitVec a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(true);
+    b.push_back(i != 150);
+  }
+  EXPECT_EQ(a.common_prefix(b), 150u);
+}
+
+TEST(BitVec, CommonPrefixEmpty) {
+  BitVec a, b;
+  a.push_back(true);
+  EXPECT_EQ(a.common_prefix(b), 0u);
+}
+
+TEST(BitVec, HashDiffersOnSingleBitFlip) {
+  BitVec a;
+  for (int i = 0; i < 64; ++i) a.push_back(false);
+  BitVec b = a;
+  b.set(63, true);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(BitVec, HashDependsOnLength) {
+  BitVec a, b;
+  a.push_back(false);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(BitVec, FromWordsRoundTrip) {
+  BitVec a;
+  Rng r(2);
+  for (int i = 0; i < 77; ++i) a.push_back(r.next_bool());
+  BitVec b = BitVec::from_words(a.words(), a.size());
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitVec, ToStringRendersBits) {
+  BitVec v;
+  v.push_back(true);
+  v.push_back(false);
+  v.push_back(true);
+  EXPECT_EQ(v.to_string(), "101");
+}
+
+// -------------------------------------------------------------- varint -----
+
+TEST(Varint, RoundTripSmall) {
+  Bytes b;
+  put_varint(b, 0);
+  put_varint(b, 1);
+  put_varint(b, 127);
+  put_varint(b, 128);
+  std::size_t pos = 0;
+  EXPECT_EQ(get_varint(b, pos), 0u);
+  EXPECT_EQ(get_varint(b, pos), 1u);
+  EXPECT_EQ(get_varint(b, pos), 127u);
+  EXPECT_EQ(get_varint(b, pos), 128u);
+  EXPECT_EQ(pos, b.size());
+}
+
+TEST(Varint, RoundTripLarge) {
+  Bytes b;
+  const std::uint64_t big = 0xffffffffffffffffULL;
+  put_varint(b, big);
+  std::size_t pos = 0;
+  EXPECT_EQ(get_varint(b, pos), big);
+}
+
+TEST(Varint, RoundTripSweep) {
+  for (std::uint64_t base : {1ULL, 7ULL, 300ULL, 1ULL << 20, 1ULL << 42}) {
+    for (std::uint64_t delta = 0; delta < 3; ++delta) {
+      Bytes b;
+      put_varint(b, base + delta);
+      std::size_t pos = 0;
+      EXPECT_EQ(get_varint(b, pos), base + delta);
+    }
+  }
+}
+
+TEST(Varint, TruncatedInputReturnsNullopt) {
+  Bytes b;
+  put_varint(b, 1ULL << 40);
+  b.pop_back();
+  std::size_t pos = 0;
+  EXPECT_FALSE(get_varint(b, pos).has_value());
+}
+
+TEST(Varint, SignedRoundTrip) {
+  for (std::int64_t v : {0L, -1L, 1L, -1000000L, 1000000L, INT64_MIN,
+                         INT64_MAX}) {
+    Bytes b;
+    put_varint_signed(b, v);
+    std::size_t pos = 0;
+    auto got = get_varint_signed(b, pos);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(Varint, EmptyInputReturnsNullopt) {
+  Bytes b;
+  std::size_t pos = 0;
+  EXPECT_FALSE(get_varint(b, pos).has_value());
+}
+
+// ------------------------------------------------------------- metrics -----
+
+TEST(StatAccumulator, MeanAndVariance) {
+  StatAccumulator s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(StatAccumulator, EmptyIsZero) {
+  StatAccumulator s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StatAccumulator, MergeMatchesSequential) {
+  StatAccumulator all, a, b;
+  Rng r(4);
+  for (int i = 0; i < 100; ++i) {
+    const double x = r.next_double() * 10;
+    all.add(x);
+    (i < 50 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Histogram, PercentilesAreMonotone) {
+  Histogram h;
+  Rng r(6);
+  for (int i = 0; i < 10000; ++i) h.add(r.next_double() * 1000);
+  EXPECT_LE(h.percentile(50), h.percentile(90));
+  EXPECT_LE(h.percentile(90), h.percentile(99));
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.add(42.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 42.0);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a, b;
+  a.add(1);
+  b.add(100);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+}
+
+// ---------------------------------------------------------- ThreadPool -----
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, DrainsOnDestruction) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([&count] { count++; });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, SingleThreadOrdering) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 8; ++i) {
+    futs.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+}  // namespace
+}  // namespace softborg

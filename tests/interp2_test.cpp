@@ -1,0 +1,291 @@
+// Second interpreter suite: environment model, parameterized granularity
+// sweeps, schedule plans, check-site recording, and the hive status report.
+#include <gtest/gtest.h>
+
+#include "hive/report.h"
+#include "minivm/builder.h"
+#include "minivm/corpus.h"
+#include "minivm/env.h"
+#include "minivm/interp.h"
+
+namespace softborg {
+namespace {
+
+// ----------------------------------------------------------------- env -----
+
+TEST(EnvModel, DefaultSpecsCoverFourSyscalls) {
+  const EnvModel& env = default_env();
+  EXPECT_GE(env.num_syscalls(), 4u);
+}
+
+TEST(EnvModel, ArgBoundedResultsStayWithinArg) {
+  const EnvModel env;
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const Value arg = rng.next_in(0, 100);
+    const Value r = env.call(0, arg, static_cast<std::uint32_t>(i), rng,
+                             nullptr);
+    EXPECT_LE(r, arg);
+    EXPECT_GE(r, -1);
+  }
+}
+
+TEST(EnvModel, FailureRateApproximatesSpec) {
+  const EnvModel env;
+  Rng rng(5);
+  int failures = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    if (env.call(3, 100, static_cast<std::uint32_t>(i), rng, nullptr) < 0) {
+      failures++;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(failures) / n, 0.10, 0.01);
+}
+
+TEST(EnvModel, FaultPlanOverridesEverything) {
+  const EnvModel env;
+  Rng rng(7);
+  FaultPlan plan;
+  plan.forced[5] = 4242;
+  EXPECT_EQ(env.call(0, 10, 5, rng, &plan), 4242);
+  // Other call indices unaffected by the plan.
+  const Value r = env.call(0, 10, 6, rng, &plan);
+  EXPECT_LE(r, 10);
+}
+
+TEST(EnvModel, ClassifyShortAndFailed) {
+  const EnvModel env;
+  EXPECT_EQ(env.classify(0, 100, -1), -1);  // failure
+  EXPECT_EQ(env.classify(0, 100, 40), 1);   // short read
+  EXPECT_EQ(env.classify(0, 100, 100), 0);  // nominal
+  EXPECT_EQ(env.classify(2, 0, 12345), 0);  // clock: not arg-bounded
+}
+
+TEST(EnvModel, UnknownSyscallGetsDefaultSpec) {
+  const EnvModel env;
+  Rng rng(9);
+  const Value r = env.call(999, 5, 0, rng, nullptr);
+  EXPECT_GE(r, -1);
+  EXPECT_LE(r, 1 << 10);
+}
+
+// ----------------------------------------------- granularity sweep ---------
+
+struct SweepCase {
+  const char* program;
+  Granularity granularity;
+};
+
+class GranularitySweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  CorpusEntry entry() const {
+    for (auto& e : standard_corpus()) {
+      if (e.program.name == GetParam().program) return e;
+    }
+    SB_CHECK(false);
+    return make_media_parser();
+  }
+};
+
+TEST_P(GranularitySweep, OutcomeIndependentOfRecording) {
+  // Recording granularity must never change behaviour, only what is
+  // captured (the probe effect would poison the whole methodology).
+  const auto e = entry();
+  Rng rng(11);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<Value> inputs;
+    for (const auto& d : e.domains) inputs.push_back(rng.next_in(d.lo, d.hi));
+    const std::uint64_t seed = rng();
+
+    ExecConfig base;
+    base.inputs = inputs;
+    base.seed = seed;
+    base.granularity = Granularity::kNone;
+    const auto reference = execute(e.program, base);
+
+    ExecConfig probed = base;
+    probed.granularity = GetParam().granularity;
+    const auto result = execute(e.program, probed);
+
+    EXPECT_EQ(result.trace.outcome, reference.trace.outcome);
+    EXPECT_EQ(result.outputs, reference.outputs);
+    EXPECT_EQ(result.trace.steps, reference.trace.steps);
+  }
+}
+
+TEST_P(GranularitySweep, BitsMonotoneInGranularity) {
+  const auto e = entry();
+  Rng rng(13);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<Value> inputs;
+    for (const auto& d : e.domains) inputs.push_back(rng.next_in(d.lo, d.hi));
+    const std::uint64_t seed = rng();
+    auto bits_at = [&](Granularity g) {
+      ExecConfig cfg;
+      cfg.inputs = inputs;
+      cfg.seed = seed;
+      cfg.granularity = g;
+      return execute(e.program, cfg).trace.branch_bits.size();
+    };
+    EXPECT_EQ(bits_at(Granularity::kNone), 0u);
+    EXPECT_LE(bits_at(Granularity::kTaintedBranches),
+              bits_at(Granularity::kAllBranches));
+    EXPECT_EQ(bits_at(Granularity::kAllBranches),
+              bits_at(Granularity::kFull));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, GranularitySweep,
+    ::testing::Values(SweepCase{"media_parser", Granularity::kTaintedBranches},
+                      SweepCase{"media_parser", Granularity::kAllBranches},
+                      SweepCase{"media_parser", Granularity::kFull},
+                      SweepCase{"file_copier", Granularity::kTaintedBranches},
+                      SweepCase{"file_copier", Granularity::kFull},
+                      SweepCase{"bank_transfer", Granularity::kFull},
+                      SweepCase{"worker_pool", Granularity::kAllBranches},
+                      SweepCase{"race_counter", Granularity::kFull}),
+    [](const auto& info) {
+      std::string name = info.param.program;
+      name += "_g";
+      name += std::to_string(static_cast<int>(info.param.granularity));
+      return name;
+    });
+
+// ------------------------------------------------ check-site recording -----
+
+TEST(CheckSites, TaintedAssertRecordsSurviveBit) {
+  ProgramBuilder b("chk");
+  const Reg x = b.reg(), t = b.reg();
+  b.input(x, b.input_slot());
+  b.cmp_lt_const(t, x, 100);
+  b.assert_true(t, 1);
+  b.halt();
+  const Program p = b.build();
+
+  ExecConfig cfg;
+  cfg.inputs = {5};  // passes
+  const auto ok = execute(p, cfg);
+  EXPECT_EQ(ok.trace.outcome, Outcome::kOk);
+  ASSERT_EQ(ok.trace.branch_bits.size(), 1u);
+  EXPECT_TRUE(ok.trace.branch_bits[0]);  // survived
+
+  cfg.inputs = {150};  // fails
+  const auto crash = execute(p, cfg);
+  EXPECT_EQ(crash.trace.outcome, Outcome::kCrash);
+  ASSERT_EQ(crash.trace.branch_bits.size(), 1u);
+  EXPECT_FALSE(crash.trace.branch_bits[0]);  // crashed
+}
+
+TEST(CheckSites, UntaintedAssertRecordsNothing) {
+  ProgramBuilder b("chk2");
+  const Reg x = b.reg();
+  b.const_(x, 1);
+  b.assert_true(x, 1);
+  b.halt();
+  const auto result = execute(b.build(), {});
+  EXPECT_EQ(result.trace.branch_bits.size(), 0u);
+}
+
+TEST(CheckSites, TaintedDivRecordsSurviveBit) {
+  ProgramBuilder b("chk3");
+  const Reg x = b.reg(), d = b.reg(), hundred = b.reg();
+  b.input(x, b.input_slot());
+  b.const_(hundred, 100);
+  b.div(d, hundred, x);
+  b.output(d);
+  b.halt();
+  const Program p = b.build();
+
+  ExecConfig cfg;
+  cfg.inputs = {4};
+  const auto ok = execute(p, cfg);
+  ASSERT_EQ(ok.trace.branch_bits.size(), 1u);
+  EXPECT_TRUE(ok.trace.branch_bits[0]);
+  EXPECT_EQ(ok.outputs[0], 25);
+
+  cfg.inputs = {0};
+  const auto crash = execute(p, cfg);
+  EXPECT_EQ(crash.trace.outcome, Outcome::kCrash);
+  ASSERT_EQ(crash.trace.branch_bits.size(), 1u);
+  EXPECT_FALSE(crash.trace.branch_bits[0]);
+}
+
+TEST(CheckSites, DistinctOutcomesAreDistinctTreePaths) {
+  // The soundness property the fuzzer once broke: same branch decisions,
+  // different assert outcomes => different decision streams.
+  ProgramBuilder b("chk4");
+  const Reg x = b.reg(), t = b.reg();
+  b.input(x, b.input_slot());
+  b.cmp_lt_const(t, x, 100);
+  b.assert_true(t, 1);
+  b.output(x);
+  b.halt();
+  const Program p = b.build();
+
+  ExecConfig pass_cfg, crash_cfg;
+  pass_cfg.inputs = {5};
+  crash_cfg.inputs = {150};
+  const auto pass = execute(p, pass_cfg);
+  const auto crash = execute(p, crash_cfg);
+  EXPECT_NE(pass.trace.branch_bits, crash.trace.branch_bits);
+}
+
+// ---------------------------------------------------------------- report ---
+
+TEST(Report, RendersBugAndProofLedgers) {
+  std::vector<CorpusEntry> corpus;
+  corpus.push_back(make_media_parser());
+  Hive hive(&corpus);
+
+  const auto cert = hive.attempt_proof(corpus[0].program.id,
+                                       Property::kAlwaysTerminates);
+  ASSERT_TRUE(cert.publishable());
+
+  ExecConfig cfg;
+  cfg.inputs = {13, 250};
+  auto result = execute(corpus[0].program, cfg);
+  result.trace.id = TraceId(1);
+  hive.ingest(result.trace);
+  hive.process();
+
+  const std::string report = hive_status_report(hive);
+  EXPECT_NE(report.find("=== hive status ==="), std::string::npos);
+  EXPECT_NE(report.find("[FIXED]"), std::string::npos);
+  EXPECT_NE(report.find("div-by-zero"), std::string::npos);
+  EXPECT_NE(report.find("[REVOKED]"), std::string::npos);
+  EXPECT_NE(report.find("always-terminates"), std::string::npos);
+}
+
+TEST(Report, EmptyHiveRendersPlaceholders) {
+  std::vector<CorpusEntry> corpus;
+  corpus.push_back(make_media_parser());
+  Hive hive(&corpus);
+  const std::string report = hive_status_report(hive);
+  EXPECT_NE(report.find("no bugs recorded"), std::string::npos);
+  EXPECT_NE(report.find("no certificates published"), std::string::npos);
+  EXPECT_NE(report.find("repair lab: empty"), std::string::npos);
+}
+
+TEST(Report, RepairLabEntriesListed) {
+  std::vector<CorpusEntry> corpus;
+  corpus.push_back(make_race_counter());
+  Hive hive(&corpus);
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    ExecConfig cfg;
+    cfg.seed = seed;
+    auto result = execute(corpus[0].program, cfg);
+    if (result.trace.outcome == Outcome::kCrash) {
+      result.trace.id = TraceId(seed);
+      hive.ingest(result.trace);
+      break;
+    }
+  }
+  hive.process();
+  const std::string report = repair_lab_report(hive);
+  EXPECT_NE(report.find("awaiting a human"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace softborg

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "net/simnet.h"
+
+namespace softborg {
+namespace {
+
+Bytes payload(std::initializer_list<std::uint8_t> bytes) { return bytes; }
+
+TEST(SimNet, ReliableDelivery) {
+  SimNet net;
+  const auto a = net.add_endpoint(), b = net.add_endpoint();
+  net.send(a, b, 1, payload({1, 2, 3}));
+  for (int i = 0; i < 5; ++i) net.tick();
+  const auto messages = net.drain(b);
+  ASSERT_EQ(messages.size(), 1u);
+  EXPECT_EQ(messages[0].from, a);
+  EXPECT_EQ(messages[0].type, 1u);
+  EXPECT_EQ(messages[0].payload, payload({1, 2, 3}));
+}
+
+TEST(SimNet, NothingBeforeLatency) {
+  NetConfig cfg;
+  cfg.min_latency_ticks = 3;
+  cfg.max_latency_ticks = 3;
+  SimNet net(cfg);
+  const auto a = net.add_endpoint(), b = net.add_endpoint();
+  net.send(a, b, 0, {});
+  net.tick();
+  net.tick();
+  EXPECT_TRUE(net.drain(b).empty());
+  net.tick();
+  EXPECT_EQ(net.drain(b).size(), 1u);
+}
+
+TEST(SimNet, DrainEmptiesInbox) {
+  SimNet net;
+  const auto a = net.add_endpoint(), b = net.add_endpoint();
+  net.send(a, b, 0, {});
+  for (int i = 0; i < 5; ++i) net.tick();
+  EXPECT_EQ(net.drain(b).size(), 1u);
+  EXPECT_TRUE(net.drain(b).empty());
+}
+
+TEST(SimNet, DropProbabilityLosesMessages) {
+  NetConfig cfg;
+  cfg.drop_prob = 0.5;
+  cfg.seed = 3;
+  SimNet net(cfg);
+  const auto a = net.add_endpoint(), b = net.add_endpoint();
+  for (int i = 0; i < 1000; ++i) net.send(a, b, 0, {});
+  for (int i = 0; i < 10; ++i) net.tick();
+  const auto n = net.drain(b).size();
+  EXPECT_GT(n, 350u);
+  EXPECT_LT(n, 650u);
+  EXPECT_EQ(net.stats().dropped + net.stats().delivered, 1000u);
+}
+
+TEST(SimNet, DuplicationDeliversTwice) {
+  NetConfig cfg;
+  cfg.dup_prob = 1.0;
+  SimNet net(cfg);
+  const auto a = net.add_endpoint(), b = net.add_endpoint();
+  net.send(a, b, 0, {});
+  for (int i = 0; i < 5; ++i) net.tick();
+  EXPECT_EQ(net.drain(b).size(), 2u);
+  EXPECT_EQ(net.stats().duplicated, 1u);
+}
+
+TEST(SimNet, PartitionBlocksBothDirections) {
+  SimNet net;
+  const auto a = net.add_endpoint(), b = net.add_endpoint();
+  net.set_partitioned(a, b, true);
+  net.send(a, b, 0, {});
+  net.send(b, a, 0, {});
+  for (int i = 0; i < 5; ++i) net.tick();
+  EXPECT_TRUE(net.drain(a).empty());
+  EXPECT_TRUE(net.drain(b).empty());
+  EXPECT_EQ(net.stats().blocked_by_partition, 2u);
+}
+
+TEST(SimNet, PartitionHealRestoresDelivery) {
+  SimNet net;
+  const auto a = net.add_endpoint(), b = net.add_endpoint();
+  net.set_partitioned(a, b, true);
+  net.send(a, b, 0, {});
+  net.set_partitioned(a, b, false);
+  net.send(a, b, 0, {});
+  for (int i = 0; i < 5; ++i) net.tick();
+  EXPECT_EQ(net.drain(b).size(), 1u);  // only the post-heal message
+}
+
+TEST(SimNet, MidFlightPartitionEatsMessages) {
+  NetConfig cfg;
+  cfg.min_latency_ticks = 3;
+  cfg.max_latency_ticks = 3;
+  SimNet net(cfg);
+  const auto a = net.add_endpoint(), b = net.add_endpoint();
+  net.send(a, b, 0, {});
+  net.tick();
+  net.set_partitioned(a, b, true);
+  for (int i = 0; i < 5; ++i) net.tick();
+  EXPECT_TRUE(net.drain(b).empty());
+}
+
+TEST(SimNet, IsolationModelsChurn) {
+  SimNet net;
+  const auto a = net.add_endpoint(), b = net.add_endpoint(),
+             c = net.add_endpoint();
+  net.set_isolated(b, true);
+  net.send(a, b, 0, {});
+  net.send(a, c, 0, {});
+  for (int i = 0; i < 5; ++i) net.tick();
+  EXPECT_TRUE(net.drain(b).empty());
+  EXPECT_EQ(net.drain(c).size(), 1u);
+  net.set_isolated(b, false);
+  net.send(a, b, 0, {});
+  for (int i = 0; i < 5; ++i) net.tick();
+  EXPECT_EQ(net.drain(b).size(), 1u);
+}
+
+TEST(SimNet, DeterministicForSeed) {
+  auto run = [] {
+    NetConfig cfg;
+    cfg.drop_prob = 0.3;
+    cfg.dup_prob = 0.2;
+    cfg.seed = 99;
+    SimNet net(cfg);
+    const auto a = net.add_endpoint(), b = net.add_endpoint();
+    for (int i = 0; i < 100; ++i) {
+      net.send(a, b, static_cast<std::uint32_t>(i), {});
+      net.tick();
+    }
+    for (int i = 0; i < 10; ++i) net.tick();
+    std::vector<std::uint32_t> types;
+    for (const auto& m : net.drain(b)) types.push_back(m.type);
+    return types;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SimNet, LatencyWithinBounds) {
+  NetConfig cfg;
+  cfg.min_latency_ticks = 2;
+  cfg.max_latency_ticks = 7;
+  SimNet net(cfg);
+  const auto a = net.add_endpoint(), b = net.add_endpoint();
+  for (int i = 0; i < 200; ++i) net.send(a, b, 0, {});
+  for (int i = 0; i < 10; ++i) net.tick();
+  for (const auto& m : net.drain(b)) {
+    const auto latency = m.deliver_tick - m.sent_tick;
+    EXPECT_GE(latency, 2u);
+    EXPECT_LE(latency, 7u);
+  }
+}
+
+TEST(SimNet, StatsCountBytes) {
+  SimNet net;
+  const auto a = net.add_endpoint(), b = net.add_endpoint();
+  net.send(a, b, 0, payload({1, 2, 3, 4}));
+  EXPECT_EQ(net.stats().bytes_sent, 4u);
+}
+
+}  // namespace
+}  // namespace softborg

@@ -1,0 +1,172 @@
+// Tree persistence, program disassembly, and staged fix rollout.
+#include <gtest/gtest.h>
+
+#include "core/softborg.h"
+#include "minivm/disasm.h"
+#include "tree/tree_codec.h"
+
+namespace softborg {
+namespace {
+
+// ------------------------------------------------------------ tree codec ---
+
+ExecTree build_tree(std::uint64_t seed, int paths) {
+  const auto entry = make_config_space(8);
+  ExecTree tree(entry.program.id);
+  Rng rng(seed);
+  for (int i = 0; i < paths; ++i) {
+    std::vector<Value> inputs;
+    for (int j = 0; j < 8; ++j) inputs.push_back(rng.next_bool() ? 1 : 0);
+    ExecConfig cfg;
+    cfg.inputs = inputs;
+    cfg.collect_branch_events = true;
+    const auto live = execute(entry.program, cfg);
+    std::vector<SymDecision> ds;
+    for (const auto& ev : live.branch_events) {
+      if (ev.tainted) ds.push_back({ev.site, ev.taken});
+    }
+    tree.add_path(ds, live.trace.outcome, live.trace.crash);
+  }
+  return tree;
+}
+
+TEST(TreeCodec, RoundTripPreservesEverything) {
+  const ExecTree tree = build_tree(5, 60);
+  const auto back = decode_tree(encode_tree(tree));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(*back == tree);
+  EXPECT_EQ(back->num_paths(), tree.num_paths());
+  EXPECT_EQ(back->num_nodes(), tree.num_nodes());
+  EXPECT_EQ(back->total_executions(), tree.total_executions());
+  EXPECT_EQ(back->frontier().size(), tree.frontier().size());
+}
+
+TEST(TreeCodec, RoundTripWithInfeasibleAndCrashes) {
+  const auto entry = make_media_parser();
+  ExecTree tree(entry.program.id);
+  tree.add_path({{0, true}, {1, false}}, Outcome::kCrash,
+                CrashInfo{CrashKind::kDivByZero, 18, 0});
+  tree.add_path({{0, false}}, Outcome::kOk);
+  ASSERT_TRUE(tree.mark_infeasible({{0, true}}, 1, true));
+  const auto back = decode_tree(encode_tree(tree));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(*back == tree);
+  EXPECT_EQ(back->paths_with_outcome(Outcome::kCrash), 1u);
+  EXPECT_EQ(back->complete(), tree.complete());
+}
+
+TEST(TreeCodec, DecodedTreeAcceptsNewPaths) {
+  ExecTree tree = build_tree(7, 30);
+  auto back = decode_tree(encode_tree(tree));
+  ASSERT_TRUE(back.has_value());
+  const std::size_t before = back->num_paths();
+  // A fresh path distinct from the first 30 with high probability.
+  back->add_path({{0, true}, {1, true}, {2, true}, {3, true},
+                  {4, true}, {5, true}, {6, true}, {7, true}},
+                 Outcome::kOk);
+  EXPECT_GE(back->num_paths(), before);
+}
+
+TEST(TreeCodec, RejectsGarbage) {
+  EXPECT_FALSE(decode_tree({}).has_value());
+  EXPECT_FALSE(decode_tree({0x01, 0x02, 0x03}).has_value());
+}
+
+TEST(TreeCodec, RejectsTruncation) {
+  const Bytes wire = encode_tree(build_tree(9, 20));
+  for (std::size_t cut = 0; cut < wire.size(); cut += 11) {
+    Bytes prefix(wire.begin(), wire.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(decode_tree(prefix).has_value()) << "cut " << cut;
+  }
+}
+
+TEST(TreeCodec, FuzzMutationsNeverCrash) {
+  const Bytes wire = encode_tree(build_tree(11, 20));
+  Rng rng(13);
+  for (int round = 0; round < 1000; ++round) {
+    Bytes mutated = wire;
+    for (int m = 0; m < 3; ++m) {
+      mutated[rng.next_below(mutated.size())] =
+          static_cast<std::uint8_t>(rng());
+    }
+    (void)decode_tree(mutated);  // must not crash
+  }
+}
+
+// ----------------------------------------------------------------- disasm --
+
+TEST(Disasm, ListsEveryInstruction) {
+  const auto entry = make_media_parser();
+  const std::string listing = disassemble(entry.program);
+  // One line per instruction plus the header and thread marker.
+  std::size_t lines = 0;
+  for (char c : listing) {
+    if (c == '\n') lines++;
+  }
+  EXPECT_EQ(lines, entry.program.code.size() + 2);
+  EXPECT_NE(listing.find("media_parser"), std::string::npos);
+  EXPECT_NE(listing.find("brif"), std::string::npos);
+  EXPECT_NE(listing.find("div"), std::string::npos);
+}
+
+TEST(Disasm, MarksThreadEntries) {
+  const auto entry = make_bank_transfer();
+  const std::string listing = disassemble(entry.program);
+  EXPECT_NE(listing.find("--- thread 0 ---"), std::string::npos);
+  EXPECT_NE(listing.find("--- thread 1 ---"), std::string::npos);
+  EXPECT_NE(listing.find("lock"), std::string::npos);
+}
+
+TEST(Disasm, CoversAllOpcodesInCorpus) {
+  for (const auto& entry : standard_corpus()) {
+    const std::string listing = disassemble(entry.program);
+    EXPECT_FALSE(listing.empty());
+    EXPECT_EQ(listing.find("????"), std::string::npos)
+        << entry.program.name << ": unknown opcode rendered";
+  }
+}
+
+// ---------------------------------------------------------- canary rollout -
+
+TEST(CanaryRollout, FullRolloutAfterCleanCanary) {
+  WorldConfig config;
+  config.pods_per_program = 40;
+  config.days = 12;
+  config.seed = 3;
+  config.canary_fraction = 0.25;
+  config.canary_days = 2;
+  World world({make_media_parser()}, config);
+  world.run();
+  // Fix shipped and eventually reached everyone: no failures at the end.
+  EXPECT_GE(world.history().back().bugs_fixed_total, 1u);
+  EXPECT_EQ(world.pending_rollouts(), 0u);
+  EXPECT_EQ(world.rollouts_cancelled(), 0u);
+  std::uint64_t late_failures = 0;
+  for (const auto& d : world.history()) {
+    if (d.day >= 10) late_failures += d.failures;
+  }
+  EXPECT_EQ(late_failures, 0u);
+}
+
+TEST(CanaryRollout, CanarySlowsPropagationButConverges) {
+  // With a canary the fleet-wide fix lands later than with instant
+  // broadcast — interventions in the canary window stay lower.
+  WorldConfig instant, canary;
+  instant.pods_per_program = canary.pods_per_program = 40;
+  instant.days = canary.days = 6;
+  instant.seed = canary.seed = 3;
+  canary.canary_fraction = 0.1;
+  canary.canary_days = 3;
+
+  World wi({make_media_parser()}, instant);
+  World wc({make_media_parser()}, canary);
+  wi.run();
+  wc.run();
+  std::uint64_t instant_averted = 0, canary_averted = 0;
+  for (const auto& d : wi.history()) instant_averted += d.fix_interventions;
+  for (const auto& d : wc.history()) canary_averted += d.fix_interventions;
+  EXPECT_LE(canary_averted, instant_averted);
+}
+
+}  // namespace
+}  // namespace softborg

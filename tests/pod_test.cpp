@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "minivm/corpus.h"
+#include "pod/pod.h"
+#include "pod/protocol.h"
+
+namespace softborg {
+namespace {
+
+// -------------------------------------------------------------- protocol ---
+
+TEST(Protocol, GuardPatchRoundTrip) {
+  GuardPatch p;
+  p.id = FixId(7);
+  p.program = ProgramId(1);
+  p.site = 3;
+  p.crash_direction = false;
+  p.when = {{0, 13, 13}, {1, 200, 255}};
+  auto back = decode_guard_patch(encode_guard_patch(p));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, p);
+}
+
+TEST(Protocol, CrashGuardRoundTrip) {
+  CrashGuardFix f;
+  f.id = FixId(9);
+  f.program = ProgramId(3);
+  f.pc = 14;
+  f.action = CrashGuardFix::Action::kSubstitute;
+  f.fallback = -1;
+  auto back = decode_crash_guard(encode_crash_guard(f));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, f);
+}
+
+TEST(Protocol, LockFixRoundTrip) {
+  LockAvoidanceFix f;
+  f.id = FixId(2);
+  f.program = ProgramId(2);
+  f.cycle_locks = {0, 1, 5};
+  auto back = decode_lock_fix(encode_lock_fix(f));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, f);
+}
+
+TEST(Protocol, GuidanceRoundTripAllFields) {
+  GuidanceDirective g;
+  g.program = ProgramId(3);
+  g.input_seed = std::vector<Value>{10, -5, 4242};
+  SchedulePlan plan;
+  plan.runs = {{0, 5}, {1, 7}};
+  g.schedule = plan;
+  FaultPlan faults;
+  faults.forced[0] = 0;
+  faults.forced[3] = -1;
+  g.faults = faults;
+  auto back = decode_guidance(encode_guidance(g));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, g);
+}
+
+TEST(Protocol, GuidanceRoundTripEmpty) {
+  GuidanceDirective g;
+  g.program = ProgramId(1);
+  auto back = decode_guidance(encode_guidance(g));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, g);
+}
+
+TEST(Protocol, DecodersRejectTruncation) {
+  GuardPatch p;
+  p.when = {{0, 1, 2}};
+  Bytes wire = encode_guard_patch(p);
+  wire.pop_back();
+  EXPECT_FALSE(decode_guard_patch(wire).has_value());
+
+  Bytes garbage = {0xff, 0xff, 0xff};
+  EXPECT_FALSE(decode_crash_guard(garbage).has_value());
+  EXPECT_FALSE(decode_lock_fix(garbage).has_value());
+  EXPECT_FALSE(decode_guidance(garbage).has_value());
+}
+
+TEST(Protocol, DecodersRejectTrailingGarbage) {
+  LockAvoidanceFix f;
+  f.cycle_locks = {1};
+  Bytes wire = encode_lock_fix(f);
+  wire.push_back(0);
+  EXPECT_FALSE(decode_lock_fix(wire).has_value());
+}
+
+// ------------------------------------------------------------------ pod ----
+
+Pod make_pod(const CorpusEntry& entry, std::uint64_t seed = 1,
+             PodConfig config = {}) {
+  return Pod(PodId(42), entry, UserProfile{}, config, seed);
+}
+
+TEST(Pod, RunProducesTraceWithIdentity) {
+  const auto entry = make_media_parser();
+  Pod pod = make_pod(entry);
+  const auto run = pod.run_once(/*day=*/3);
+  EXPECT_EQ(run.trace.pod.value, 42u);
+  EXPECT_EQ(run.trace.program, entry.program.id);
+  EXPECT_EQ(run.trace.day, 3u);
+  EXPECT_NE(run.trace.id.value, 0u);
+}
+
+TEST(Pod, TraceIdsAreUnique) {
+  const auto entry = make_media_parser();
+  Pod pod = make_pod(entry);
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 50; ++i) ids.insert(pod.run_once(1).trace.id.value);
+  EXPECT_EQ(ids.size(), 50u);
+}
+
+TEST(Pod, InputsRespectUserPreferences) {
+  const auto entry = make_media_parser();
+  UserProfile profile;
+  profile.input_prefs = {{13, 13}, {200, 255}};  // exactly the crash region
+  Pod pod(PodId(1), entry, profile, {}, 99);
+  int crashes = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (pod.run_once(1).trace.outcome == Outcome::kCrash) crashes++;
+  }
+  EXPECT_EQ(crashes, 20);  // every run draws from the crash region
+}
+
+TEST(Pod, InstallIsIdempotentByFixId) {
+  const auto entry = make_media_parser();
+  Pod pod = make_pod(entry);
+  GuardPatch patch;
+  patch.id = FixId(5);
+  patch.program = entry.program.id;
+  EXPECT_TRUE(pod.install(patch));
+  EXPECT_FALSE(pod.install(patch));
+  EXPECT_EQ(pod.fixes().guards.size(), 1u);
+}
+
+TEST(Pod, InstallRejectsWrongProgram) {
+  const auto entry = make_media_parser();
+  Pod pod = make_pod(entry);
+  GuardPatch patch;
+  patch.id = FixId(5);
+  patch.program = ProgramId(999);
+  EXPECT_FALSE(pod.install(patch));
+}
+
+TEST(Pod, InstalledGuardAvertsCrashes) {
+  const auto entry = make_media_parser();
+  UserProfile profile;
+  profile.input_prefs = {{13, 13}, {200, 255}};
+  Pod pod(PodId(1), entry, profile, {}, 99);
+
+  GuardPatch patch;
+  patch.id = FixId(1);
+  patch.program = entry.program.id;
+  patch.site = 3;
+  patch.crash_direction = false;
+  patch.when = {{0, 13, 13}, {1, 200, 255}};
+  ASSERT_TRUE(pod.install(patch));
+
+  for (int i = 0; i < 20; ++i) {
+    const auto run = pod.run_once(1);
+    EXPECT_EQ(run.trace.outcome, Outcome::kOk);
+    EXPECT_TRUE(run.trace.patched);
+    EXPECT_TRUE(run.fix_intervened);
+  }
+  EXPECT_EQ(pod.stats().fix_interventions, 20u);
+}
+
+TEST(Pod, GuidanceConsumedOncePerRun) {
+  const auto entry = make_magic_lookup();
+  Pod pod = make_pod(entry);
+  GuidanceDirective d;
+  d.program = entry.program.id;
+  d.input_seed = std::vector<Value>{4242};
+  pod.push_guidance(d);
+  EXPECT_EQ(pod.pending_guidance(), 1u);
+
+  const auto guided = pod.run_once(1);
+  EXPECT_TRUE(guided.trace.guided);
+  EXPECT_EQ(guided.trace.outcome, Outcome::kCrash);
+  EXPECT_EQ(pod.pending_guidance(), 0u);
+
+  const auto natural = pod.run_once(1);
+  EXPECT_FALSE(natural.trace.guided);
+}
+
+TEST(Pod, GuidanceRejectedForWrongProgram) {
+  const auto entry = make_magic_lookup();
+  Pod pod = make_pod(entry);
+  GuidanceDirective d;
+  d.program = ProgramId(12345);
+  pod.push_guidance(d);
+  EXPECT_EQ(pod.pending_guidance(), 0u);
+}
+
+TEST(Pod, NonCompliantUserDropsGuidance) {
+  const auto entry = make_magic_lookup();
+  UserProfile profile;
+  profile.guidance_compliance = 0.0;
+  Pod pod(PodId(1), entry, profile, {}, 7);
+  GuidanceDirective d;
+  d.program = entry.program.id;
+  pod.push_guidance(d);
+  EXPECT_EQ(pod.pending_guidance(), 0u);
+}
+
+TEST(Pod, SamplingModeProducesSiteObservations) {
+  const auto entry = make_media_parser();
+  PodConfig config;
+  config.sampling_rate = 2;
+  Pod pod = make_pod(entry, 5, config);
+  bool any_observation = false;
+  for (int i = 0; i < 20; ++i) {
+    const auto run = pod.run_once(1);
+    ASSERT_TRUE(run.sampled.has_value());
+    if (!run.sampled->observations.empty()) any_observation = true;
+  }
+  EXPECT_TRUE(any_observation);
+}
+
+TEST(Pod, DrawsForDayVariesAroundRate) {
+  const auto entry = make_media_parser();
+  UserProfile profile;
+  profile.executions_per_day = 5.0;
+  Pod pod(PodId(1), entry, profile, {}, 11);
+  std::uint64_t total = 0;
+  for (int day = 0; day < 200; ++day) total += pod.draws_for_day();
+  EXPECT_GT(total, 700u);   // ~5/day with jitter
+  EXPECT_LT(total, 1300u);
+}
+
+TEST(Pod, StatsAccumulate) {
+  const auto entry = make_media_parser();
+  Pod pod = make_pod(entry);
+  for (int i = 0; i < 10; ++i) pod.run_once(1);
+  EXPECT_EQ(pod.stats().runs, 10u);
+}
+
+}  // namespace
+}  // namespace softborg

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "privacy/anonymize.h"
+#include "privacy/entropy.h"
+
+namespace softborg {
+namespace {
+
+Trace trace_with_path(std::uint64_t pod, std::initializer_list<bool> bits,
+                      Outcome outcome = Outcome::kOk) {
+  Trace t;
+  t.pod = PodId(pod);
+  t.outcome = outcome;
+  for (bool b : bits) t.branch_bits.push_back(b);
+  t.day = 10;
+  t.syscalls = {{0, 3, 0}};
+  return t;
+}
+
+TEST(Anonymize, StripsPodIdentity) {
+  const Trace t = trace_with_path(1234, {true, false});
+  const Trace a = anonymize(t, {});
+  EXPECT_EQ(a.pod.value, 0u);
+  EXPECT_FALSE(has_identifiers(a));
+  EXPECT_TRUE(has_identifiers(t));
+}
+
+TEST(Anonymize, PodBucketingKeepsCoarseIdentity) {
+  AnonymizeConfig cfg;
+  cfg.pod_bucket_count = 10;
+  const Trace a = anonymize(trace_with_path(1234, {true}), cfg);
+  EXPECT_EQ(a.pod.value, 4u);
+}
+
+TEST(Anonymize, QuantizesDays) {
+  const Trace a = anonymize(trace_with_path(1, {true}), {});
+  EXPECT_EQ(a.day, 7u);  // day 10 -> week floor
+}
+
+TEST(Anonymize, CoarsensSyscallIndices) {
+  const Trace a = anonymize(trace_with_path(1, {true}), {});
+  ASSERT_EQ(a.syscalls.size(), 1u);
+  EXPECT_EQ(a.syscalls[0].call_index, 0u);
+}
+
+TEST(Anonymize, BitSuppressionShrinksVector) {
+  AnonymizeConfig cfg;
+  cfg.bit_suppression = 3;  // drop every 3rd bit
+  Trace t;
+  for (int i = 0; i < 9; ++i) t.branch_bits.push_back(i % 2 == 0);
+  const Trace a = anonymize(t, cfg);
+  EXPECT_EQ(a.branch_bits.size(), 6u);
+  // Kept bits preserve order: indices 0,1,3,4,6,7 of 101010101.
+  EXPECT_EQ(a.branch_bits.to_string(), "100110");
+}
+
+TEST(Anonymize, NoSuppressionKeepsBits) {
+  const Trace t = trace_with_path(1, {true, false, true});
+  const Trace a = anonymize(t, {});
+  EXPECT_EQ(a.branch_bits, t.branch_bits);
+}
+
+TEST(KAnonymityGate, HoldsUntilKDistinctPods) {
+  KAnonymityGate gate(3);
+  EXPECT_TRUE(gate.add(trace_with_path(1, {true, true})).empty());
+  EXPECT_TRUE(gate.add(trace_with_path(2, {true, true})).empty());
+  EXPECT_EQ(gate.buffered(), 2u);
+  const auto released = gate.add(trace_with_path(3, {true, true}));
+  EXPECT_EQ(released.size(), 3u);
+  EXPECT_EQ(gate.buffered(), 0u);
+  EXPECT_EQ(gate.released_paths(), 1u);
+}
+
+TEST(KAnonymityGate, SamePodDoesNotCount) {
+  KAnonymityGate gate(2);
+  EXPECT_TRUE(gate.add(trace_with_path(7, {false})).empty());
+  EXPECT_TRUE(gate.add(trace_with_path(7, {false})).empty());
+  EXPECT_EQ(gate.buffered(), 2u);  // one pod repeating is not anonymity
+  EXPECT_EQ(gate.add(trace_with_path(8, {false})).size(), 3u);
+}
+
+TEST(KAnonymityGate, ReleasedPathsPassThrough) {
+  KAnonymityGate gate(2);
+  gate.add(trace_with_path(1, {true}));
+  gate.add(trace_with_path(2, {true}));
+  const auto later = gate.add(trace_with_path(3, {true}));
+  EXPECT_EQ(later.size(), 1u);
+}
+
+TEST(KAnonymityGate, DistinctPathsBufferedSeparately) {
+  KAnonymityGate gate(2);
+  gate.add(trace_with_path(1, {true}));
+  gate.add(trace_with_path(2, {false}));
+  EXPECT_EQ(gate.buffered(), 2u);
+  EXPECT_EQ(gate.released_paths(), 0u);
+}
+
+TEST(KAnonymityGate, KOneReleasesImmediately) {
+  KAnonymityGate gate(1);
+  EXPECT_EQ(gate.add(trace_with_path(1, {true, false})).size(), 1u);
+}
+
+TEST(Entropy, EmptyPopulation) {
+  const auto m = measure_population({});
+  EXPECT_EQ(m.traces, 0u);
+  EXPECT_DOUBLE_EQ(m.path_entropy_bits, 0.0);
+}
+
+TEST(Entropy, UniformPathsMaximizeEntropy) {
+  std::vector<Trace> traces;
+  for (int i = 0; i < 4; ++i) {
+    traces.push_back(trace_with_path(static_cast<std::uint64_t>(i),
+                                     {(i & 1) != 0, (i & 2) != 0}));
+  }
+  const auto m = measure_population(traces);
+  EXPECT_EQ(m.distinct_paths, 4u);
+  EXPECT_NEAR(m.path_entropy_bits, 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.unique_fraction, 1.0);
+}
+
+TEST(Entropy, IdenticalPathsHaveZeroEntropy) {
+  std::vector<Trace> traces;
+  for (int i = 0; i < 10; ++i) {
+    traces.push_back(trace_with_path(static_cast<std::uint64_t>(i), {true}));
+  }
+  const auto m = measure_population(traces);
+  EXPECT_EQ(m.distinct_paths, 1u);
+  EXPECT_NEAR(m.path_entropy_bits, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.unique_fraction, 0.0);
+}
+
+TEST(Entropy, SuppressionReducesInformationContent) {
+  // The E8 mechanism in miniature: suppress bits, entropy falls, unique
+  // fraction falls (traces collapse into families).
+  Rng rng(3);
+  std::vector<Trace> raw;
+  for (int i = 0; i < 200; ++i) {
+    Trace t;
+    t.pod = PodId(static_cast<std::uint64_t>(i));
+    for (int b = 0; b < 12; ++b) t.branch_bits.push_back(rng.next_bool());
+    raw.push_back(std::move(t));
+  }
+  AnonymizeConfig cfg;
+  cfg.bit_suppression = 2;  // drop half the bits
+  std::vector<Trace> scrubbed;
+  for (const auto& t : raw) scrubbed.push_back(anonymize(t, cfg));
+
+  const auto before = measure_population(raw);
+  const auto after = measure_population(scrubbed);
+  EXPECT_LT(after.mean_bits_per_trace, before.mean_bits_per_trace);
+  EXPECT_LE(after.path_entropy_bits, before.path_entropy_bits);
+  EXPECT_LE(after.unique_fraction, before.unique_fraction);
+  EXPECT_LT(after.distinct_paths, before.distinct_paths);
+}
+
+}  // namespace
+}  // namespace softborg

@@ -1,0 +1,304 @@
+// Property-based tests over randomly generated programs: the pipeline's
+// invariants must hold for arbitrary program shapes, not just the
+// hand-written corpus.
+//
+// Checked properties, per random program:
+//   P1  generated programs validate and always terminate
+//   P2  execution is deterministic in (inputs, seed)
+//   P3  replay reconstructs exactly the interpreter's tainted decisions
+//   P4  trace wire codec round-trips
+//   P5  every symbolic path's model concretely executes to the predicted
+//       decision sequence and terminal kind
+//   P6  symbolic exploration and exhaustive concrete enumeration agree on
+//       the set of decision paths (small domains)
+//   P7  publishable proof certificates survive the independent checker
+//   P8  the constraint solver agrees with a brute-force oracle
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "hive/proof.h"
+#include "minivm/interp.h"
+#include "minivm/random_program.h"
+#include "minivm/replay.h"
+#include "sym/csolver.h"
+#include "sym/executor.h"
+#include "trace/codec.h"
+#include "tree/exec_tree.h"
+
+namespace softborg {
+namespace {
+
+RandomProgramOptions test_options() {
+  // Keep generated programs small enough that interval solving over their
+  // expression DAGs stays fast; the point is shape diversity, not size.
+  RandomProgramOptions options;
+  options.max_depth = 2;
+  options.block_min = 2;
+  options.block_max = 4;
+  return options;
+}
+
+class RandomProgram : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  RandomProgram() : entry_(make_random_program(GetParam(), test_options())) {}
+
+  std::vector<Value> random_inputs(Rng& rng) const {
+    std::vector<Value> inputs;
+    for (const auto& d : entry_.domains) inputs.push_back(rng.next_in(d.lo, d.hi));
+    return inputs;
+  }
+
+  CorpusEntry entry_;
+};
+
+TEST_P(RandomProgram, ValidatesAndTerminates) {
+  std::string err;
+  ASSERT_TRUE(entry_.program.validate(&err)) << err;
+  Rng rng(GetParam() ^ 1);
+  for (int round = 0; round < 30; ++round) {
+    ExecConfig cfg;
+    cfg.inputs = random_inputs(rng);
+    cfg.seed = rng();
+    cfg.max_steps = 1'000'000;
+    const auto result = execute(entry_.program, cfg);
+    EXPECT_NE(result.trace.outcome, Outcome::kHang)
+        << "bounded-loop program must terminate";
+  }
+}
+
+TEST_P(RandomProgram, DeterministicExecution) {
+  Rng rng(GetParam() ^ 2);
+  for (int round = 0; round < 10; ++round) {
+    ExecConfig cfg;
+    cfg.inputs = random_inputs(rng);
+    cfg.seed = rng();
+    const auto a = execute(entry_.program, cfg);
+    const auto b = execute(entry_.program, cfg);
+    EXPECT_EQ(a.trace.outcome, b.trace.outcome);
+    EXPECT_EQ(a.trace.branch_bits, b.trace.branch_bits);
+    EXPECT_EQ(a.outputs, b.outputs);
+    EXPECT_EQ(a.trace.steps, b.trace.steps);
+  }
+}
+
+TEST_P(RandomProgram, ReplayReconstructsDecisions) {
+  Rng rng(GetParam() ^ 3);
+  for (int round = 0; round < 20; ++round) {
+    ExecConfig cfg;
+    cfg.inputs = random_inputs(rng);
+    cfg.seed = rng();
+    cfg.collect_branch_events = true;
+    const auto live = execute(entry_.program, cfg);
+    const auto rep = replay_trace(entry_.program, live.trace);
+    ASSERT_TRUE(rep.ok) << rep.error;
+    std::vector<BranchEvent> live_tainted;
+    for (const auto& ev : live.branch_events) {
+      if (ev.tainted) live_tainted.push_back(ev);
+    }
+    ASSERT_EQ(rep.decisions.size(), live_tainted.size());
+    for (std::size_t i = 0; i < live_tainted.size(); ++i) {
+      EXPECT_EQ(rep.decisions[i].site, live_tainted[i].site);
+      EXPECT_EQ(rep.decisions[i].taken, live_tainted[i].taken);
+    }
+  }
+}
+
+TEST_P(RandomProgram, CodecRoundTrip) {
+  Rng rng(GetParam() ^ 4);
+  for (int round = 0; round < 10; ++round) {
+    ExecConfig cfg;
+    cfg.inputs = random_inputs(rng);
+    cfg.seed = rng();
+    cfg.granularity =
+        round % 2 == 0 ? Granularity::kTaintedBranches : Granularity::kFull;
+    const auto live = execute(entry_.program, cfg);
+    const auto back = decode_trace(encode_trace(live.trace));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, live.trace);
+  }
+}
+
+// Runs `model` concretely and returns (decision path, crashed?).
+std::pair<std::vector<SymDecision>, bool> run_model(
+    const Program& program, const std::vector<Value>& inputs,
+    const std::vector<Value>& unknowns) {
+  // Unknown syscall results are pinned via a fault plan (by ordinal).
+  FaultPlan faults;
+  for (std::size_t j = 0; j < unknowns.size(); ++j) {
+    faults.forced[static_cast<std::uint32_t>(j)] = unknowns[j];
+  }
+  ExecConfig cfg;
+  cfg.inputs = inputs;
+  cfg.fault_plan = &faults;
+  cfg.collect_branch_events = true;
+  const auto live = execute(program, cfg);
+  std::vector<SymDecision> ds;
+  for (const auto& ev : live.branch_events) {
+    if (ev.tainted) ds.push_back({ev.site, ev.taken});
+  }
+  return {ds, live.trace.outcome == Outcome::kCrash};
+}
+
+TEST_P(RandomProgram, SymbolicModelsExecuteToPredictedPaths) {
+  ExploreOptions opt;
+  opt.input_domains = domains_of(entry_);
+  opt.max_paths = 128;
+  // Keep nasty random constraints (mul/mod chains) from wedging the test:
+  // budget exhaustion marks paths unverified and we skip those.
+  opt.solver_nodes = 3'000;
+  opt.max_total_steps = 100'000;
+  SymbolicExecutor ex(entry_.program, opt);
+  const auto paths = ex.explore();
+  for (const auto& p : paths) {
+    if (p.terminal == PathTerminal::kBudget) continue;
+    if (!p.model_verified) continue;  // solver budget ran out for this path
+    const auto [decisions, crashed] =
+        run_model(entry_.program, p.model.inputs, p.model.unknowns);
+    EXPECT_EQ(decisions, p.decisions)
+        << entry_.program.name << ": model does not follow predicted path";
+    EXPECT_EQ(crashed, p.terminal == PathTerminal::kCrash);
+  }
+}
+
+TEST_P(RandomProgram, SymbolicAgreesWithExhaustiveEnumeration) {
+  // Only when the symbolic exploration completed and there are no syscalls
+  // involved in decisions (environment would need enumeration too).
+  ExploreOptions opt;
+  opt.input_domains = domains_of(entry_);
+  opt.max_paths = 2048;
+  opt.solver_nodes = 3'000;
+  opt.max_total_steps = 100'000;
+  SymbolicExecutor ex(entry_.program, opt);
+  const auto paths = ex.explore();
+  if (!ex.stats().complete) GTEST_SKIP() << "exploration hit budget";
+  bool uses_env = false;
+  for (const auto& p : paths) {
+    if (!p.unknown_domains.empty()) uses_env = true;
+  }
+  if (uses_env) GTEST_SKIP() << "environment-dependent";
+
+  std::set<std::vector<SymDecision>> symbolic_paths;
+  for (const auto& p : paths) symbolic_paths.insert(p.decisions);
+
+  // Exhaustive concrete enumeration over the (64^k) input grid, strided to
+  // a budget.
+  std::set<std::vector<SymDecision>> concrete_paths;
+  const std::size_t k = entry_.domains.size();
+  std::uint64_t total = 1;
+  for (std::size_t i = 0; i < k; ++i) total *= 64;
+  const std::uint64_t stride = total > 8192 ? total / 8192 : 1;
+  for (std::uint64_t index = 0; index < total; index += stride) {
+    std::vector<Value> inputs;
+    std::uint64_t rest = index;
+    for (std::size_t i = 0; i < k; ++i) {
+      inputs.push_back(static_cast<Value>(rest % 64));
+      rest /= 64;
+    }
+    const auto [ds, crashed] = run_model(entry_.program, inputs, {});
+    concrete_paths.insert(ds);
+    (void)crashed;
+  }
+  // Concrete paths must be a subset of symbolic paths (symbolic is
+  // complete); equality when stride == 1.
+  for (const auto& path : concrete_paths) {
+    EXPECT_TRUE(symbolic_paths.count(path) != 0)
+        << "concrete path missing from complete symbolic exploration";
+  }
+  if (stride == 1) {
+    EXPECT_EQ(symbolic_paths.size(), concrete_paths.size());
+  }
+}
+
+TEST_P(RandomProgram, PublishableProofsSurviveTheChecker) {
+  ExecTree tree(entry_.program.id);
+  // Seed with a few observations.
+  Rng rng(GetParam() ^ 5);
+  for (int i = 0; i < 5; ++i) {
+    ExecConfig cfg;
+    cfg.inputs = random_inputs(rng);
+    cfg.seed = rng();
+    cfg.collect_branch_events = true;
+    const auto live = execute(entry_.program, cfg);
+    std::vector<SymDecision> ds;
+    for (const auto& ev : live.branch_events) {
+      if (ev.tainted) ds.push_back({ev.site, ev.taken});
+    }
+    tree.add_path(ds, live.trace.outcome, live.trace.crash);
+  }
+  ProofEngine engine;
+  ProofBudget budget;
+  budget.max_symbolic_paths = 1024;
+  budget.max_gap_closures = 100;
+  budget.solver_nodes = 3'000;
+  const auto cert =
+      engine.attempt(entry_, tree, Property::kNeverCrashes, budget);
+  if (!cert.publishable()) GTEST_SKIP() << "not publishable for this seed";
+  std::string reason;
+  EXPECT_TRUE(check_certificate(entry_, cert, 1u << 14, &reason)) << reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgram,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// ------------------------- solver vs brute force ----------------------------
+
+class SolverOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverOracle, AgreesWithBruteForce) {
+  Rng rng(GetParam() * 7919);
+  // Random constraint over 2 small variables.
+  const VarDomain d0{0, 30}, d1{-10, 20};
+  auto random_expr = [&rng](auto&& self, int depth) -> Expr {
+    if (depth == 0 || rng.next_bool(0.4)) {
+      switch (rng.next_below(3)) {
+        case 0: return make_input(0);
+        case 1: return make_input(1);
+        default: return make_const(rng.next_in(-12, 12));
+      }
+    }
+    const BinOp ops[] = {BinOp::kAdd, BinOp::kSub, BinOp::kMul, BinOp::kMod,
+                         BinOp::kLt, BinOp::kLe, BinOp::kEq, BinOp::kNe};
+    return make_bin(ops[rng.next_below(8)], self(self, depth - 1),
+                    self(self, depth - 1));
+  };
+
+  for (int round = 0; round < 20; ++round) {
+    PathConstraint pc;
+    const int n_lits = 1 + static_cast<int>(rng.next_below(3));
+    for (int i = 0; i < n_lits; ++i) {
+      pc.push_back({random_expr(random_expr, 3), rng.next_bool()});
+    }
+
+    // Brute force.
+    bool brute_sat = false;
+    for (Value a = d0.lo; a <= d0.hi && !brute_sat; ++a) {
+      for (Value b = d1.lo; b <= d1.hi && !brute_sat; ++b) {
+        Assignment assignment;
+        assignment.inputs = {a, b};
+        if (satisfies(pc, assignment)) brute_sat = true;
+      }
+    }
+
+    SolverOptions so;
+    so.max_nodes = 2'000'000;
+    const auto result = solve_path(pc, {d0, d1}, {}, so);
+    ASSERT_NE(result.status, SolveStatus::kUnknown) << "budget too small";
+    EXPECT_EQ(result.status == SolveStatus::kSat, brute_sat)
+        << "round " << round << ": " << path_to_string(pc);
+    if (result.status == SolveStatus::kSat) {
+      EXPECT_TRUE(satisfies(pc, result.model));
+      EXPECT_GE(result.model.inputs[0], d0.lo);
+      EXPECT_LE(result.model.inputs[0], d0.hi);
+      EXPECT_GE(result.model.inputs[1], d1.lo);
+      EXPECT_LE(result.model.inputs[1], d1.hi);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverOracle,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace softborg

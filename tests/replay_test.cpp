@@ -1,0 +1,268 @@
+// Tests for hive-side deterministic-branch reconstruction (paper §3.2):
+// replay must rebuild the exact decision path from only the by-products,
+// for every program in the corpus, every outcome, and both granularities.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "minivm/builder.h"
+#include "minivm/corpus.h"
+#include "minivm/interp.h"
+#include "minivm/replay.h"
+
+namespace softborg {
+namespace {
+
+// Executes with branch-event collection and cross-checks replay against the
+// interpreter's own record of tainted decisions.
+void expect_replay_matches(const Program& p, std::vector<Value> inputs,
+                           std::uint64_t seed,
+                           Granularity gran = Granularity::kTaintedBranches) {
+  ExecConfig cfg;
+  cfg.inputs = std::move(inputs);
+  cfg.seed = seed;
+  cfg.granularity = gran;
+  cfg.collect_branch_events = true;
+  const auto live = execute(p, cfg);
+
+  const auto rep = replay_trace(p, live.trace);
+  ASSERT_TRUE(rep.ok) << p.name << ": " << rep.error;
+
+  std::vector<BranchEvent> live_tainted;
+  for (const auto& ev : live.branch_events) {
+    if (ev.tainted) live_tainted.push_back(ev);
+  }
+  ASSERT_EQ(rep.decisions.size(), live_tainted.size()) << p.name;
+  for (std::size_t i = 0; i < live_tainted.size(); ++i) {
+    EXPECT_EQ(rep.decisions[i].site, live_tainted[i].site) << p.name;
+    EXPECT_EQ(rep.decisions[i].taken, live_tainted[i].taken) << p.name;
+    EXPECT_EQ(rep.decisions[i].thread, live_tainted[i].thread) << p.name;
+  }
+  EXPECT_EQ(rep.outcome, live.trace.outcome);
+}
+
+TEST(Replay, MediaParserOkPath) {
+  auto entry = make_media_parser();
+  expect_replay_matches(entry.program, {20, 100}, 1);
+}
+
+TEST(Replay, MediaParserCrashPath) {
+  auto entry = make_media_parser();
+  expect_replay_matches(entry.program, {13, 250}, 1);
+}
+
+TEST(Replay, MediaParserFullInputSweep) {
+  auto entry = make_media_parser();
+  for (Value format = 0; format <= 63; format += 3) {
+    for (Value size = 0; size <= 255; size += 17) {
+      expect_replay_matches(entry.program, {format, size}, 1);
+    }
+  }
+}
+
+TEST(Replay, ReconstructsDeterministicBranches) {
+  // A program whose loop branch is deterministic: the trace carries only
+  // the one tainted bit, and replay reconstructs the rest.
+  ProgramBuilder b("mixed");
+  const Reg x = b.reg(), i = b.reg(), one = b.reg(), cond = b.reg(),
+            t = b.reg();
+  b.input(x, b.input_slot());
+  b.const_(i, 5);
+  b.const_(one, 1);
+  auto top = b.here();
+  auto body = b.label(), after = b.label();
+  b.const_(cond, 0);
+  b.cmp_lt(cond, cond, i);
+  b.branch_if(cond, body, after);  // deterministic loop branch
+  b.bind(body);
+  b.sub(i, i, one);
+  b.jump(top);
+  b.bind(after);
+  auto yes = b.label(), no = b.label();
+  b.cmp_lt_const(t, x, 50);
+  b.branch_if(t, yes, no);  // the single tainted branch
+  b.bind(yes);
+  b.bind(no);
+  b.halt();
+  const Program p = b.build();
+
+  ExecConfig cfg;
+  cfg.inputs = {10};
+  const auto live = execute(p, cfg);
+  EXPECT_EQ(live.trace.branch_bits.size(), 1u);  // only the tainted branch
+
+  const auto rep = replay_trace(p, live.trace);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  ASSERT_EQ(rep.decisions.size(), 1u);
+  EXPECT_TRUE(rep.decisions[0].taken);
+}
+
+TEST(Replay, AllBranchGranularityCrossChecks) {
+  auto entry = make_media_parser();
+  expect_replay_matches(entry.program, {13, 250}, 1,
+                        Granularity::kAllBranches);
+  expect_replay_matches(entry.program, {40, 10}, 1,
+                        Granularity::kAllBranches);
+}
+
+TEST(Replay, CorruptedBitsDetectedAtAllGranularity) {
+  // A program with a deterministic branch: at kAllBranches granularity its
+  // direction is recorded too, and replay cross-checks it against the
+  // reconstructed value — flipping it must be detected.
+  ProgramBuilder b("detcheck");
+  const Reg x = b.reg(), c = b.reg(), t = b.reg();
+  b.input(x, b.input_slot());
+  b.const_(c, 1);
+  auto det_t = b.label(), det_f = b.label();
+  b.branch_if(c, det_t, det_f);  // deterministic: always true
+  b.bind(det_t);
+  b.bind(det_f);
+  auto yes = b.label(), no = b.label();
+  b.cmp_lt_const(t, x, 50);
+  b.branch_if(t, yes, no);  // tainted
+  b.bind(yes);
+  b.bind(no);
+  b.halt();
+  const Program p = b.build();
+
+  ExecConfig cfg;
+  cfg.inputs = {10};
+  cfg.granularity = Granularity::kAllBranches;
+  const auto live = execute(p, cfg);
+  ASSERT_EQ(live.trace.branch_bits.size(), 2u);
+  ASSERT_TRUE(replay_trace(p, live.trace).ok);
+
+  Trace mutated = live.trace;
+  mutated.branch_bits.set(0, !mutated.branch_bits[0]);  // deterministic bit
+  const auto rep = replay_trace(p, mutated);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("mismatch"), std::string::npos);
+}
+
+TEST(Replay, TruncatedBitsRejected) {
+  auto entry = make_config_space(6);
+  ExecConfig cfg;
+  cfg.inputs = {1, 0, 1, 0, 1, 0};
+  auto live = execute(entry.program, cfg);
+  Trace mutated = live.trace;
+  // Drop the last bit.
+  BitVec shorter;
+  for (std::size_t i = 0; i + 1 < mutated.branch_bits.size(); ++i) {
+    shorter.push_back(mutated.branch_bits[i]);
+  }
+  mutated.branch_bits = shorter;
+  const auto rep = replay_trace(entry.program, mutated);
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST(Replay, ExtraBitsRejected) {
+  auto entry = make_config_space(6);
+  ExecConfig cfg;
+  cfg.inputs = {1, 1, 1, 1, 1, 1};
+  auto live = execute(entry.program, cfg);
+  Trace mutated = live.trace;
+  mutated.branch_bits.push_back(true);
+  const auto rep = replay_trace(entry.program, mutated);
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("unconsumed"), std::string::npos);
+}
+
+TEST(Replay, PatchedTracesRefused) {
+  auto entry = make_media_parser();
+  Trace t;
+  t.program = entry.program.id;
+  t.patched = true;
+  const auto rep = replay_trace(entry.program, t);
+  EXPECT_FALSE(rep.ok);
+}
+
+TEST(Replay, GranularityNoneRefused) {
+  auto entry = make_media_parser();
+  Trace t;
+  t.granularity = Granularity::kNone;
+  EXPECT_FALSE(replay_trace(entry.program, t).ok);
+}
+
+TEST(Replay, MultiThreadedDeadlockTrace) {
+  auto entry = make_bank_transfer();
+  int replayed_deadlocks = 0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    ExecConfig cfg;
+    cfg.inputs = {150};
+    cfg.seed = seed;
+    cfg.collect_branch_events = true;
+    const auto live = execute(entry.program, cfg);
+    if (live.trace.outcome != Outcome::kDeadlock) continue;
+    const auto rep = replay_trace(entry.program, live.trace);
+    ASSERT_TRUE(rep.ok) << "seed " << seed << ": " << rep.error;
+    replayed_deadlocks++;
+  }
+  EXPECT_GT(replayed_deadlocks, 0);
+}
+
+TEST(Replay, MultiThreadedOkTraces) {
+  auto entry = make_bank_transfer();
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    ExecConfig cfg;
+    cfg.inputs = {80};
+    cfg.seed = seed;
+    cfg.collect_branch_events = true;
+    const auto live = execute(entry.program, cfg);
+    ASSERT_EQ(live.trace.outcome, Outcome::kOk);
+    const auto rep = replay_trace(entry.program, live.trace);
+    EXPECT_TRUE(rep.ok) << "seed " << seed << ": " << rep.error;
+  }
+}
+
+TEST(Replay, RaceCounterSchedulesReplayExactly) {
+  auto entry = make_race_counter();
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    ExecConfig cfg;
+    cfg.seed = seed;
+    const auto live = execute(entry.program, cfg);
+    if (live.trace.outcome == Outcome::kHang) continue;
+    const auto rep = replay_trace(entry.program, live.trace);
+    EXPECT_TRUE(rep.ok) << "seed " << seed << ": " << rep.error;
+    EXPECT_EQ(rep.outcome, live.trace.outcome);
+  }
+}
+
+TEST(Replay, WholeCorpusRandomizedRoundTrip) {
+  Rng rng(999);
+  for (const auto& entry : standard_corpus()) {
+    for (int round = 0; round < 20; ++round) {
+      std::vector<Value> inputs;
+      for (const auto& d : entry.domains) {
+        inputs.push_back(rng.next_in(d.lo, d.hi));
+      }
+      ExecConfig cfg;
+      cfg.inputs = inputs;
+      cfg.seed = rng();
+      const auto live = execute(entry.program, cfg);
+      if (live.trace.outcome == Outcome::kHang) continue;
+      const auto rep = replay_trace(entry.program, live.trace);
+      EXPECT_TRUE(rep.ok) << entry.program.name << ": " << rep.error;
+    }
+  }
+}
+
+TEST(Replay, IdenticalInputsGiveIdenticalDecisionPaths) {
+  auto entry = make_media_parser();
+  ExecConfig cfg;
+  cfg.inputs = {13, 250};
+  const auto a = execute(entry.program, cfg);
+  const auto b = execute(entry.program, cfg);
+  const auto ra = replay_trace(entry.program, a.trace);
+  const auto rb = replay_trace(entry.program, b.trace);
+  ASSERT_TRUE(ra.ok);
+  ASSERT_TRUE(rb.ok);
+  ASSERT_EQ(ra.decisions.size(), rb.decisions.size());
+  for (std::size_t i = 0; i < ra.decisions.size(); ++i) {
+    EXPECT_EQ(ra.decisions[i].site, rb.decisions[i].site);
+    EXPECT_EQ(ra.decisions[i].taken, rb.decisions[i].taken);
+  }
+}
+
+}  // namespace
+}  // namespace softborg

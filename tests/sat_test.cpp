@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "sym/cnf.h"
+#include "sym/portfolio.h"
+#include "sym/sat.h"
+
+namespace softborg {
+namespace {
+
+constexpr std::uint64_t kBigBudget = 50'000'000;
+
+Cnf tiny_sat() {
+  // (x1 | x2) & (!x1 | x2) & (x1 | !x2): model x1=1,x2=1.
+  Cnf cnf;
+  cnf.num_vars = 2;
+  cnf.clauses = {{1, 2}, {-1, 2}, {1, -2}};
+  return cnf;
+}
+
+Cnf tiny_unsat() {
+  Cnf cnf;
+  cnf.num_vars = 1;
+  cnf.clauses = {{1}, {-1}};
+  return cnf;
+}
+
+// ----------------------------------------------------------------- cnf -----
+
+TEST(Cnf, GeneratorsAreWellFormed) {
+  EXPECT_TRUE(random_ksat(20, 85, 3, 1).well_formed());
+  EXPECT_TRUE(pigeonhole(4).well_formed());
+  EXPECT_TRUE(chain(10).well_formed());
+}
+
+TEST(Cnf, RandomKsatDeterministic) {
+  const Cnf a = random_ksat(20, 85, 3, 7);
+  const Cnf b = random_ksat(20, 85, 3, 7);
+  EXPECT_EQ(a.clauses, b.clauses);
+}
+
+TEST(Cnf, RandomKsatNoDuplicateVarsInClause) {
+  const Cnf cnf = random_ksat(10, 200, 3, 3);
+  for (const auto& clause : cnf.clauses) {
+    ASSERT_EQ(clause.size(), 3u);
+    EXPECT_NE(std::abs(clause[0]), std::abs(clause[1]));
+    EXPECT_NE(std::abs(clause[0]), std::abs(clause[2]));
+    EXPECT_NE(std::abs(clause[1]), std::abs(clause[2]));
+  }
+}
+
+TEST(Cnf, ChainHasUniqueAllTrueSolution) {
+  const Cnf cnf = chain(20);
+  std::vector<bool> all_true(20, true);
+  EXPECT_TRUE(cnf_satisfied(cnf, all_true));
+  std::vector<bool> flip = all_true;
+  flip[10] = false;
+  EXPECT_FALSE(cnf_satisfied(cnf, flip));
+}
+
+// ------------------------------------------------------------- solvers -----
+
+class EverySolver : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<SatSolver> make() const {
+    switch (GetParam()) {
+      case 0:
+        return make_dpll_solver(DpllHeuristic::kActivity);
+      case 1:
+        return make_dpll_solver(DpllHeuristic::kNegativeStatic);
+      default:
+        return make_walksat_solver(123);
+    }
+  }
+  bool complete() const { return GetParam() != 2; }  // walksat can't refute
+};
+
+TEST_P(EverySolver, SolvesTinySat) {
+  auto solver = make();
+  const auto out = solver->solve(tiny_sat(), kBigBudget);
+  ASSERT_EQ(out.status, SatStatus::kSat);
+  EXPECT_TRUE(cnf_satisfied(tiny_sat(), out.model));
+}
+
+TEST_P(EverySolver, HandlesTinyUnsat) {
+  auto solver = make();
+  const auto out = solver->solve(tiny_unsat(), kBigBudget);
+  if (complete()) {
+    EXPECT_EQ(out.status, SatStatus::kUnsat);
+  } else {
+    EXPECT_EQ(out.status, SatStatus::kUnknown);
+  }
+}
+
+TEST_P(EverySolver, SolvesChain) {
+  auto solver = make();
+  const Cnf cnf = chain(40);
+  const auto out = solver->solve(cnf, kBigBudget);
+  if (complete()) {
+    // Unit propagation solves chains instantly.
+    ASSERT_EQ(out.status, SatStatus::kSat);
+    EXPECT_TRUE(cnf_satisfied(cnf, out.model));
+  } else if (out.status == SatStatus::kSat) {
+    // Local search may or may not find the unique model — that asymmetry is
+    // exactly what the portfolio exploits.
+    EXPECT_TRUE(cnf_satisfied(cnf, out.model));
+  }
+}
+
+TEST_P(EverySolver, RandomSatInstancesModelVerified) {
+  auto solver = make();
+  // Under-constrained random 3-SAT (ratio 3.0): almost surely satisfiable.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Cnf cnf = random_ksat(25, 75, 3, seed);
+    const auto out = solver->solve(cnf, kBigBudget);
+    if (out.status == SatStatus::kSat) {
+      EXPECT_TRUE(cnf_satisfied(cnf, out.model)) << "seed " << seed;
+    } else if (complete()) {
+      EXPECT_EQ(out.status, SatStatus::kUnsat);
+    }
+  }
+}
+
+TEST_P(EverySolver, BudgetExhaustionIsUnknown) {
+  auto solver = make();
+  const Cnf cnf = pigeonhole(7);
+  const auto out = solver->solve(cnf, /*budget=*/50);
+  EXPECT_EQ(out.status, SatStatus::kUnknown);
+  EXPECT_LE(out.ticks, 50u + 2048u);  // small overshoot tolerated
+}
+
+TEST_P(EverySolver, TicksAreReported) {
+  auto solver = make();
+  const auto out = solver->solve(tiny_sat(), kBigBudget);
+  EXPECT_GT(out.ticks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEngines, EverySolver, ::testing::Values(0, 1, 2),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case 0: return "DpllActivity";
+                             case 1: return "DpllNegStatic";
+                             default: return "WalkSat";
+                           }
+                         });
+
+TEST(Dpll, PigeonholeUnsat) {
+  auto solver = make_dpll_solver(DpllHeuristic::kActivity);
+  for (int holes = 2; holes <= 4; ++holes) {
+    const auto out = solver->solve(pigeonhole(holes), kBigBudget);
+    EXPECT_EQ(out.status, SatStatus::kUnsat) << "holes " << holes;
+  }
+}
+
+TEST(Dpll, SolversAgreeOnRandomInstances) {
+  auto a = make_dpll_solver(DpllHeuristic::kActivity);
+  auto b = make_dpll_solver(DpllHeuristic::kNegativeStatic);
+  int decided_both = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const Cnf cnf = random_ksat(18, 76, 3, seed);  // near phase transition
+    const auto ra = a->solve(cnf, kBigBudget);
+    const auto rb = b->solve(cnf, kBigBudget);
+    if (ra.status != SatStatus::kUnknown && rb.status != SatStatus::kUnknown) {
+      EXPECT_EQ(ra.status, rb.status) << "seed " << seed;
+      decided_both++;
+    }
+  }
+  EXPECT_GT(decided_both, 20);
+}
+
+// ----------------------------------------------------------- portfolio -----
+
+TEST(Portfolio, SimulatedDecidesAndVerifies) {
+  PortfolioSolver portfolio(make_standard_portfolio());
+  const Cnf cnf = random_ksat(25, 100, 3, 5);
+  const auto out = portfolio.solve_simulated(cnf, kBigBudget);
+  ASSERT_NE(out.status, SatStatus::kUnknown);
+  if (out.status == SatStatus::kSat) {
+    EXPECT_TRUE(cnf_satisfied(cnf, out.model));
+  }
+  EXPECT_GE(out.winner, 0);
+  EXPECT_EQ(out.per_solver_ticks.size(), 3u);
+}
+
+TEST(Portfolio, WallTicksIsMinOfDeciders) {
+  PortfolioSolver portfolio(make_standard_portfolio());
+  const Cnf cnf = random_ksat(20, 84, 3, 11);
+  const auto out = portfolio.solve_simulated(cnf, kBigBudget);
+  ASSERT_GE(out.winner, 0);
+  EXPECT_EQ(out.wall_ticks,
+            out.per_solver_ticks[static_cast<std::size_t>(out.winner)]);
+  for (auto t : out.per_solver_ticks) {
+    // Any solver that decided must have been at least as slow.
+    if (t < out.wall_ticks) {
+      // a faster tick count is only possible for a non-decider
+      // (kUnknown), which never happens below the winner's ticks unless it
+      // hit the budget — with kBigBudget that cannot be the case here.
+      ADD_FAILURE() << "solver finished earlier than the winner";
+    }
+  }
+}
+
+TEST(Portfolio, CostAtMostNTimesWall) {
+  PortfolioSolver portfolio(make_standard_portfolio());
+  const Cnf cnf = random_ksat(22, 93, 3, 13);
+  const auto out = portfolio.solve_simulated(cnf, kBigBudget);
+  EXPECT_LE(out.cost_ticks, 3 * out.wall_ticks);
+}
+
+TEST(Portfolio, UnsatHandledByCompleteMembers) {
+  PortfolioSolver portfolio(make_standard_portfolio());
+  const auto out = portfolio.solve_simulated(pigeonhole(4), kBigBudget);
+  EXPECT_EQ(out.status, SatStatus::kUnsat);
+}
+
+TEST(Portfolio, ThreadedMatchesSimulatedStatus) {
+  PortfolioSolver portfolio(make_standard_portfolio());
+  ThreadPool pool(3);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Cnf cnf = random_ksat(20, 84, 3, seed);
+    const auto sim = portfolio.solve_simulated(cnf, kBigBudget);
+    const auto thr = portfolio.solve_threaded(cnf, kBigBudget, pool);
+    ASSERT_NE(sim.status, SatStatus::kUnknown);
+    // The threaded run may be cancelled mid-flight, but when it decides it
+    // must agree.
+    if (thr.status != SatStatus::kUnknown) {
+      EXPECT_EQ(thr.status, sim.status) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Portfolio, BeatsWorstMemberOnMixedWorkload) {
+  // The portfolio's wall time should be far below the worst single solver
+  // summed over a mixed workload — the paper's §4 motivation.
+  PortfolioSolver portfolio(make_standard_portfolio());
+  std::uint64_t portfolio_wall = 0;
+  std::vector<std::uint64_t> solo(3, 0);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Cnf cnf = random_ksat(22, 94, 3, seed);
+    const auto out = portfolio.solve_simulated(cnf, kBigBudget);
+    portfolio_wall += out.wall_ticks;
+    for (int i = 0; i < 3; ++i) {
+      solo[static_cast<std::size_t>(i)] +=
+          out.per_solver_ticks[static_cast<std::size_t>(i)];
+    }
+  }
+  const std::uint64_t worst = std::max({solo[0], solo[1], solo[2]});
+  EXPECT_LT(portfolio_wall, worst);
+}
+
+}  // namespace
+}  // namespace softborg

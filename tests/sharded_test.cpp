@@ -1,0 +1,203 @@
+// The distributed hive deployment: hash routing, per-shard analysis,
+// aggregate statistics, and shard-state export/merge (paper §3: the hive
+// "may be physically centralized … entirely distributed, or hybrid").
+#include <gtest/gtest.h>
+
+#include "hive/sharded.h"
+#include "minivm/interp.h"
+#include "trace/codec.h"
+#include "tree/tree_codec.h"
+
+namespace softborg {
+namespace {
+
+class ShardedHiveTest : public ::testing::Test {
+ protected:
+  ShardedHiveTest() : corpus_(standard_corpus()) {}
+
+  Bytes trace_bytes(const CorpusEntry& entry, std::vector<Value> inputs,
+                    std::uint64_t seed) {
+    ExecConfig cfg;
+    cfg.inputs = std::move(inputs);
+    cfg.seed = seed;
+    auto result = execute(entry.program, cfg);
+    result.trace.id = TraceId(next_id_++);
+    return encode_trace(result.trace);
+  }
+
+  const CorpusEntry& entry(const std::string& name) const {
+    for (const auto& e : corpus_) {
+      if (e.program.name == name) return e;
+    }
+    SB_CHECK(false);
+    return corpus_[0];
+  }
+
+  void settle(SimNet& net, ShardedHive& hive, int rounds = 10) {
+    for (int i = 0; i < rounds; ++i) {
+      net.tick();
+      hive.pump(net);
+    }
+  }
+
+  std::vector<CorpusEntry> corpus_;
+  std::uint64_t next_id_ = 1;
+};
+
+TEST_F(ShardedHiveTest, RoutingIsStableAndCoversAllShards) {
+  SimNet net;
+  ShardedHive hive(&corpus_, 3, net);
+  std::set<std::size_t> used;
+  for (const auto& e : corpus_) {
+    const std::size_t a = hive.shard_index(e.program.id);
+    const std::size_t b = hive.shard_index(e.program.id);
+    EXPECT_EQ(a, b);
+    EXPECT_LT(a, 3u);
+    used.insert(a);
+  }
+  EXPECT_GE(used.size(), 2u);  // 7+ programs spread over 3 shards
+}
+
+TEST_F(ShardedHiveTest, TracesReachTheOwningShard) {
+  SimNet net;
+  ShardedHive hive(&corpus_, 3, net);
+  const auto& parser = entry("media_parser");
+  const Endpoint client = net.add_endpoint();
+
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    net.send(client, hive.ingress(), kMsgTrace,
+             trace_bytes(parser, {static_cast<Value>(i * 6), 100}, i + 1));
+  }
+  settle(net, hive);
+
+  Hive& owner = hive.shard_for(parser.program.id);
+  EXPECT_EQ(owner.stats().traces_ingested, 10u);
+  EXPECT_EQ(hive.routed(), 10u);
+  // Other shards saw nothing of this program.
+  for (std::size_t i = 0; i < hive.num_shards(); ++i) {
+    if (&hive.shard(i) == &owner) continue;
+    EXPECT_EQ(hive.shard(i).stats().traces_ingested, 0u);
+  }
+}
+
+TEST_F(ShardedHiveTest, MalformedIngressCounted) {
+  SimNet net;
+  ShardedHive hive(&corpus_, 2, net);
+  const Endpoint client = net.add_endpoint();
+  net.send(client, hive.ingress(), kMsgTrace, Bytes{0xff, 0x00});
+  settle(net, hive);
+  EXPECT_EQ(hive.routing_failures(), 1u);
+  EXPECT_EQ(hive.routed(), 0u);
+}
+
+TEST_F(ShardedHiveTest, ProcessAllFindsFixesAcrossShards) {
+  SimNet net;
+  ShardedHive hive(&corpus_, 3, net);
+  const Endpoint client = net.add_endpoint();
+
+  // A crash for media_parser and a deadlock for bank_transfer: the two
+  // bugs land on (possibly) different shards.
+  net.send(client, hive.ingress(), kMsgTrace,
+           trace_bytes(entry("media_parser"), {13, 250}, 1));
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    ExecConfig cfg;
+    cfg.inputs = {150};
+    cfg.seed = seed;
+    auto result = execute(entry("bank_transfer").program, cfg);
+    if (result.trace.outcome != Outcome::kDeadlock) continue;
+    result.trace.id = TraceId(next_id_++);
+    net.send(client, hive.ingress(), kMsgTrace, encode_trace(result.trace));
+    break;
+  }
+  settle(net, hive);
+
+  EXPECT_EQ(hive.total_bugs(), 2u);
+  const auto fixes = hive.process_all();
+  EXPECT_EQ(fixes.size(), 2u);
+  // Fix ids are globally unique across shards.
+  std::set<std::uint64_t> ids;
+  for (const auto& f : fixes) {
+    ids.insert(std::visit([](const auto& fix) { return fix.id.value; },
+                          f.fix));
+  }
+  EXPECT_EQ(ids.size(), fixes.size());
+}
+
+TEST_F(ShardedHiveTest, AggregateStatsSumShards) {
+  SimNet net;
+  ShardedHive hive(&corpus_, 4, net);
+  const Endpoint client = net.add_endpoint();
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    net.send(client, hive.ingress(), kMsgTrace,
+             trace_bytes(entry("media_parser"), {20, 10}, 100 + i));
+    net.send(client, hive.ingress(), kMsgTrace,
+             trace_bytes(entry("magic_lookup"), {7}, 200 + i));
+  }
+  settle(net, hive);
+  EXPECT_EQ(hive.aggregate_stats().traces_ingested, 12u);
+}
+
+TEST_F(ShardedHiveTest, ExportedTreesMergeIntoCentralHive) {
+  // The hybrid deployment: shards explore, a central hive absorbs their
+  // serialized trees (decode + structural check here).
+  SimNet net;
+  ShardedHive hive(&corpus_, 2, net);
+  const Endpoint client = net.add_endpoint();
+  const auto& parser = entry("media_parser");
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    net.send(client, hive.ingress(), kMsgTrace,
+             trace_bytes(parser, {static_cast<Value>(i * 2 % 64),
+                                  static_cast<Value>(i * 9 % 256)},
+                         300 + i));
+  }
+  settle(net, hive);
+
+  const std::size_t owner = hive.shard_index(parser.program.id);
+  const auto exported = hive.export_trees(owner);
+  ASSERT_TRUE(exported.count(parser.program.id.value) != 0);
+  const auto tree = decode_tree(exported.at(parser.program.id.value));
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_GT(tree->num_paths(), 1u);
+  ExecTree* live = hive.shard(owner).tree(parser.program.id);
+  ASSERT_NE(live, nullptr);
+  EXPECT_TRUE(*tree == *live);
+}
+
+TEST_F(ShardedHiveTest, SingleShardBehavesLikeCentralHive) {
+  // Parity: one shard through the router == direct central hive.
+  SimNet net;
+  ShardedHive sharded(&corpus_, 1, net);
+  Hive central(&corpus_);
+  const Endpoint client = net.add_endpoint();
+
+  const auto& parser = entry("media_parser");
+  std::vector<Bytes> wires;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    wires.push_back(trace_bytes(
+        parser, {static_cast<Value>(i * 3 % 64),
+                 static_cast<Value>(i * 13 % 256)},
+        500 + i));
+  }
+  for (const auto& w : wires) {
+    net.send(client, sharded.ingress(), kMsgTrace, w);
+    central.ingest_bytes(w);
+  }
+  settle(net, sharded);
+
+  Hive& shard = sharded.shard_for(parser.program.id);
+  EXPECT_EQ(shard.stats().traces_ingested,
+            central.stats().traces_ingested);
+  ExecTree* a = shard.tree(parser.program.id);
+  ExecTree* b = central.tree(parser.program.id);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  // The network reorders arrivals, so node numbering differs; the merged
+  // structure must not (tree merge is order-independent).
+  EXPECT_EQ(a->num_paths(), b->num_paths());
+  EXPECT_EQ(a->num_nodes(), b->num_nodes());
+  EXPECT_EQ(a->total_executions(), b->total_executions());
+  EXPECT_EQ(a->frontier().size(), b->frontier().size());
+}
+
+}  // namespace
+}  // namespace softborg

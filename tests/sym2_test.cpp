@@ -1,0 +1,156 @@
+// Second symbolic suite: algebraic identities, DAG-safe evaluation
+// performance, model verification flags, and the taint<->symbolic
+// correspondence that the identities must preserve.
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "minivm/builder.h"
+#include "minivm/interp.h"
+#include "sym/csolver.h"
+#include "sym/executor.h"
+#include "sym/expr.h"
+
+namespace softborg {
+namespace {
+
+// ----------------------------------------------------------- identities ----
+
+TEST(ExprIdentities, AddZeroReturnsOperand) {
+  const Expr x = make_input(0);
+  EXPECT_EQ(make_bin(BinOp::kAdd, x, make_const(0)).get(), x.get());
+  EXPECT_EQ(make_bin(BinOp::kAdd, make_const(0), x).get(), x.get());
+}
+
+TEST(ExprIdentities, SubZeroAndMulDivOne) {
+  const Expr x = make_input(0);
+  EXPECT_EQ(make_bin(BinOp::kSub, x, make_const(0)).get(), x.get());
+  EXPECT_EQ(make_bin(BinOp::kMul, x, make_const(1)).get(), x.get());
+  EXPECT_EQ(make_bin(BinOp::kMul, make_const(1), x).get(), x.get());
+  EXPECT_EQ(make_bin(BinOp::kDiv, x, make_const(1)).get(), x.get());
+}
+
+TEST(ExprIdentities, TaintedExpressionsNeverFoldToConstants) {
+  // x - x, x * 0, x == x MUST stay symbolic: the interpreter taints these
+  // results and records trace bits for them; folding would desynchronize
+  // the executor from the trace (the media_parser crash relies on this —
+  // its planted bug divides by size - size).
+  const Expr x = make_input(0);
+  EXPECT_FALSE(is_const(make_bin(BinOp::kSub, x, x)));
+  EXPECT_FALSE(is_const(make_bin(BinOp::kMul, x, make_const(0))));
+  EXPECT_FALSE(is_const(make_bin(BinOp::kEq, x, x)));
+  EXPECT_FALSE(is_const(make_bin(BinOp::kNe, x, x)));
+  EXPECT_FALSE(is_const(make_bin(BinOp::kLt, x, x)));
+}
+
+TEST(ExprIdentities, IdentitiesPreserveEvaluation) {
+  Rng rng(3);
+  const Expr x = make_input(0);
+  for (int i = 0; i < 100; ++i) {
+    const Value v = rng.next_in(-1000, 1000);
+    EXPECT_EQ(eval_expr(make_bin(BinOp::kAdd, x, make_const(0)), {v}, {}), v);
+    EXPECT_EQ(eval_expr(make_bin(BinOp::kSub, x, x), {v}, {}), 0);
+    EXPECT_EQ(eval_expr(make_bin(BinOp::kMul, x, make_const(0)), {v}, {}), 0);
+  }
+}
+
+// ------------------------------------------------------ DAG performance ----
+
+TEST(ExprDag, DeepReuseChainsEvaluateInLinearTime) {
+  // r = x; repeat: r = r + r. Without memoization this is a 2^64-leaf tree.
+  Expr r = make_input(0);
+  for (int i = 0; i < 64; ++i) r = make_bin(BinOp::kAdd, r, r);
+  Timer timer;
+  const Value v = eval_expr(r, {1}, {});
+  EXPECT_LT(timer.elapsed_ms(), 100.0);
+  // 2^64 additions of 1 wraps to 0 under two's-complement.
+  EXPECT_EQ(v, 0);
+}
+
+TEST(ExprDag, SolverHandlesDeepChains) {
+  Expr r = make_input(0);
+  for (int i = 0; i < 40; ++i) r = make_bin(BinOp::kMul, r, r);
+  // x^(2^40) == 0 iff x == 0 over [0, 3] (0 stays 0; 1 stays 1; 2,3
+  // wrap around but the solver just needs to terminate quickly).
+  PathConstraint pc;
+  pc.push_back({make_bin(BinOp::kEq, r, make_const(0)), true});
+  SolverOptions so;
+  so.max_nodes = 10'000;
+  Timer timer;
+  const auto result = solve_path(pc, {{0, 3}}, {}, so);
+  EXPECT_LT(timer.elapsed_ms(), 2000.0);
+  // x=0 satisfies; result must be SAT (or at worst unknown under budget,
+  // but never a hang).
+  if (result.status == SolveStatus::kSat) {
+    EXPECT_EQ(result.model.inputs[0] , 0);
+  }
+}
+
+TEST(ExprDag, MaxIndicesLinearOnDags) {
+  Expr r = make_bin(BinOp::kAdd, make_input(7), make_unknown(3));
+  for (int i = 0; i < 60; ++i) r = make_bin(BinOp::kAdd, r, r);
+  Timer timer;
+  int mi = -1, mu = -1;
+  max_indices(r, &mi, &mu);
+  EXPECT_LT(timer.elapsed_ms(), 100.0);
+  EXPECT_EQ(mi, 7);
+  EXPECT_EQ(mu, 3);
+}
+
+// -------------------------------------------- taint/symbolic agreement -----
+
+TEST(TaintSymbolicCorrespondence, SubSelfKeepsRecordingParity) {
+  // The media_parser pattern in miniature: divide by (x - x). The
+  // interpreter records a (crash) check bit because x-x is tainted; the
+  // symbolic executor must treat the same divisor as symbolic and emit the
+  // same decision.
+  ProgramBuilder b("subself");
+  const Reg x = b.reg(), z = b.reg(), d = b.reg(), c = b.reg();
+  b.input(x, b.input_slot());
+  b.sub(z, x, x);  // always 0, but tainted
+  b.const_(c, 10);
+  b.div(d, c, z);  // always crashes
+  b.output(d);
+  b.halt();
+  const Program p = b.build();
+
+  ExecConfig cfg;
+  cfg.inputs = {5};
+  const auto live = execute(p, cfg);
+  EXPECT_EQ(live.trace.outcome, Outcome::kCrash);
+  ASSERT_EQ(live.trace.branch_bits.size(), 1u);  // one crash-check decision
+
+  ExploreOptions opt;
+  opt.input_domains = {{0, 63}};
+  SymbolicExecutor ex(p, opt);
+  const auto paths = ex.explore();
+  ASSERT_EQ(paths.size(), 1u);  // survive side is infeasible
+  EXPECT_EQ(paths[0].terminal, PathTerminal::kCrash);
+  ASSERT_EQ(paths[0].decisions.size(), 1u);
+  EXPECT_FALSE(paths[0].decisions[0].taken);
+}
+
+TEST(TaintSymbolicCorrespondence, ModelVerifiedFlagSetWhenSolved) {
+  ProgramBuilder b("mv");
+  const Reg x = b.reg(), t = b.reg();
+  b.input(x, b.input_slot());
+  b.cmp_lt_const(t, x, 10);
+  auto yes = b.label(), no = b.label();
+  b.branch_if(t, yes, no);
+  b.bind(yes);
+  b.bind(no);
+  b.halt();
+  const Program p = b.build();  // the executor keeps a reference
+  ExploreOptions opt;
+  opt.input_domains = {{0, 63}};
+  SymbolicExecutor ex(p, opt);
+  const auto paths = ex.explore();
+  ASSERT_EQ(paths.size(), 2u);
+  for (const auto& p : paths) {
+    EXPECT_TRUE(p.model_verified);
+    // And the model indeed satisfies the constraints.
+    EXPECT_TRUE(satisfies(p.constraints, p.model));
+  }
+}
+
+}  // namespace
+}  // namespace softborg

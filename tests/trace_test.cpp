@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "trace/codec.h"
+#include "trace/sampling.h"
+#include "trace/trace.h"
+
+namespace softborg {
+namespace {
+
+Trace sample_trace(std::uint64_t seed = 1) {
+  Rng r(seed);
+  Trace t;
+  t.id = TraceId(r());
+  t.program = ProgramId(r.next_below(100));
+  t.pod = PodId(r.next_below(10000));
+  t.outcome = Outcome::kCrash;
+  t.crash = CrashInfo{CrashKind::kDivByZero, 42, -7};
+  t.granularity = Granularity::kFull;
+  for (int i = 0; i < 100; ++i) t.branch_bits.push_back(r.next_bool());
+  t.schedule = {{0, 17}, {1, 5}, {0, 3}};
+  t.lock_events = {{0, true, 1, 10}, {1, true, 2, 20}, {0, false, 1, 12}};
+  t.syscalls = {{0, 0, -1}, {3, 1, 1}, {1, 2, 0}};
+  t.steps = 12345;
+  t.patched = true;
+  t.guided = false;
+  t.day = 33;
+  return t;
+}
+
+TEST(Codec, RoundTripFullTrace) {
+  const Trace t = sample_trace();
+  const Bytes wire = encode_trace(t);
+  auto back = decode_trace(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, t);
+}
+
+TEST(Codec, RoundTripMinimalTrace) {
+  Trace t;
+  t.outcome = Outcome::kOk;
+  const Bytes wire = encode_trace(t);
+  auto back = decode_trace(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, t);
+}
+
+TEST(Codec, RoundTripEveryOutcome) {
+  for (auto o : {Outcome::kOk, Outcome::kCrash, Outcome::kDeadlock,
+                 Outcome::kHang, Outcome::kUserKilled}) {
+    Trace t;
+    t.outcome = o;
+    auto back = decode_trace(encode_trace(t));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->outcome, o);
+  }
+}
+
+TEST(Codec, RoundTripRandomizedSweep) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const Trace t = sample_trace(seed);
+    auto back = decode_trace(encode_trace(t));
+    ASSERT_TRUE(back.has_value()) << "seed " << seed;
+    EXPECT_EQ(*back, t) << "seed " << seed;
+  }
+}
+
+TEST(Codec, RejectsEmptyInput) {
+  EXPECT_FALSE(decode_trace({}).has_value());
+}
+
+TEST(Codec, RejectsBadMagic) {
+  Bytes wire = encode_trace(sample_trace());
+  wire[0] ^= 0xff;
+  EXPECT_FALSE(decode_trace(wire).has_value());
+}
+
+TEST(Codec, RejectsTruncation) {
+  const Bytes wire = encode_trace(sample_trace());
+  // Every strict prefix must be rejected — no partial decodes.
+  for (std::size_t cut = 0; cut < wire.size(); cut += 7) {
+    Bytes prefix(wire.begin(), wire.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(decode_trace(prefix).has_value()) << "cut " << cut;
+  }
+}
+
+TEST(Codec, RejectsTrailingGarbage) {
+  Bytes wire = encode_trace(sample_trace());
+  wire.push_back(0x00);
+  EXPECT_FALSE(decode_trace(wire).has_value());
+}
+
+TEST(Codec, RejectsInvalidOutcome) {
+  Trace t;
+  Bytes wire = encode_trace(t);
+  // Layout: magic (5 bytes), then version/id/program/pod as single-byte
+  // varints, so the outcome byte is at index 9.
+  wire[9] = 99;
+  EXPECT_FALSE(decode_trace(wire).has_value());
+}
+
+TEST(Codec, FuzzRandomBytesNeverCrash) {
+  Rng r(77);
+  for (int round = 0; round < 2000; ++round) {
+    Bytes junk(r.next_below(64));
+    for (auto& byte : junk) byte = static_cast<std::uint8_t>(r());
+    (void)decode_trace(junk);  // must not crash or hang
+  }
+}
+
+TEST(Codec, FuzzMutatedValidTracesNeverCrash) {
+  Rng r(78);
+  const Bytes wire = encode_trace(sample_trace());
+  for (int round = 0; round < 2000; ++round) {
+    Bytes mutated = wire;
+    const std::size_t n_mutations = 1 + r.next_below(4);
+    for (std::size_t i = 0; i < n_mutations; ++i) {
+      mutated[r.next_below(mutated.size())] =
+          static_cast<std::uint8_t>(r());
+    }
+    auto result = decode_trace(mutated);  // must not crash
+    if (result.has_value()) {
+      // If it decodes, invariants must hold.
+      EXPECT_LE(static_cast<int>(result->outcome), 4);
+    }
+  }
+}
+
+TEST(Codec, WireSizeIsCompact) {
+  // 100 branch bits + metadata should be well under raw struct size.
+  const Trace t = sample_trace();
+  const Bytes wire = encode_trace(t);
+  EXPECT_LT(wire.size(), 200u);
+}
+
+// ------------------------------------------------------------ sampling -----
+
+TEST(Sampling, RateOneRecordsEverything) {
+  for (std::uint32_t site = 0; site < 100; ++site) {
+    EXPECT_TRUE(sample_site(site, PodId(3), 1));
+  }
+}
+
+TEST(Sampling, ApproximatelyOneOverRate) {
+  const std::uint32_t rate = 10;
+  int recorded = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (sample_site(static_cast<std::uint32_t>(i % 200),
+                    PodId(static_cast<std::uint64_t>(i / 200)), rate)) {
+      recorded++;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(recorded) / n, 1.0 / rate, 0.01);
+}
+
+TEST(Sampling, CoordinatedCoverage) {
+  // Across enough pods, every site is recorded by someone.
+  const std::uint32_t rate = 13;
+  for (std::uint32_t site = 0; site < 50; ++site) {
+    bool covered = false;
+    for (std::uint64_t pod = 0; pod < 200 && !covered; ++pod) {
+      covered = sample_site(site, PodId(pod), rate);
+    }
+    EXPECT_TRUE(covered) << "site " << site;
+  }
+}
+
+TEST(Sampling, DeterministicAssignment) {
+  EXPECT_EQ(sample_site(7, PodId(3), 5), sample_site(7, PodId(3), 5));
+}
+
+TEST(SiteStats, FailureScoreIdentifiesPredictiveSite) {
+  SiteStats stats;
+  // Site 1 taken => always fails; site 2 is noise.
+  Rng r(5);
+  for (int i = 0; i < 200; ++i) {
+    SampledTrace t;
+    t.outcome = (i % 4 == 0) ? Outcome::kCrash : Outcome::kOk;
+    t.observations.push_back({1, t.outcome == Outcome::kCrash});
+    t.observations.push_back({2, r.next_bool()});
+    stats.add(t);
+  }
+  EXPECT_GT(stats.failure_score(1, true), 0.5);
+  EXPECT_LT(std::abs(stats.failure_score(2, true)), 0.3);
+  const auto ranked = stats.ranked_sites();
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0], 1u);
+}
+
+TEST(SiteStats, UnknownSiteScoresZero) {
+  SiteStats stats;
+  EXPECT_DOUBLE_EQ(stats.failure_score(123, true), 0.0);
+  EXPECT_EQ(stats.cell(123), nullptr);
+}
+
+}  // namespace
+}  // namespace softborg

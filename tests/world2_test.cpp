@@ -1,0 +1,131 @@
+// Second end-to-end suite: deployment resilience and configuration
+// variants of the World loop.
+#include <gtest/gtest.h>
+
+#include "core/softborg.h"
+
+namespace softborg {
+namespace {
+
+TEST(World2, FullGranularityFleetStillFixes) {
+  WorldConfig config;
+  config.pods_per_program = 40;
+  config.days = 12;
+  config.seed = 3;
+  config.pod_config.granularity = Granularity::kFull;
+  World world({make_media_parser()}, config);
+  world.run();
+  EXPECT_GE(world.history().back().bugs_fixed_total, 1u);
+}
+
+TEST(World2, SampledFleetFeedsSiteStats) {
+  WorldConfig config;
+  config.pods_per_program = 30;
+  config.days = 4;
+  config.seed = 5;
+  config.pod_config.sampling_rate = 4;
+  World world({make_media_parser()}, config);
+  world.run();
+  const auto& stats =
+      world.hive().site_stats(world.corpus()[0].program.id);
+  EXPECT_GT(stats.num_sites(), 0u);
+}
+
+TEST(World2, GuidanceReachesMultithreadedPrograms) {
+  WorldConfig config;
+  config.pods_per_program = 20;
+  config.days = 6;
+  config.seed = 3;
+  config.guidance_per_program_per_day = 4;
+  config.distribute_fixes = false;  // keep the deadlock reproducible
+  World world({make_bank_transfer()}, config);
+  world.run();
+  // Schedule-steering directives were consumed by pods.
+  std::uint64_t guided = 0;
+  for (std::size_t i = 0; i < world.num_pods(); ++i) {
+    guided += world.pod(i).stats().guided_runs;
+  }
+  EXPECT_GT(guided, 0u);
+  // And the deadlock was found.
+  EXPECT_GE(world.hive().bug_tracker().count(BugKind::kDeadlock), 1u);
+}
+
+TEST(World2, KAnonymityWorldStillConverges) {
+  WorldConfig config;
+  config.pods_per_program = 40;
+  config.days = 14;
+  config.seed = 3;
+  config.hive.k_anonymity = 2;
+  World world({make_media_parser()}, config);
+  world.run();
+  // The crash path is produced by several users in the crash region, so it
+  // clears the gate and gets fixed.
+  EXPECT_GE(world.history().back().bugs_fixed_total, 1u);
+}
+
+TEST(World2, HiveProofRevokedByWorldFixes) {
+  WorldConfig config;
+  config.pods_per_program = 40;
+  config.days = 2;
+  config.seed = 3;
+  World world({make_media_parser()}, config);
+  // A proof published before the fix ships...
+  const auto cert = world.hive().attempt_proof(
+      world.corpus()[0].program.id, Property::kAlwaysTerminates);
+  ASSERT_TRUE(cert.publishable());
+  ASSERT_EQ(world.hive().valid_proof_count(), 1u);
+  // ...is revoked when deployment fixes the crash.
+  world.run();
+  ASSERT_GE(world.history().back().bugs_fixed_total, 1u);
+  EXPECT_EQ(world.hive().valid_proof_count(), 0u);
+}
+
+TEST(World2, MostRunsSurviveHarshNetwork) {
+  WorldConfig config;
+  config.pods_per_program = 25;
+  config.days = 10;
+  config.seed = 3;
+  config.net.drop_prob = 0.4;
+  config.net.dup_prob = 0.3;
+  config.net.max_latency_ticks = 8;
+  World world({make_media_parser()}, config);
+  world.run();
+  // Higher loss slows but does not break aggregation.
+  EXPECT_GT(world.hive().stats().traces_ingested, 500u);
+  EXPECT_GT(world.hive().stats().duplicates_dropped, 0u);
+  ExecTree* tree = world.hive().tree(world.corpus()[0].program.id);
+  ASSERT_NE(tree, nullptr);
+  EXPECT_GT(tree->num_paths(), 3u);
+}
+
+TEST(World2, ZeroGuidanceConfigSendsNone) {
+  WorldConfig config;
+  config.pods_per_program = 10;
+  config.days = 3;
+  config.guidance_per_program_per_day = 0;
+  World world({make_media_parser()}, config);
+  world.run();
+  for (std::size_t i = 0; i < world.num_pods(); ++i) {
+    EXPECT_EQ(world.pod(i).stats().guided_runs, 0u);
+  }
+}
+
+TEST(World2, HistoryRunsScaleWithMeanRate) {
+  WorldConfig low, high;
+  low.pods_per_program = high.pods_per_program = 20;
+  low.days = high.days = 5;
+  low.seed = high.seed = 9;
+  low.mean_runs_per_day = 2.0;
+  high.mean_runs_per_day = 10.0;
+  World wl({make_media_parser()}, low);
+  World wh({make_media_parser()}, high);
+  wl.run();
+  wh.run();
+  std::uint64_t runs_low = 0, runs_high = 0;
+  for (const auto& d : wl.history()) runs_low += d.runs;
+  for (const auto& d : wh.history()) runs_high += d.runs;
+  EXPECT_GT(runs_high, 3 * runs_low);
+}
+
+}  // namespace
+}  // namespace softborg
