@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_coverage_growth.dir/bench_e1_coverage_growth.cpp.o"
+  "CMakeFiles/bench_e1_coverage_growth.dir/bench_e1_coverage_growth.cpp.o.d"
+  "bench_e1_coverage_growth"
+  "bench_e1_coverage_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_coverage_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

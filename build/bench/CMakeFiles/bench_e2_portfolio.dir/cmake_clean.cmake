@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_portfolio.dir/bench_e2_portfolio.cpp.o"
+  "CMakeFiles/bench_e2_portfolio.dir/bench_e2_portfolio.cpp.o.d"
+  "bench_e2_portfolio"
+  "bench_e2_portfolio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_portfolio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_bug_density.dir/bench_e3_bug_density.cpp.o"
+  "CMakeFiles/bench_e3_bug_density.dir/bench_e3_bug_density.cpp.o.d"
+  "bench_e3_bug_density"
+  "bench_e3_bug_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_bug_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_deadlock_immunity.dir/bench_e4_deadlock_immunity.cpp.o"
+  "CMakeFiles/bench_e4_deadlock_immunity.dir/bench_e4_deadlock_immunity.cpp.o.d"
+  "bench_e4_deadlock_immunity"
+  "bench_e4_deadlock_immunity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_deadlock_immunity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_guidance.dir/bench_e5_guidance.cpp.o"
+  "CMakeFiles/bench_e5_guidance.dir/bench_e5_guidance.cpp.o.d"
+  "bench_e5_guidance"
+  "bench_e5_guidance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_guidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_relaxed_consistency.dir/bench_e7_relaxed_consistency.cpp.o"
+  "CMakeFiles/bench_e7_relaxed_consistency.dir/bench_e7_relaxed_consistency.cpp.o.d"
+  "bench_e7_relaxed_consistency"
+  "bench_e7_relaxed_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_relaxed_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

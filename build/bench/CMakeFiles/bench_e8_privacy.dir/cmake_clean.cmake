@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_privacy.dir/bench_e8_privacy.cpp.o"
+  "CMakeFiles/bench_e8_privacy.dir/bench_e8_privacy.cpp.o.d"
+  "bench_e8_privacy"
+  "bench_e8_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_coop_sym.dir/bench_e9_coop_sym.cpp.o"
+  "CMakeFiles/bench_e9_coop_sym.dir/bench_e9_coop_sym.cpp.o.d"
+  "bench_e9_coop_sym"
+  "bench_e9_coop_sym.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_coop_sym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cooperative_prover.dir/cooperative_prover.cpp.o"
+  "CMakeFiles/cooperative_prover.dir/cooperative_prover.cpp.o.d"
+  "cooperative_prover"
+  "cooperative_prover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cooperative_prover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

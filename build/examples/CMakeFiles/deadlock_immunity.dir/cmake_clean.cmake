@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_immunity.dir/deadlock_immunity.cpp.o"
+  "CMakeFiles/deadlock_immunity.dir/deadlock_immunity.cpp.o.d"
+  "deadlock_immunity"
+  "deadlock_immunity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_immunity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

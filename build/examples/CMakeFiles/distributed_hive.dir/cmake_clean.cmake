@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_hive.dir/distributed_hive.cpp.o"
+  "CMakeFiles/distributed_hive.dir/distributed_hive.cpp.o.d"
+  "distributed_hive"
+  "distributed_hive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_hive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

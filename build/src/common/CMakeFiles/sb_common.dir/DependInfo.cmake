@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bitvec.cpp" "src/common/CMakeFiles/sb_common.dir/bitvec.cpp.o" "gcc" "src/common/CMakeFiles/sb_common.dir/bitvec.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/common/CMakeFiles/sb_common.dir/log.cpp.o" "gcc" "src/common/CMakeFiles/sb_common.dir/log.cpp.o.d"
+  "/root/repo/src/common/metrics.cpp" "src/common/CMakeFiles/sb_common.dir/metrics.cpp.o" "gcc" "src/common/CMakeFiles/sb_common.dir/metrics.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/common/CMakeFiles/sb_common.dir/thread_pool.cpp.o" "gcc" "src/common/CMakeFiles/sb_common.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/common/varint.cpp" "src/common/CMakeFiles/sb_common.dir/varint.cpp.o" "gcc" "src/common/CMakeFiles/sb_common.dir/varint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

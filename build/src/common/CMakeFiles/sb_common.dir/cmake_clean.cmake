@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_common.dir/bitvec.cpp.o"
+  "CMakeFiles/sb_common.dir/bitvec.cpp.o.d"
+  "CMakeFiles/sb_common.dir/log.cpp.o"
+  "CMakeFiles/sb_common.dir/log.cpp.o.d"
+  "CMakeFiles/sb_common.dir/metrics.cpp.o"
+  "CMakeFiles/sb_common.dir/metrics.cpp.o.d"
+  "CMakeFiles/sb_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/sb_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/sb_common.dir/varint.cpp.o"
+  "CMakeFiles/sb_common.dir/varint.cpp.o.d"
+  "libsb_common.a"
+  "libsb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_core.dir/world.cpp.o"
+  "CMakeFiles/sb_core.dir/world.cpp.o.d"
+  "libsb_core.a"
+  "libsb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

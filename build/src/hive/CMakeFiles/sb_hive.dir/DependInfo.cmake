@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hive/bugs.cpp" "src/hive/CMakeFiles/sb_hive.dir/bugs.cpp.o" "gcc" "src/hive/CMakeFiles/sb_hive.dir/bugs.cpp.o.d"
+  "/root/repo/src/hive/coop.cpp" "src/hive/CMakeFiles/sb_hive.dir/coop.cpp.o" "gcc" "src/hive/CMakeFiles/sb_hive.dir/coop.cpp.o.d"
+  "/root/repo/src/hive/fixer.cpp" "src/hive/CMakeFiles/sb_hive.dir/fixer.cpp.o" "gcc" "src/hive/CMakeFiles/sb_hive.dir/fixer.cpp.o.d"
+  "/root/repo/src/hive/guidance.cpp" "src/hive/CMakeFiles/sb_hive.dir/guidance.cpp.o" "gcc" "src/hive/CMakeFiles/sb_hive.dir/guidance.cpp.o.d"
+  "/root/repo/src/hive/hive.cpp" "src/hive/CMakeFiles/sb_hive.dir/hive.cpp.o" "gcc" "src/hive/CMakeFiles/sb_hive.dir/hive.cpp.o.d"
+  "/root/repo/src/hive/proof.cpp" "src/hive/CMakeFiles/sb_hive.dir/proof.cpp.o" "gcc" "src/hive/CMakeFiles/sb_hive.dir/proof.cpp.o.d"
+  "/root/repo/src/hive/report.cpp" "src/hive/CMakeFiles/sb_hive.dir/report.cpp.o" "gcc" "src/hive/CMakeFiles/sb_hive.dir/report.cpp.o.d"
+  "/root/repo/src/hive/sharded.cpp" "src/hive/CMakeFiles/sb_hive.dir/sharded.cpp.o" "gcc" "src/hive/CMakeFiles/sb_hive.dir/sharded.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/minivm/CMakeFiles/sb_minivm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sym/CMakeFiles/sb_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/sb_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/sb_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pod/CMakeFiles/sb_pod.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_hive.dir/bugs.cpp.o"
+  "CMakeFiles/sb_hive.dir/bugs.cpp.o.d"
+  "CMakeFiles/sb_hive.dir/coop.cpp.o"
+  "CMakeFiles/sb_hive.dir/coop.cpp.o.d"
+  "CMakeFiles/sb_hive.dir/fixer.cpp.o"
+  "CMakeFiles/sb_hive.dir/fixer.cpp.o.d"
+  "CMakeFiles/sb_hive.dir/guidance.cpp.o"
+  "CMakeFiles/sb_hive.dir/guidance.cpp.o.d"
+  "CMakeFiles/sb_hive.dir/hive.cpp.o"
+  "CMakeFiles/sb_hive.dir/hive.cpp.o.d"
+  "CMakeFiles/sb_hive.dir/proof.cpp.o"
+  "CMakeFiles/sb_hive.dir/proof.cpp.o.d"
+  "CMakeFiles/sb_hive.dir/report.cpp.o"
+  "CMakeFiles/sb_hive.dir/report.cpp.o.d"
+  "CMakeFiles/sb_hive.dir/sharded.cpp.o"
+  "CMakeFiles/sb_hive.dir/sharded.cpp.o.d"
+  "libsb_hive.a"
+  "libsb_hive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_hive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minivm/builder.cpp" "src/minivm/CMakeFiles/sb_minivm.dir/builder.cpp.o" "gcc" "src/minivm/CMakeFiles/sb_minivm.dir/builder.cpp.o.d"
+  "/root/repo/src/minivm/corpus.cpp" "src/minivm/CMakeFiles/sb_minivm.dir/corpus.cpp.o" "gcc" "src/minivm/CMakeFiles/sb_minivm.dir/corpus.cpp.o.d"
+  "/root/repo/src/minivm/disasm.cpp" "src/minivm/CMakeFiles/sb_minivm.dir/disasm.cpp.o" "gcc" "src/minivm/CMakeFiles/sb_minivm.dir/disasm.cpp.o.d"
+  "/root/repo/src/minivm/env.cpp" "src/minivm/CMakeFiles/sb_minivm.dir/env.cpp.o" "gcc" "src/minivm/CMakeFiles/sb_minivm.dir/env.cpp.o.d"
+  "/root/repo/src/minivm/interp.cpp" "src/minivm/CMakeFiles/sb_minivm.dir/interp.cpp.o" "gcc" "src/minivm/CMakeFiles/sb_minivm.dir/interp.cpp.o.d"
+  "/root/repo/src/minivm/program.cpp" "src/minivm/CMakeFiles/sb_minivm.dir/program.cpp.o" "gcc" "src/minivm/CMakeFiles/sb_minivm.dir/program.cpp.o.d"
+  "/root/repo/src/minivm/random_program.cpp" "src/minivm/CMakeFiles/sb_minivm.dir/random_program.cpp.o" "gcc" "src/minivm/CMakeFiles/sb_minivm.dir/random_program.cpp.o.d"
+  "/root/repo/src/minivm/replay.cpp" "src/minivm/CMakeFiles/sb_minivm.dir/replay.cpp.o" "gcc" "src/minivm/CMakeFiles/sb_minivm.dir/replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sb_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_minivm.dir/builder.cpp.o"
+  "CMakeFiles/sb_minivm.dir/builder.cpp.o.d"
+  "CMakeFiles/sb_minivm.dir/corpus.cpp.o"
+  "CMakeFiles/sb_minivm.dir/corpus.cpp.o.d"
+  "CMakeFiles/sb_minivm.dir/disasm.cpp.o"
+  "CMakeFiles/sb_minivm.dir/disasm.cpp.o.d"
+  "CMakeFiles/sb_minivm.dir/env.cpp.o"
+  "CMakeFiles/sb_minivm.dir/env.cpp.o.d"
+  "CMakeFiles/sb_minivm.dir/interp.cpp.o"
+  "CMakeFiles/sb_minivm.dir/interp.cpp.o.d"
+  "CMakeFiles/sb_minivm.dir/program.cpp.o"
+  "CMakeFiles/sb_minivm.dir/program.cpp.o.d"
+  "CMakeFiles/sb_minivm.dir/random_program.cpp.o"
+  "CMakeFiles/sb_minivm.dir/random_program.cpp.o.d"
+  "CMakeFiles/sb_minivm.dir/replay.cpp.o"
+  "CMakeFiles/sb_minivm.dir/replay.cpp.o.d"
+  "libsb_minivm.a"
+  "libsb_minivm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_minivm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

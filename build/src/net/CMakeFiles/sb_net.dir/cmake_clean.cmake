@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_net.dir/simnet.cpp.o"
+  "CMakeFiles/sb_net.dir/simnet.cpp.o.d"
+  "libsb_net.a"
+  "libsb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

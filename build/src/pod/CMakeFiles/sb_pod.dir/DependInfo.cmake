@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pod/pod.cpp" "src/pod/CMakeFiles/sb_pod.dir/pod.cpp.o" "gcc" "src/pod/CMakeFiles/sb_pod.dir/pod.cpp.o.d"
+  "/root/repo/src/pod/protocol.cpp" "src/pod/CMakeFiles/sb_pod.dir/protocol.cpp.o" "gcc" "src/pod/CMakeFiles/sb_pod.dir/protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/minivm/CMakeFiles/sb_minivm.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/sb_privacy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_pod.dir/pod.cpp.o"
+  "CMakeFiles/sb_pod.dir/pod.cpp.o.d"
+  "CMakeFiles/sb_pod.dir/protocol.cpp.o"
+  "CMakeFiles/sb_pod.dir/protocol.cpp.o.d"
+  "libsb_pod.a"
+  "libsb_pod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_pod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_privacy.dir/anonymize.cpp.o"
+  "CMakeFiles/sb_privacy.dir/anonymize.cpp.o.d"
+  "CMakeFiles/sb_privacy.dir/entropy.cpp.o"
+  "CMakeFiles/sb_privacy.dir/entropy.cpp.o.d"
+  "libsb_privacy.a"
+  "libsb_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sym/cnf.cpp" "src/sym/CMakeFiles/sb_sym.dir/cnf.cpp.o" "gcc" "src/sym/CMakeFiles/sb_sym.dir/cnf.cpp.o.d"
+  "/root/repo/src/sym/csolver.cpp" "src/sym/CMakeFiles/sb_sym.dir/csolver.cpp.o" "gcc" "src/sym/CMakeFiles/sb_sym.dir/csolver.cpp.o.d"
+  "/root/repo/src/sym/executor.cpp" "src/sym/CMakeFiles/sb_sym.dir/executor.cpp.o" "gcc" "src/sym/CMakeFiles/sb_sym.dir/executor.cpp.o.d"
+  "/root/repo/src/sym/expr.cpp" "src/sym/CMakeFiles/sb_sym.dir/expr.cpp.o" "gcc" "src/sym/CMakeFiles/sb_sym.dir/expr.cpp.o.d"
+  "/root/repo/src/sym/portfolio.cpp" "src/sym/CMakeFiles/sb_sym.dir/portfolio.cpp.o" "gcc" "src/sym/CMakeFiles/sb_sym.dir/portfolio.cpp.o.d"
+  "/root/repo/src/sym/sat.cpp" "src/sym/CMakeFiles/sb_sym.dir/sat.cpp.o" "gcc" "src/sym/CMakeFiles/sb_sym.dir/sat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/minivm/CMakeFiles/sb_minivm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sb_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_sym.dir/cnf.cpp.o"
+  "CMakeFiles/sb_sym.dir/cnf.cpp.o.d"
+  "CMakeFiles/sb_sym.dir/csolver.cpp.o"
+  "CMakeFiles/sb_sym.dir/csolver.cpp.o.d"
+  "CMakeFiles/sb_sym.dir/executor.cpp.o"
+  "CMakeFiles/sb_sym.dir/executor.cpp.o.d"
+  "CMakeFiles/sb_sym.dir/expr.cpp.o"
+  "CMakeFiles/sb_sym.dir/expr.cpp.o.d"
+  "CMakeFiles/sb_sym.dir/portfolio.cpp.o"
+  "CMakeFiles/sb_sym.dir/portfolio.cpp.o.d"
+  "CMakeFiles/sb_sym.dir/sat.cpp.o"
+  "CMakeFiles/sb_sym.dir/sat.cpp.o.d"
+  "libsb_sym.a"
+  "libsb_sym.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_sym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

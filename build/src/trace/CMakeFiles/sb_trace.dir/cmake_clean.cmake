@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_trace.dir/codec.cpp.o"
+  "CMakeFiles/sb_trace.dir/codec.cpp.o.d"
+  "CMakeFiles/sb_trace.dir/sampling.cpp.o"
+  "CMakeFiles/sb_trace.dir/sampling.cpp.o.d"
+  "libsb_trace.a"
+  "libsb_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

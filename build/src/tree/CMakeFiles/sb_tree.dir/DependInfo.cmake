@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/exec_tree.cpp" "src/tree/CMakeFiles/sb_tree.dir/exec_tree.cpp.o" "gcc" "src/tree/CMakeFiles/sb_tree.dir/exec_tree.cpp.o.d"
+  "/root/repo/src/tree/tree_codec.cpp" "src/tree/CMakeFiles/sb_tree.dir/tree_codec.cpp.o" "gcc" "src/tree/CMakeFiles/sb_tree.dir/tree_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sym/CMakeFiles/sb_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/minivm/CMakeFiles/sb_minivm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

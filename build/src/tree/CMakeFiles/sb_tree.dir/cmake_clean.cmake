@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_tree.dir/exec_tree.cpp.o"
+  "CMakeFiles/sb_tree.dir/exec_tree.cpp.o.d"
+  "CMakeFiles/sb_tree.dir/tree_codec.cpp.o"
+  "CMakeFiles/sb_tree.dir/tree_codec.cpp.o.d"
+  "libsb_tree.a"
+  "libsb_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

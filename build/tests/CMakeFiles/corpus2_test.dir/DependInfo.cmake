@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/corpus2_test.cpp" "tests/CMakeFiles/corpus2_test.dir/corpus2_test.cpp.o" "gcc" "tests/CMakeFiles/corpus2_test.dir/corpus2_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/minivm/CMakeFiles/sb_minivm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sym/CMakeFiles/sb_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/sb_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/sb_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pod/CMakeFiles/sb_pod.dir/DependInfo.cmake"
+  "/root/repo/build/src/hive/CMakeFiles/sb_hive.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sb_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

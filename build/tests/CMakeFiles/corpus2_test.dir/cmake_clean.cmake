@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus2_test.dir/corpus2_test.cpp.o"
+  "CMakeFiles/corpus2_test.dir/corpus2_test.cpp.o.d"
+  "corpus2_test"
+  "corpus2_test.pdb"
+  "corpus2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

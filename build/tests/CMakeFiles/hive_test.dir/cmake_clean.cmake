@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hive_test.dir/hive_test.cpp.o"
+  "CMakeFiles/hive_test.dir/hive_test.cpp.o.d"
+  "hive_test"
+  "hive_test.pdb"
+  "hive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp2_test.dir/interp2_test.cpp.o"
+  "CMakeFiles/interp2_test.dir/interp2_test.cpp.o.d"
+  "interp2_test"
+  "interp2_test.pdb"
+  "interp2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

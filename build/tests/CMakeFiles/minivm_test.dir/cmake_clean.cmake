@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minivm_test.dir/minivm_test.cpp.o"
+  "CMakeFiles/minivm_test.dir/minivm_test.cpp.o.d"
+  "minivm_test"
+  "minivm_test.pdb"
+  "minivm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minivm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

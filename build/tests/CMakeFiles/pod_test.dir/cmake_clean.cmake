@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pod_test.dir/pod_test.cpp.o"
+  "CMakeFiles/pod_test.dir/pod_test.cpp.o.d"
+  "pod_test"
+  "pod_test.pdb"
+  "pod_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pod_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sym2_test.dir/sym2_test.cpp.o"
+  "CMakeFiles/sym2_test.dir/sym2_test.cpp.o.d"
+  "sym2_test"
+  "sym2_test.pdb"
+  "sym2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sym2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

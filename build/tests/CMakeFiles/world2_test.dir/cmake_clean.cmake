@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/world2_test.dir/world2_test.cpp.o"
+  "CMakeFiles/world2_test.dir/world2_test.cpp.o.d"
+  "world2_test"
+  "world2_test.pdb"
+  "world2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/world2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/minivm_test[1]_include.cmake")
+include("/root/repo/build/tests/replay_test[1]_include.cmake")
+include("/root/repo/build/tests/sym_test[1]_include.cmake")
+include("/root/repo/build/tests/sat_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_test[1]_include.cmake")
+include("/root/repo/build/tests/privacy_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/hive_test[1]_include.cmake")
+include("/root/repo/build/tests/pod_test[1]_include.cmake")
+include("/root/repo/build/tests/world_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus2_test[1]_include.cmake")
+include("/root/repo/build/tests/world2_test[1]_include.cmake")
+include("/root/repo/build/tests/persistence_test[1]_include.cmake")
+include("/root/repo/build/tests/sharded_test[1]_include.cmake")
+include("/root/repo/build/tests/interp2_test[1]_include.cmake")
+include("/root/repo/build/tests/sym2_test[1]_include.cmake")
