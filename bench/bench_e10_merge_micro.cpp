@@ -157,6 +157,59 @@ void BM_TreeCodecRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_TreeCodecRoundTrip);
 
+// Batch ingestion workload: n mixed-program traces from the standard corpus
+// with random in-domain inputs and unique ids (dedup passes every wire).
+const std::vector<Bytes>& mixed_workload() {
+  static const std::vector<Bytes> wires = [] {
+    const auto corpus = standard_corpus();
+    Rng rng(21);
+    std::vector<Bytes> out;
+    out.reserve(4096);
+    for (std::size_t i = 0; i < 4096; ++i) {
+      const CorpusEntry& entry = corpus[rng.next_below(corpus.size())];
+      ExecConfig cfg;
+      for (const auto& d : entry.domains) {
+        cfg.inputs.push_back(rng.next_in(d.lo, d.hi));
+      }
+      cfg.seed = i + 1;
+      auto result = execute(entry.program, cfg);
+      result.trace.id = TraceId(i + 1);
+      out.push_back(encode_trace(result.trace));
+    }
+    return out;
+  }();
+  return wires;
+}
+
+// Arg(0): serial baseline (per-wire ingest_bytes). Arg(k>0): ingest_batch on
+// k worker threads. Each iteration ingests the full 4096-trace workload into
+// a fresh hive, so dedup and the replay cache start cold every time.
+void BM_IngestBatch(benchmark::State& state) {
+  static const std::vector<CorpusEntry> corpus = standard_corpus();
+  const std::vector<Bytes>& wires = mixed_workload();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    HiveConfig cfg;
+    cfg.ingest_threads = threads;
+    Hive hive(&corpus, cfg);
+    if (threads == 0) {
+      for (const auto& w : wires) hive.ingest_bytes(w);
+    } else {
+      hive.ingest_batch(wires);
+    }
+    benchmark::DoNotOptimize(hive.stats().paths_merged);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(wires.size()));
+}
+BENCHMARK(BM_IngestBatch)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_HiveIngest(benchmark::State& state) {
   // Full pipeline: decode + bucket + replay + merge.
   static std::vector<CorpusEntry> corpus = {make_media_parser()};

@@ -73,6 +73,13 @@ class BitVec {
 
   const std::vector<std::uint64_t>& words() const { return words_; }
 
+  // Releases the word storage so a caller can recycle its capacity (the
+  // decode hot path rebuilds BitVecs in a loop); this BitVec becomes empty.
+  std::vector<std::uint64_t> take_words() && {
+    size_ = 0;
+    return std::move(words_);
+  }
+
   // Rebuilds from raw words; bits past `n` in the last word are cleared.
   static BitVec from_words(std::vector<std::uint64_t> words, std::size_t n);
 

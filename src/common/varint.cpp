@@ -17,7 +17,8 @@ void put_varint_signed(Bytes& out, std::int64_t v) {
   put_varint(out, zz);
 }
 
-std::optional<std::uint64_t> get_varint(const Bytes& in, std::size_t& pos) {
+std::optional<std::uint64_t> get_varint_slow(const Bytes& in,
+                                             std::size_t& pos) {
   std::uint64_t result = 0;
   int shift = 0;
   while (pos < in.size()) {
@@ -29,13 +30,6 @@ std::optional<std::uint64_t> get_varint(const Bytes& in, std::size_t& pos) {
     if (shift > 63) return std::nullopt;
   }
   return std::nullopt;  // truncated
-}
-
-std::optional<std::int64_t> get_varint_signed(const Bytes& in,
-                                              std::size_t& pos) {
-  auto zz = get_varint(in, pos);
-  if (!zz) return std::nullopt;
-  return static_cast<std::int64_t>((*zz >> 1) ^ (0 - (*zz & 1)));
 }
 
 }  // namespace softborg

@@ -14,9 +14,24 @@ void put_varint(Bytes& out, std::uint64_t v);
 // ZigZag-encoded signed varint.
 void put_varint_signed(Bytes& out, std::int64_t v);
 
+// Multi-byte continuation of get_varint (see below).
+std::optional<std::uint64_t> get_varint_slow(const Bytes& in,
+                                             std::size_t& pos);
+
 // Cursor-based decoder; returns nullopt on truncated/overlong input.
-std::optional<std::uint64_t> get_varint(const Bytes& in, std::size_t& pos);
-std::optional<std::int64_t> get_varint_signed(const Bytes& in,
-                                              std::size_t& pos);
+// Inlined single-byte fast path: most wire fields are small scalars, and
+// trace decoding/summarizing is bottlenecked on this call.
+inline std::optional<std::uint64_t> get_varint(const Bytes& in,
+                                               std::size_t& pos) {
+  if (pos < in.size() && in[pos] < 0x80) return in[pos++];
+  return get_varint_slow(in, pos);
+}
+
+inline std::optional<std::int64_t> get_varint_signed(const Bytes& in,
+                                                     std::size_t& pos) {
+  auto zz = get_varint(in, pos);
+  if (!zz) return std::nullopt;
+  return static_cast<std::int64_t>((*zz >> 1) ^ (0 - (*zz & 1)));
+}
 
 }  // namespace softborg

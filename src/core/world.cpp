@@ -193,11 +193,16 @@ void World::step_day() {
     }
   }
 
-  // 3. Let the network move, then the hive ingest everything delivered.
+  // 3. Let the network move, then the hive ingest everything delivered as
+  //    one batch (decode/replay fan out when hive.ingest_threads > 1).
   for (std::size_t t = 0; t < config_.ticks_per_day; ++t) net_.tick();
-  for (const auto& msg : net_.drain(hive_endpoint_)) {
-    if (msg.type == kMsgTrace) hive_->ingest_bytes(msg.payload);
+  std::vector<Bytes> batch;
+  auto messages = net_.drain(hive_endpoint_);
+  batch.reserve(messages.size());
+  for (auto& msg : messages) {
+    if (msg.type == kMsgTrace) batch.push_back(std::move(msg.payload));
   }
+  if (!batch.empty()) hive_->ingest_batch(batch);
 
   // 4. Analysis: bugs -> fixes -> distribution; guidance planning.
   const auto fixes = hive_->process();

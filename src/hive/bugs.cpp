@@ -117,25 +117,38 @@ std::vector<std::vector<std::uint16_t>> LockOrderAnalyzer::cycles() const {
   return out;
 }
 
-std::uint64_t BugTracker::key_of(const Trace& t) const {
+namespace {
+
+// Signature hash shared by the trace and sighting paths; `t` is consulted
+// only for the deadlock lock-set (the one signature needing payload data).
+std::uint64_t signature_key(ProgramId program, Outcome outcome,
+                            const std::optional<CrashInfo>& crash,
+                            const Trace* t) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
   auto mix = [&h](std::uint64_t v) {
     h ^= v;
     h *= 0x100000001b3ULL;
   };
-  mix(t.program.value);
-  mix(static_cast<std::uint64_t>(t.outcome));
-  if (t.outcome == Outcome::kCrash && t.crash.has_value()) {
-    mix(static_cast<std::uint64_t>(t.crash->kind));
-    mix(t.crash->pc);
-    mix(static_cast<std::uint64_t>(t.crash->detail));
-  } else if (t.outcome == Outcome::kDeadlock) {
+  mix(program.value);
+  mix(static_cast<std::uint64_t>(outcome));
+  if (outcome == Outcome::kCrash && crash.has_value()) {
+    mix(static_cast<std::uint64_t>(crash->kind));
+    mix(crash->pc);
+    mix(static_cast<std::uint64_t>(crash->detail));
+  } else if (outcome == Outcome::kDeadlock) {
     // Signature: the set of locks involved in the trace's lock events.
+    SB_CHECK(t != nullptr);
     std::set<std::uint16_t> locks;
-    for (const auto& ev : t.lock_events) locks.insert(ev.lock);
+    for (const auto& ev : t->lock_events) locks.insert(ev.lock);
     for (auto l : locks) mix(l);
   }
   return h;
+}
+
+}  // namespace
+
+std::uint64_t BugTracker::key_of(const Trace& t) const {
+  return signature_key(t.program, t.outcome, t.crash, &t);
 }
 
 Bug* BugTracker::record(const Trace& t) {
@@ -175,6 +188,32 @@ Bug* BugTracker::record(const Trace& t) {
     case Outcome::kOk:
       SB_CHECK(false);
   }
+  index_[key] = bugs_.size();
+  bugs_.push_back(std::move(bug));
+  return &bugs_.back();
+}
+
+Bug* BugTracker::record(const BugSighting& s) {
+  if (s.outcome == Outcome::kOk) return nullptr;
+  SB_CHECK(s.outcome != Outcome::kDeadlock);  // needs the full trace
+
+  const std::uint64_t key = signature_key(s.program, s.outcome, s.crash,
+                                          nullptr);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    Bug& bug = bugs_[it->second];
+    bug.occurrences++;
+    bug.last_day = std::max(bug.last_day, s.day);
+    return &bug;
+  }
+
+  Bug bug;
+  bug.id = BugId(next_id_++);
+  bug.program = s.program;
+  bug.occurrences = 1;
+  bug.first_day = bug.last_day = s.day;
+  bug.kind = s.outcome == Outcome::kCrash ? BugKind::kCrash : BugKind::kHang;
+  if (s.outcome == Outcome::kCrash) bug.crash = s.crash;
   index_[key] = bugs_.size();
   bugs_.push_back(std::move(bug));
   return &bugs_.back();

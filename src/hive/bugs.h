@@ -13,6 +13,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
@@ -66,6 +67,17 @@ class LockOrderAnalyzer {
   std::map<std::uint16_t, std::vector<std::uint16_t>> edges_;
 };
 
+// The scalar fields of a failing trace that bug signatures are built from.
+// Lets the batch pipeline record sightings straight off a wire summary,
+// deferring full trace decoding to the first occurrence (the exemplar).
+// Deadlocks are excluded: their signature needs the trace's lock events.
+struct BugSighting {
+  ProgramId program{0};
+  Outcome outcome = Outcome::kOk;
+  std::optional<CrashInfo> crash;
+  std::uint64_t day = 0;
+};
+
 // The hive's bug database.
 class BugTracker {
  public:
@@ -73,6 +85,11 @@ class BugTracker {
   // for outcomes that are not failures. `is_schedule_dependent` marks
   // assertion failures already seen to pass under other schedules.
   Bug* record(const Trace& t);
+
+  // Same bucketing from scalar fields only (non-deadlock outcomes). When
+  // this creates the bug (occurrences == 1), its exemplar is left default —
+  // the caller owns decoding the trace and filling it in.
+  Bug* record(const BugSighting& s);
 
   std::vector<Bug*> open_bugs();
   const std::vector<Bug>& all() const { return bugs_; }
@@ -89,7 +106,9 @@ class BugTracker {
   std::uint64_t key_of(const Trace& t) const;
 
   std::vector<Bug> bugs_;
-  std::map<std::uint64_t, std::size_t> index_;  // signature hash -> index
+  // Signature hash -> index into bugs_. Hashed, not ordered: only ever
+  // probed point-wise (every failing trace hits it), never iterated.
+  std::unordered_map<std::uint64_t, std::size_t> index_;
   std::uint64_t next_id_ = 1;
 };
 

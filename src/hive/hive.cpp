@@ -1,9 +1,13 @@
 #include "hive/hive.h"
 
 #include <algorithm>
+#include <bit>
+#include <optional>
+#include <thread>
 
 #include "common/check.h"
 #include "common/log.h"
+#include "common/metrics.h"
 #include "minivm/replay.h"
 #include "trace/codec.h"
 
@@ -15,16 +19,15 @@ Hive::Hive(const std::vector<CorpusEntry>* corpus, HiveConfig config)
       fixer_(config.fixer),
       rng_(config.seed) {
   SB_CHECK(corpus_ != nullptr);
+  entry_index_.reserve(corpus_->size());
+  for (const auto& e : *corpus_) entry_index_.insert(e.program.id.value, &e);
   if (config_.k_anonymity > 1) {
     gate_ = std::make_unique<KAnonymityGate>(config_.k_anonymity);
   }
 }
 
 const CorpusEntry* Hive::entry_of(ProgramId program) const {
-  for (const auto& e : *corpus_) {
-    if (e.program.id == program) return &e;
-  }
-  return nullptr;
+  return entry_index_.find(program.value);
 }
 
 ExecTree* Hive::tree(ProgramId program) {
@@ -46,7 +49,7 @@ void Hive::ingest_bytes(const Bytes& wire) {
 }
 
 void Hive::ingest(Trace t) {
-  if (t.id.value != 0 && !seen_trace_ids_.insert(t.id.value).second) {
+  if (t.id.value != 0 && !seen_trace_ids_.insert(t.id.value)) {
     stats_.duplicates_dropped++;  // network duplicate
     return;
   }
@@ -65,8 +68,57 @@ void Hive::ingest(Trace t) {
 }
 
 void Hive::ingest_released(Trace t) {
+  const CorpusEntry* entry = prepare_released(t);
+  if (entry == nullptr) return;
+  // The single-trace path replays directly; memoization lives in the batch
+  // pipeline (ingest_batch), where repeated decision streams are common
+  // enough to pay for the signature hashing.
+  const auto rep = replay_trace(entry->program, t);
+  if (!rep.ok) {
+    stats_.replay_failures++;
+    return;
+  }
+  std::vector<SymDecision> decisions;
+  decisions.reserve(rep.decisions.size());
+  for (const auto& d : rep.decisions) decisions.push_back({d.site, d.taken});
+  merge_decisions(t, decisions);
+}
+
+void Hive::note_bug_sighting(Bug* bug, const CorpusEntry& entry,
+                             std::uint64_t day) {
+  if (bug == nullptr) return;
+  // Fix-effectiveness monitoring: a failure matching an already-fixed
+  // bug's signature — observed after the fix has had time to propagate —
+  // means the distributed fix is not holding in the field. After a
+  // couple of recurrences the bug is reopened so a new fix attempt (or
+  // the repair lab) takes over.
+  if (bug->fixed && day > bug->fixed_day + config_.recurrence_grace_days) {
+    stats_.fix_recurrences++;
+    if (++recurrences_[bug->id.value] >= 3) {
+      bug->fixed = false;
+      fix_attempted_bugs_.erase(bug->id.value);
+      recurrences_.erase(bug->id.value);
+      stats_.bugs_reopened++;
+      SB_LOG_WARN("hive: reopening bug %llu — fix not holding",
+                  static_cast<unsigned long long>(bug->id.value));
+    }
+  }
+  if (bug->occurrences == 1) {
+    stats_.bugs_found++;
+    // Assertion failures in multi-threaded programs are (conservatively)
+    // schedule-dependent: the same input passes under other schedules.
+    if (bug->kind == BugKind::kCrash && bug->crash.has_value() &&
+        bug->crash->kind == CrashKind::kAssertFailure &&
+        entry.program.num_threads() > 1) {
+      bugs_.mark_schedule_dependent(bug->id);
+    }
+    SB_LOG_INFO("hive: new bug: %s", bug->describe().c_str());
+  }
+}
+
+const CorpusEntry* Hive::prepare_released(const Trace& t) {
   const CorpusEntry* entry = entry_of(t.program);
-  if (entry == nullptr) return;  // unknown program
+  if (entry == nullptr) return nullptr;  // unknown program
 
   if (t.patched) stats_.fixed_traces_seen++;  // fix telemetry
   latest_day_seen_ = std::max(latest_day_seen_, t.day);
@@ -74,35 +126,7 @@ void Hive::ingest_released(Trace t) {
   // Bug tracking first: every failure counts, even unreplayable ones.
   if (t.outcome != Outcome::kOk) {
     Bug* bug = bugs_.record(t);
-    // Fix-effectiveness monitoring: a failure matching an already-fixed
-    // bug's signature — observed after the fix has had time to propagate —
-    // means the distributed fix is not holding in the field. After a
-    // couple of recurrences the bug is reopened so a new fix attempt (or
-    // the repair lab) takes over.
-    if (bug != nullptr && bug->fixed &&
-        t.day > bug->fixed_day + config_.recurrence_grace_days) {
-      stats_.fix_recurrences++;
-      if (++recurrences_[bug->id.value] >= 3) {
-        bug->fixed = false;
-        fix_attempted_bugs_.erase(bug->id.value);
-        recurrences_.erase(bug->id.value);
-        stats_.bugs_reopened++;
-        SB_LOG_WARN("hive: reopening bug %llu — fix not holding",
-                    static_cast<unsigned long long>(bug->id.value));
-      }
-    }
-    if (bug != nullptr && bug->occurrences == 1) {
-      stats_.bugs_found++;
-      // Assertion failures in multi-threaded programs are (conservatively)
-      // schedule-dependent: the same input passes under other schedules.
-      if (bug->kind == BugKind::kCrash &&
-          bug->crash.has_value() &&
-          bug->crash->kind == CrashKind::kAssertFailure &&
-          entry->program.num_threads() > 1) {
-        bugs_.mark_schedule_dependent(bug->id);
-      }
-      SB_LOG_INFO("hive: new bug: %s", bug->describe().c_str());
-    }
+    note_bug_sighting(bug, *entry, t.day);
     if (t.outcome == Outcome::kDeadlock) {
       locks_[t.program.value].add_trace(t);
     }
@@ -112,25 +136,340 @@ void Hive::ingest_released(Trace t) {
   // and only granularities whose bit-vectors replay deterministically.
   if (t.patched) {
     stats_.patched_traces_skipped++;
-    return;
+    return nullptr;
   }
   if (t.granularity != Granularity::kTaintedBranches &&
       t.granularity != Granularity::kFull) {
-    return;
+    return nullptr;
   }
-  const auto rep = replay_trace(entry->program, t);
-  if (!rep.ok) {
-    stats_.replay_failures++;
-    return;
-  }
-  std::vector<SymDecision> decisions;
-  decisions.reserve(rep.decisions.size());
-  for (const auto& d : rep.decisions) decisions.push_back({d.site, d.taken});
+  return entry;
+}
 
+const Hive::ReplayCache::Slot* Hive::ReplayCache::find(
+    const ReplayKey& key) const {
+  if (slots.empty() || key.key == 0) return nullptr;
+  const std::size_t mask = slots.size() - 1;
+  std::size_t i = key.key & mask;
+  while (slots[i].key != 0) {
+    if (slots[i].key == key.key) {
+      return slots[i].check == key.check ? &slots[i] : nullptr;
+    }
+    i = (i + 1) & mask;
+  }
+  return nullptr;
+}
+
+void Hive::ReplayCache::insert(
+    const ReplayKey& key,
+    std::shared_ptr<const std::vector<SymDecision>> decisions,
+    std::size_t capacity) {
+  if (key.key == 0) return;
+  if (count >= capacity) {  // generational eviction
+    std::fill(slots.begin(), slots.end(), Slot{});
+    count = 0;
+  }
+  if ((count + 1) * 2 > slots.size()) {
+    std::vector<Slot> old = std::move(slots);
+    slots.assign(std::max<std::size_t>(1024, old.size() * 2), Slot{});
+    for (Slot& s : old) {
+      if (s.key == 0) continue;
+      std::size_t i = s.key & (slots.size() - 1);
+      while (slots[i].key != 0) i = (i + 1) & (slots.size() - 1);
+      slots[i] = std::move(s);
+    }
+  }
+  const std::size_t mask = slots.size() - 1;
+  std::size_t i = key.key & mask;
+  while (slots[i].key != 0 && slots[i].key != key.key) i = (i + 1) & mask;
+  if (slots[i].key == 0) count++;
+  slots[i] = {key.key, key.check, std::move(decisions)};
+}
+
+std::shared_ptr<const std::vector<SymDecision>> Hive::replay_decisions(
+    const CorpusEntry& entry, const ReplayKey& key, const Trace* decoded,
+    const Bytes* wire, bool synchronized) {
+  {
+    std::unique_lock<std::mutex> lock(replay_mu_, std::defer_lock);
+    if (synchronized) lock.lock();
+    if (const ReplayCache::Slot* slot = replay_cache_.find(key)) {
+      ingest_stats_.replay_cache_hits++;
+      return slot->decisions;
+    }
+  }
+  // Miss: materialize the trace if stage 1 only summarized it. The summary
+  // came from a successful validation pass, so decode cannot fail here. The
+  // scratch is per-thread (stage 2 may fan out) and recycles its payload
+  // buffers across the batch's misses.
+  if (decoded == nullptr) {
+    static thread_local Trace scratch;
+    const bool ok = decode_trace_into(scratch, *wire);
+    SB_CHECK(ok);
+    decoded = &scratch;
+  }
+  const auto rep = replay_trace(entry.program, *decoded);
+  std::shared_ptr<const std::vector<SymDecision>> result;
+  if (rep.ok) {
+    auto decisions = std::make_shared<std::vector<SymDecision>>();
+    decisions->reserve(rep.decisions.size());
+    for (const auto& d : rep.decisions) decisions->push_back({d.site, d.taken});
+    result = std::move(decisions);
+  }
+  std::unique_lock<std::mutex> lock(replay_mu_, std::defer_lock);
+  if (synchronized) lock.lock();
+  ingest_stats_.replay_cache_misses++;
+  replay_cache_.insert(key, result, config_.replay_cache_capacity);
+  return result;
+}
+
+void Hive::merge_decisions(const Trace& t,
+                           const std::vector<SymDecision>& decisions) {
   auto [it, inserted] = trees_.try_emplace(t.program.value, t.program);
   const auto merge = it->second.add_path(decisions, t.outcome, t.crash);
   stats_.paths_merged++;
   if (merge.new_path) stats_.new_paths++;
+}
+
+ThreadPool* Hive::ingest_pool() {
+  std::size_t workers = config_.ingest_threads;
+  const std::size_t cores = std::thread::hardware_concurrency();
+  if (cores != 0) workers = std::min(workers, cores);
+  if (workers <= 1) return nullptr;
+  if (ingest_pool_ == nullptr) {
+    ingest_pool_ = std::make_unique<ThreadPool>(workers);
+  }
+  return ingest_pool_.get();
+}
+
+void Hive::ingest_batch(const std::vector<Bytes>& wires) {
+  ingest_stats_.batches++;
+  ingest_stats_.batch_traces += wires.size();
+  ThreadPool* pool = ingest_pool();
+  Timer timer;
+
+  // Stage 1 (parallel): summarize. One allocation-free validation pass per
+  // wire yields the scalar header plus the replay key; the expensive vector
+  // payloads are only decoded later, by the consumers that need them
+  // (cache-missing replay, new-bug exemplars, the gate). Inline batches
+  // skip the summary buffer and summarize lazily inside the interlude
+  // (reported under serial_seconds rather than decode_seconds).
+  const bool staged = pool != nullptr;
+  std::vector<std::optional<TraceWireSummary>> summaries;
+  if (staged) {
+    summaries.resize(wires.size());
+    parallel_for(pool, wires.size(), [&](std::size_t i) {
+      summaries[i] = summarize_trace_wire(wires[i]);
+    });
+  }
+  ingest_stats_.decode_seconds += timer.elapsed_seconds();
+  timer.reset();
+
+  // Serial interlude, in submission order: dedup, the k-anonymity gate, and
+  // bug tracking all mutate shared state and must match ingest() exactly.
+  // Traces sharing a replay key coalesce into one weighted job here: the key
+  // covers every replay-relevant field, so such traces have identical
+  // decision streams, outcomes, and crashes, and repeated add_path calls
+  // only bump counters — one weighted merge leaves the tree byte-identical.
+  struct Job {
+    std::size_t wire = 0;  // index into `wires`; unused when trace is set
+    const CorpusEntry* entry = nullptr;
+    ReplayKey key;
+    Outcome outcome = Outcome::kOk;
+    std::uint64_t weight = 1;  // traces coalesced into this job
+    std::optional<CrashInfo> crash;
+    std::unique_ptr<Trace> trace;  // decoded eagerly: failures, gate releases
+    std::shared_ptr<const std::vector<SymDecision>> decisions;
+  };
+  std::vector<Job> jobs;  // one per distinct replay key, first-seen order
+  jobs.reserve(std::max<std::size_t>(64, wires.size() / 4));
+  seen_trace_ids_.reserve(seen_trace_ids_.size() + wires.size());
+  // key.key -> job index, open-addressed: replay keys come out of a splitmix
+  // finalizer, so their low bits index uniformly and linear probing at <= 50%
+  // load beats a node-based map. Slot key 0 means empty; a genuine zero key
+  // (one in 2^64) just skips coalescing, which only costs a duplicate job.
+  // Sized for the typical distinct-key fraction and doubled on demand:
+  // zeroing a worst-case table every batch costs more than the rare rehash.
+  std::size_t key_mask =
+      std::bit_ceil(std::max<std::size_t>(64, wires.size() / 4)) - 1;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> by_key(key_mask + 1,
+                                                              {0, 0});
+  const auto grow_by_key = [&] {
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> old = std::move(by_key);
+    key_mask = key_mask * 2 + 1;
+    by_key.assign(key_mask + 1, {0, 0});
+    for (const auto& e : old) {
+      if (e.first == 0) continue;
+      std::size_t slot = e.first & key_mask;
+      while (by_key[slot].first != 0) slot = (slot + 1) & key_mask;
+      by_key[slot] = e;
+    }
+  };
+  // True when `key` folded into an existing job (an interpreter run skipped
+  // by memoization, counted as a cache hit); false when a new job is needed.
+  const auto coalesce = [&](const ReplayKey& key) {
+    if (key.key == 0) return false;
+    // jobs.size() bounds the table's entry count (collision-split jobs are
+    // pushed but never stored), so this keeps the load factor under 1/2.
+    if ((jobs.size() + 1) * 2 > key_mask + 1) grow_by_key();
+    std::size_t slot = key.key & key_mask;
+    while (true) {
+      auto& entry = by_key[slot];
+      if (entry.first == 0) {
+        entry = {key.key, static_cast<std::uint32_t>(jobs.size())};
+        return false;
+      }
+      if (entry.first == key.key) {
+        Job& job = jobs[entry.second];
+        if (job.key.check != key.check) {
+          return false;  // 64-bit collision: keep the jobs distinct
+        }
+        job.weight++;
+        ingest_stats_.replay_cache_hits++;
+        return true;
+      }
+      slot = (slot + 1) & key_mask;
+    }
+  };
+  // Gate releases and failure traces go through the same prepare_released
+  // as serial ingestion; they carry their decoded trace into stage 2.
+  const auto stage_decoded = [&](Trace&& t) {
+    if (const CorpusEntry* entry = prepare_released(t)) {
+      const ReplayKey key = replay_key(t);
+      if (coalesce(key)) return;
+      Job job;
+      job.entry = entry;
+      job.key = key;
+      job.outcome = t.outcome;
+      job.crash = t.crash;
+      job.trace = std::make_unique<Trace>(std::move(t));
+      jobs.push_back(std::move(job));
+    }
+  };
+  std::optional<TraceWireSummary> inline_summary;
+  for (std::size_t i = 0; i < wires.size(); ++i) {
+    const std::optional<TraceWireSummary>& summary =
+        staged ? summaries[i] : (inline_summary = summarize_trace_wire(wires[i]));
+    if (!summary) {
+      stats_.decode_failures++;
+      continue;
+    }
+    const TraceWireSummary& s = *summary;
+    if (s.id.value != 0 && !seen_trace_ids_.insert(s.id.value)) {
+      stats_.duplicates_dropped++;
+      continue;
+    }
+    stats_.traces_ingested++;
+    if (gate_ != nullptr) {
+      // The gate buffers whole traces (possibly across batches), so this
+      // path decodes eagerly, exactly like serial ingestion.
+      auto t = decode_trace(wires[i]);
+      SB_CHECK(t.has_value());  // summarize validated the same bytes
+      auto released = gate_->add(std::move(*t));
+      if (released.empty()) {
+        stats_.gated_traces++;
+        continue;
+      }
+      for (auto& r : released) stage_decoded(std::move(r));
+      continue;
+    }
+    if (s.outcome == Outcome::kDeadlock) {
+      // Deadlock signatures and lock-order analysis consume the trace's
+      // lock events; decode the payload now, exactly like serial ingestion.
+      auto t = decode_trace(wires[i]);
+      SB_CHECK(t.has_value());
+      stage_decoded(std::move(*t));
+      continue;
+    }
+    // Fast path: OK traces and non-deadlock failures need no payload until
+    // replay. This mirrors prepare_released field-for-field; the only
+    // deferred decode is a new bug's exemplar, on first occurrence.
+    const CorpusEntry* entry = entry_of(s.program);
+    if (entry == nullptr) continue;  // unknown program
+    if (s.patched) stats_.fixed_traces_seen++;
+    latest_day_seen_ = std::max(latest_day_seen_, s.day);
+    if (s.outcome != Outcome::kOk) {
+      Bug* bug =
+          bugs_.record(BugSighting{s.program, s.outcome, s.crash, s.day});
+      if (bug != nullptr && bug->occurrences == 1) {
+        auto t = decode_trace(wires[i]);
+        SB_CHECK(t.has_value());
+        bug->exemplar = std::move(*t);  // record() left it for us to fill
+      }
+      note_bug_sighting(bug, *entry, s.day);
+    }
+    if (s.patched) {
+      stats_.patched_traces_skipped++;
+      continue;
+    }
+    if (s.granularity != Granularity::kTaintedBranches &&
+        s.granularity != Granularity::kFull) {
+      continue;
+    }
+    if (coalesce(s.key)) continue;
+    Job job;
+    job.wire = i;
+    job.entry = entry;
+    job.key = s.key;
+    job.outcome = s.outcome;
+    job.crash = s.crash;
+    jobs.push_back(std::move(job));
+  }
+  summaries.clear();
+  ingest_stats_.serial_seconds += timer.elapsed_seconds();
+
+  // Stage 2 (parallel): resolve decision streams, memoized. Per-trace work;
+  // the cache is the only shared state and is mutex-guarded when fanning out.
+  timer.reset();
+  const bool synchronized = pool != nullptr;
+  parallel_for(pool, jobs.size(), [&](std::size_t i) {
+    Job& job = jobs[i];
+    job.decisions = replay_decisions(*job.entry, job.key, job.trace.get(),
+                                     &wires[job.wire], synchronized);
+  });
+  ingest_stats_.replay_seconds += timer.elapsed_seconds();
+
+  // Stage 3: group by program — each tree gets exactly one writer, so the
+  // merge needs no locks, and within a program the submission order is
+  // preserved, so the trees are byte-identical to serial ingestion.
+  timer.reset();
+  std::vector<std::uint64_t> programs;  // first-seen order
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].decisions == nullptr) {
+      stats_.replay_failures += jobs[i].weight;
+      continue;
+    }
+    const std::uint64_t program = jobs[i].entry->program.id.value;
+    auto [it, inserted] = groups.try_emplace(program);
+    if (inserted) programs.push_back(program);
+    it->second.push_back(i);
+  }
+  // Trees are created serially so the merge tasks never mutate the map.
+  for (const std::uint64_t program : programs) {
+    trees_.try_emplace(program, ProgramId(program));
+  }
+  struct MergeCounts {
+    std::uint64_t merged = 0;
+    std::uint64_t fresh = 0;
+  };
+  std::vector<MergeCounts> counts(programs.size());
+  parallel_for(pool, programs.size(), [&](std::size_t k) {
+    ExecTree& tree = trees_.find(programs[k])->second;
+    // Jobs are already coalesced per replay key; within a program they sit
+    // in first-occurrence order, so weighted merges build a tree
+    // byte-identical to merging every trace serially in submission order.
+    for (const std::size_t i : groups.find(programs[k])->second) {
+      const Job& job = jobs[i];
+      const auto merge =
+          tree.add_path(*job.decisions, job.outcome, job.crash, job.weight);
+      counts[k].merged += job.weight;
+      if (merge.new_path) counts[k].fresh++;
+    }
+  });
+  for (const auto& c : counts) {
+    stats_.paths_merged += c.merged;
+    stats_.new_paths += c.fresh;
+  }
+  ingest_stats_.merge_seconds += timer.elapsed_seconds();
 }
 
 void Hive::ingest_sampled(const SampledTrace& t) {

@@ -13,13 +13,27 @@
 // scoring above the auto threshold are approved for distribution;
 // schedule-dependent assertion bugs and low-scoring candidates land in the
 // repair lab for a human decision (paper §3.3).
+//
+// ingest_batch() runs the same pipeline staged: (1) decode, (2) replay to
+// decision streams, (3) per-program tree merge. Stages 1–2 are pure
+// per-trace work and fan out on a thread pool when `ingest_threads > 1`;
+// stage 3 groups traces by program so every ExecTree keeps a single writer
+// and needs no locking. Batch replay is memoized: traces with identical
+// replay-relevant content (see replay_signature) skip the interpreter
+// (replay is deterministic, so a cached decision stream is exact). The
+// batch path is behaviorally identical to serial ingestion — same trees,
+// same stats — regardless of thread count (see tests/ingest_batch_test.cpp).
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <set>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
+
+#include "common/flat_hash.h"
+#include "common/thread_pool.h"
 
 #include "hive/bugs.h"
 #include "hive/fixer.h"
@@ -40,6 +54,12 @@ struct HiveConfig {
   std::uint64_t recurrence_grace_days = 2;
   std::size_t k_anonymity = 1;  // 1 = gate disabled
   std::uint64_t seed = 0x417e;
+  // Worker threads for the decode and replay stages of ingest_batch();
+  // <= 1 runs the batch pipeline inline on the caller (identical results).
+  std::size_t ingest_threads = 0;
+  // Replay-memoization entries kept before the cache resets (generational
+  // eviction: O(1) amortized, good enough for streaming trace workloads).
+  std::size_t replay_cache_capacity = 1 << 16;
   FixerConfig fixer;
   ProofBudget proof_budget;
 };
@@ -60,6 +80,33 @@ struct HiveStats {
   std::uint64_t fixed_traces_seen = 0;   // fix-intervention telemetry
   std::uint64_t fix_recurrences = 0;     // a fixed bug's signature came back
   std::uint64_t bugs_reopened = 0;
+
+  bool operator==(const HiveStats&) const = default;
+};
+
+// Ingestion-pipeline telemetry; all fields cover ingest_batch() only (the
+// single-trace path neither batches nor memoizes).
+struct IngestStats {
+  std::uint64_t batches = 0;
+  std::uint64_t batch_traces = 0;         // wires handed to ingest_batch
+  std::uint64_t replay_cache_hits = 0;    // interpreter runs skipped
+  std::uint64_t replay_cache_misses = 0;  // interpreter runs performed
+  double decode_seconds = 0.0;
+  double serial_seconds = 0.0;  // the unparallelizable interlude (Amdahl term)
+  double replay_seconds = 0.0;
+  double merge_seconds = 0.0;
+
+  double cache_hit_rate() const {
+    const std::uint64_t total = replay_cache_hits + replay_cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(replay_cache_hits) /
+                            static_cast<double>(total);
+  }
+  double batch_traces_per_second() const {
+    const double secs =
+        decode_seconds + serial_seconds + replay_seconds + merge_seconds;
+    return secs <= 0.0 ? 0.0 : static_cast<double>(batch_traces) / secs;
+  }
 };
 
 class Hive {
@@ -71,6 +118,12 @@ class Hive {
   void ingest_bytes(const Bytes& wire);
   void ingest(Trace t);
   void ingest_sampled(const SampledTrace& t);
+
+  // Ingests a batch of encoded traces through the staged pipeline (decode ->
+  // replay -> per-program merge), parallelized on `ingest_threads` workers.
+  // Produces exactly the same trees and HiveStats as calling ingest_bytes()
+  // on each wire in order.
+  void ingest_batch(const std::vector<Bytes>& wires);
 
   // --- analysis & synthesis ---------------------------------------------------
   // Processes newly recorded bugs; returns fixes approved for distribution.
@@ -88,6 +141,7 @@ class Hive {
   BugTracker& bug_tracker() { return bugs_; }
   const std::vector<RepairLabEntry>& repair_lab() const { return repair_lab_; }
   const HiveStats& stats() const { return stats_; }
+  const IngestStats& ingest_stats() const { return ingest_stats_; }
   const SiteStats& site_stats(ProgramId program);
   // Published certificates. A certificate is revoked (paper §3.3: the hive
   // must "decide whether the instrumentation invalidates the hive's
@@ -105,16 +159,73 @@ class Hive {
  private:
   const CorpusEntry* entry_of(ProgramId program) const;
   void ingest_released(Trace t);
+  // Everything before replay: dedup-independent bug tracking, lock-order
+  // analysis, and the natural-execution filters. Returns the corpus entry
+  // when `t` still needs replay + merge, nullptr when the pipeline ends.
+  const CorpusEntry* prepare_released(const Trace& t);
+  // Post-record bookkeeping shared by the trace and summary ingestion paths:
+  // fix-recurrence monitoring, new-bug stats, schedule-dependent marking.
+  void note_bug_sighting(Bug* bug, const CorpusEntry& entry,
+                         std::uint64_t day);
+  // Resolves `key` through the memoization cache; returns the decision
+  // stream, or nullptr when replay fails. On a miss the trace is replayed —
+  // from `decoded` when the caller already has it, otherwise by decoding
+  // `wire` (deferred decode: cache hits never materialize the vectors).
+  // With `synchronized` the cache is mutex-guarded (stage 2 fans out);
+  // inline batches skip the locks.
+  std::shared_ptr<const std::vector<SymDecision>> replay_decisions(
+      const CorpusEntry& entry, const ReplayKey& key, const Trace* decoded,
+      const Bytes* wire, bool synchronized);
+  void merge_decisions(const Trace& t,
+                       const std::vector<SymDecision>& decisions);
+  // Null when the effective worker count is <= 1. ingest_threads is capped
+  // at the hardware concurrency: extra workers beyond physical cores only
+  // add context switches on the pure-CPU decode/replay stages.
+  ThreadPool* ingest_pool();
 
   const std::vector<CorpusEntry>* corpus_;
+  FlatU64PtrMap<const CorpusEntry> entry_index_;  // program id -> entry
   HiveConfig config_;
   HiveStats stats_;
+  IngestStats ingest_stats_;
 
-  std::map<std::uint64_t, ExecTree> trees_;          // by program id
-  std::map<std::uint64_t, LockOrderAnalyzer> locks_; // by program id
-  std::map<std::uint64_t, SiteStats> sites_;         // by program id
-  std::set<std::uint64_t> seen_trace_ids_;
+  // Hot lookup structures are hashed, not ordered: nothing user-visible
+  // iterates them (ordered outputs — proofs, guidance, exports — iterate the
+  // stably-ordered corpus instead). Trees honor a single-writer invariant:
+  // ingest_batch gives each program's tree to exactly one merge task.
+  std::unordered_map<std::uint64_t, ExecTree> trees_;           // by program
+  std::unordered_map<std::uint64_t, LockOrderAnalyzer> locks_;  // by program
+  std::unordered_map<std::uint64_t, SiteStats> sites_;          // by program
+  FlatU64Set seen_trace_ids_;
   std::unique_ptr<KAnonymityGate> gate_;  // null when k_anonymity <= 1
+
+  // Replay memoization: replay_key() pairs a splitmix-chained `key` with an
+  // independently seeded check hash; hits verify both. A null decisions
+  // pointer caches a failing replay. Guarded by replay_mu_ when stage 2 runs parallel.
+  //
+  // Open-addressed and insert-only, cleared wholesale at capacity
+  // (generational eviction). Replay keys are pre-mixed, so the low bits
+  // index directly. Slot key 0 means empty; a genuine zero key (one in
+  // 2^64) is simply never cached.
+  struct ReplayCache {
+    struct Slot {
+      std::uint64_t key = 0;
+      std::uint64_t check = 0;
+      std::shared_ptr<const std::vector<SymDecision>> decisions;
+    };
+    // Hit: the slot for `key` with a matching check; null otherwise (a
+    // matching key with a stale check reads as a miss; insert replaces it).
+    const Slot* find(const ReplayKey& key) const;
+    void insert(const ReplayKey& key,
+                std::shared_ptr<const std::vector<SymDecision>> decisions,
+                std::size_t capacity);
+
+    std::vector<Slot> slots;  // always a power of two (or empty)
+    std::size_t count = 0;
+  };
+  std::mutex replay_mu_;
+  ReplayCache replay_cache_;
+  std::unique_ptr<ThreadPool> ingest_pool_;  // lazily created
 
   BugTracker bugs_;
   FixSynthesizer fixer_;
@@ -125,8 +236,8 @@ class Hive {
   void revoke_proofs(ProgramId program);
 
   std::uint64_t latest_day_seen_ = 0;
-  std::set<std::uint64_t> fix_attempted_bugs_;
-  std::map<std::uint64_t, std::uint64_t> recurrences_;  // bug id -> count
+  std::unordered_set<std::uint64_t> fix_attempted_bugs_;
+  std::unordered_map<std::uint64_t, std::uint64_t> recurrences_;  // bug -> n
   std::vector<RepairLabEntry> repair_lab_;
   std::vector<PublishedProof> proofs_;
 };

@@ -120,7 +120,7 @@ ProofCertificate ProofEngine::attempt(const CorpusEntry& entry,
         const auto paths = ex.explore_subtree(target);
         if (paths.empty() && ex.stats().complete) {
           // Direction refuted: no feasible execution goes that way.
-          if (tree.mark_infeasible(f.prefix, f.site, f.direction)) {
+          if (tree.mark_infeasible(f.prefix, f.site, f.direction, f.node)) {
             cert.gaps_closed_infeasible++;
             progress = true;
           }

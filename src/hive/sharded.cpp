@@ -51,11 +51,16 @@ void ShardedHive::pump(SimNet& net) {
     net.send(ingress_, shards_[owner].endpoint, kMsgTrace, msg.payload);
     routed_++;
   }
-  // Shards ingest whatever has arrived.
+  // Shards ingest whatever has arrived, one batch per shard: the staged
+  // pipeline parallelizes decode+replay when the config enables workers.
+  std::vector<Bytes> batch;
   for (auto& shard : shards_) {
-    for (const auto& msg : net.drain(shard.endpoint)) {
-      if (msg.type == kMsgTrace) shard.hive->ingest_bytes(msg.payload);
+    batch.clear();
+    auto messages = net.drain(shard.endpoint);
+    for (auto& msg : messages) {
+      if (msg.type == kMsgTrace) batch.push_back(std::move(msg.payload));
     }
+    if (!batch.empty()) shard.hive->ingest_batch(batch);
   }
 }
 

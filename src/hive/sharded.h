@@ -8,6 +8,9 @@
 // no cross-shard coordination, mirroring how the single-hive pipeline
 // works. An ingress endpoint routes encoded traces to the owning shard's
 // endpoint; analysis (process / guidance / proofs) fans out per shard.
+// Because routing is per program, a shard can drain its inbox through
+// Hive::ingest_batch() — per-program grouping and replay memoization apply
+// within each shard unchanged.
 //
 // Shard state is portable: `export_trees` serializes every tree via
 // tree_codec, so shards can be migrated or their knowledge merged into a

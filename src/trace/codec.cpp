@@ -90,7 +90,7 @@ Bytes encode_trace(const Trace& t) {
   return out;
 }
 
-std::optional<Trace> decode_trace(const Bytes& bytes) {
+bool decode_trace_into(Trace& t, const Bytes& bytes) {
   std::size_t pos = 0;
   auto u = [&]() -> std::optional<std::uint64_t> {
     return get_varint(bytes, pos);
@@ -100,73 +100,76 @@ std::optional<Trace> decode_trace(const Bytes& bytes) {
   };
 
   auto magic = u();
-  if (!magic || *magic != kMagic) return std::nullopt;
+  if (!magic || *magic != kMagic) return false;
   auto version = u();
-  if (!version || *version != kVersion) return std::nullopt;
+  if (!version || *version != kVersion) return false;
 
-  Trace t;
   auto id = u(), prog = u(), pod = u(), outcome = u(), has_crash = u();
-  if (!id || !prog || !pod || !outcome || !has_crash) return std::nullopt;
+  if (!id || !prog || !pod || !outcome || !has_crash) return false;
   if (*outcome > static_cast<std::uint64_t>(Outcome::kUserKilled)) {
-    return std::nullopt;
+    return false;
   }
   t.id = TraceId(*id);
   t.program = ProgramId(*prog);
   t.pod = PodId(*pod);
   t.outcome = static_cast<Outcome>(*outcome);
 
+  t.crash.reset();
   if (*has_crash == 1) {
     auto kind = u(), pc = u();
     auto detail = s();
-    if (!kind || !pc || !detail) return std::nullopt;
+    if (!kind || !pc || !detail) return false;
     if (*kind > static_cast<std::uint64_t>(CrashKind::kExplicitAbort)) {
-      return std::nullopt;
+      return false;
     }
     t.crash = CrashInfo{static_cast<CrashKind>(*kind),
                         static_cast<std::uint32_t>(*pc), *detail};
   } else if (*has_crash != 0) {
-    return std::nullopt;
+    return false;
   }
 
   auto gran = u();
   if (!gran || *gran > static_cast<std::uint64_t>(Granularity::kFull)) {
-    return std::nullopt;
+    return false;
   }
   t.granularity = static_cast<Granularity>(*gran);
 
   auto nbits = u();
-  if (!nbits || *nbits > kMaxBits) return std::nullopt;
+  if (!nbits || *nbits > kMaxBits) return false;
   const std::size_t nwords = (*nbits + 63) / 64;
-  std::vector<std::uint64_t> words;
+  std::vector<std::uint64_t> words = std::move(t.branch_bits).take_words();
+  words.clear();
   words.reserve(nwords);
   for (std::size_t i = 0; i < nwords; ++i) {
     auto w = u();
-    if (!w) return std::nullopt;
+    if (!w) return false;
     words.push_back(*w);
   }
   t.branch_bits = BitVec::from_words(std::move(words), *nbits);
 
   auto nruns = u();
-  if (!nruns || *nruns > kMaxRecords) return std::nullopt;
+  if (!nruns || *nruns > kMaxRecords) return false;
+  t.schedule.clear();
   t.schedule.reserve(*nruns);
   for (std::uint64_t i = 0; i < *nruns; ++i) {
     auto thread = u(), steps = u();
     if (!thread || !steps || *thread > 0xff || *steps > 0xffffffffULL) {
-      return std::nullopt;
+      return false;
     }
     t.schedule.push_back({static_cast<std::uint8_t>(*thread),
                           static_cast<std::uint32_t>(*steps)});
   }
 
   auto nlocks = u();
-  if (!nlocks || *nlocks > kMaxRecords) return std::nullopt;
+  if (!nlocks || *nlocks > kMaxRecords) return false;
+  t.lock_events.clear();
   t.lock_events.reserve(*nlocks);
   for (std::uint64_t i = 0; i < *nlocks; ++i) {
     auto thread = u(), acq = u(), lock = u(), pc = u(), step = u();
     if (!thread || !acq || !lock || !pc || !step || *thread > 0xff ||
         *acq > 1 || *lock > 0xffff || *pc > 0xffffffffULL ||
         *step > 0xffffffffULL) {
-      return std::nullopt;
+      return false;
     }
     t.lock_events.push_back({static_cast<std::uint8_t>(*thread), *acq == 1,
                              static_cast<std::uint16_t>(*lock),
@@ -175,14 +178,15 @@ std::optional<Trace> decode_trace(const Bytes& bytes) {
   }
 
   auto nsys = u();
-  if (!nsys || *nsys > kMaxRecords) return std::nullopt;
+  if (!nsys || *nsys > kMaxRecords) return false;
+  t.syscalls.clear();
   t.syscalls.reserve(*nsys);
   for (std::uint64_t i = 0; i < *nsys; ++i) {
     auto sys = u(), idx = u();
     auto cls = s();
     if (!sys || !idx || !cls || *sys > 0xffff || *idx > 0xffffffffULL ||
         *cls < -128 || *cls > 127) {
-      return std::nullopt;
+      return false;
     }
     t.syscalls.push_back({static_cast<std::uint16_t>(*sys),
                           static_cast<std::uint32_t>(*idx),
@@ -190,14 +194,137 @@ std::optional<Trace> decode_trace(const Bytes& bytes) {
   }
 
   auto steps = u(), flags = u(), day = u();
-  if (!steps || !flags || !day || *flags > 3) return std::nullopt;
+  if (!steps || !flags || !day || *flags > 3) return false;
   t.steps = *steps;
   t.patched = (*flags & 1) != 0;
   t.guided = (*flags & 2) != 0;
   t.day = *day;
 
-  if (pos != bytes.size()) return std::nullopt;  // trailing garbage
+  return pos == bytes.size();  // reject trailing garbage
+}
+
+std::optional<Trace> decode_trace(const Bytes& bytes) {
+  Trace t;
+  if (!decode_trace_into(t, bytes)) return std::nullopt;
   return t;
+}
+
+std::optional<TraceWireSummary> summarize_trace_wire(const Bytes& bytes) {
+  // Mirrors decode_trace check-for-check (the codec tests enforce the
+  // equivalence), but skips all vector materialization: repeated sections
+  // are validated in place. fold_replay_fields() deliberately follows the
+  // wire layout, so the replay key folds during this same single walk; a
+  // late validation failure just discards the partial fold.
+  std::size_t pos = 0;
+  auto u = [&]() -> std::optional<std::uint64_t> {
+    return get_varint(bytes, pos);
+  };
+  auto s = [&]() -> std::optional<std::int64_t> {
+    return get_varint_signed(bytes, pos);
+  };
+  ReplayKey k{kReplayKeySeed, kReplayCheckSeed};
+  const auto fold = [&k](std::uint64_t v) { replay_fold(k, v); };
+
+  auto magic = u();
+  if (!magic || *magic != kMagic) return std::nullopt;
+  auto version = u();
+  if (!version || *version != kVersion) return std::nullopt;
+
+  TraceWireSummary out;
+  auto id = u(), prog = u(), pod = u(), outcome = u(), has_crash = u();
+  if (!id || !prog || !pod || !outcome || !has_crash) return std::nullopt;
+  if (*outcome > static_cast<std::uint64_t>(Outcome::kUserKilled)) {
+    return std::nullopt;
+  }
+  out.id = TraceId(*id);
+  out.program = ProgramId(*prog);
+  out.pod = PodId(*pod);
+  out.outcome = static_cast<Outcome>(*outcome);
+  fold(out.program.value);
+  fold(static_cast<std::uint64_t>(out.outcome));
+
+  if (*has_crash == 1) {
+    auto kind = u(), pc = u();
+    auto detail = s();
+    if (!kind || !pc || !detail) return std::nullopt;
+    if (*kind > static_cast<std::uint64_t>(CrashKind::kExplicitAbort)) {
+      return std::nullopt;
+    }
+    out.crash = CrashInfo{static_cast<CrashKind>(*kind),
+                          static_cast<std::uint32_t>(*pc), *detail};
+    fold(*kind + 1);
+    fold(*pc);
+    fold(static_cast<std::uint64_t>(*detail));
+  } else if (*has_crash != 0) {
+    return std::nullopt;
+  } else {
+    fold(0);
+  }
+
+  auto gran = u();
+  if (!gran || *gran > static_cast<std::uint64_t>(Granularity::kFull)) {
+    return std::nullopt;
+  }
+  out.granularity = static_cast<Granularity>(*gran);
+  fold(*gran);
+
+  auto nbits = u();
+  if (!nbits || *nbits > kMaxBits) return std::nullopt;
+  const std::size_t nwords = (*nbits + 63) / 64;
+  fold(*nbits);
+  for (std::size_t i = 0; i < nwords; ++i) {
+    auto w = u();
+    if (!w) return std::nullopt;
+    if (i + 1 == nwords && *nbits % 64 != 0) {
+      *w &= (1ULL << (*nbits % 64)) - 1;  // BitVec::from_words trims the tail
+    }
+    fold(*w);
+  }
+
+  auto nruns = u();
+  if (!nruns || *nruns > kMaxRecords) return std::nullopt;
+  fold(*nruns);
+  for (std::uint64_t i = 0; i < *nruns; ++i) {
+    auto thread = u(), steps = u();
+    if (!thread || !steps || *thread > 0xff || *steps > 0xffffffffULL) {
+      return std::nullopt;
+    }
+    fold((*thread << 32) | *steps);
+  }
+
+  auto nlocks = u();
+  if (!nlocks || *nlocks > kMaxRecords) return std::nullopt;
+  for (std::uint64_t i = 0; i < *nlocks; ++i) {
+    auto thread = u(), acq = u(), lock = u(), pc = u(), step = u();
+    if (!thread || !acq || !lock || !pc || !step || *thread > 0xff ||
+        *acq > 1 || *lock > 0xffff || *pc > 0xffffffffULL ||
+        *step > 0xffffffffULL) {
+      return std::nullopt;
+    }
+  }
+
+  auto nsys = u();
+  if (!nsys || *nsys > kMaxRecords) return std::nullopt;
+  for (std::uint64_t i = 0; i < *nsys; ++i) {
+    auto sys = u(), idx = u();
+    auto cls = s();
+    if (!sys || !idx || !cls || *sys > 0xffff || *idx > 0xffffffffULL ||
+        *cls < -128 || *cls > 127) {
+      return std::nullopt;
+    }
+  }
+
+  auto steps = u(), flags = u(), day = u();
+  if (!steps || !flags || !day || *flags > 3) return std::nullopt;
+  out.steps = *steps;
+  out.patched = (*flags & 1) != 0;
+  out.guided = (*flags & 2) != 0;
+  out.day = *day;
+  fold(*steps);
+
+  if (pos != bytes.size()) return std::nullopt;  // trailing garbage
+  out.key = k;
+  return out;
 }
 
 }  // namespace softborg

@@ -1,0 +1,47 @@
+#include "trace/trace.h"
+
+namespace softborg {
+
+namespace {
+
+// Feeds every replay-relevant field of `t` to `sink`, in a fixed order.
+// Shared by replay_signature and replay_key so the two can never drift.
+// The order follows the wire layout (crash before granularity, steps last)
+// so summarize_trace_wire can fold the key during its single validation
+// walk instead of re-parsing the payload sections.
+template <typename Sink>
+void fold_replay_fields(const Trace& t, Sink&& sink) {
+  sink(t.program.value);
+  sink(static_cast<std::uint64_t>(t.outcome));
+  if (t.crash.has_value()) {
+    sink(static_cast<std::uint64_t>(t.crash->kind) + 1);
+    sink(t.crash->pc);
+    sink(static_cast<std::uint64_t>(t.crash->detail));
+  } else {
+    sink(std::uint64_t{0});
+  }
+  sink(static_cast<std::uint64_t>(t.granularity));
+  sink(t.branch_bits.size());
+  for (const std::uint64_t word : t.branch_bits.words()) sink(word);
+  sink(t.schedule.size());
+  for (const auto& run : t.schedule) {
+    sink((static_cast<std::uint64_t>(run.thread) << 32) | run.steps);
+  }
+  sink(t.steps);
+}
+
+}  // namespace
+
+std::uint64_t replay_signature(const Trace& t, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  fold_replay_fields(t, [&h](std::uint64_t v) { h = replay_mix(h, v); });
+  return h;
+}
+
+ReplayKey replay_key(const Trace& t) {
+  ReplayKey k{kReplayKeySeed, kReplayCheckSeed};
+  fold_replay_fields(t, [&k](std::uint64_t v) { replay_fold(k, v); });
+  return k;
+}
+
+}  // namespace softborg

@@ -108,4 +108,46 @@ struct Trace {
   bool operator==(const Trace&) const = default;
 };
 
+// Content signature over exactly the fields replay consumes: program,
+// granularity, branch bits, schedule, outcome, crash record, and step count.
+// Two traces with equal signatures replay to the same decision stream, so a
+// pair of signatures under independent seeds keys the hive's replay
+// memoization cache (a 128-bit effective key; pod/day/id metadata is
+// deliberately excluded — it cannot change the replayed path).
+std::uint64_t replay_signature(const Trace& t, std::uint64_t seed);
+
+// Folds `v` into `h` with the splitmix64 finalizer — the hash step behind
+// replay_signature/replay_key, exposed so the wire codec can compute the
+// identical key while streaming a wire (see summarize_trace_wire).
+inline std::uint64_t replay_mix(std::uint64_t h, std::uint64_t v) {
+  h += 0x9e3779b97f4a7c15ULL + v;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+// The two fixed seeds of the hive's memoization key (first hex digits of pi).
+inline constexpr std::uint64_t kReplayKeySeed = 0x243f6a8885a308d3ULL;
+inline constexpr std::uint64_t kReplayCheckSeed = 0x13198a2e03707344ULL;
+
+struct ReplayKey {
+  std::uint64_t key = 0;    // cache bucket
+  std::uint64_t check = 0;  // collision guard, verified on every hit
+};
+
+// Folds one value into a replay key. `key` takes the full splitmix round (it
+// must index hash tables directly); `check` only breaks ties between traces
+// that already collided in `key`, so a single FNV-style multiply suffices —
+// the batch pipeline folds every word of every wire, and the second splitmix
+// round was measurable there.
+inline void replay_fold(ReplayKey& k, std::uint64_t v) {
+  k.key = replay_mix(k.key, v);
+  k.check = (k.check ^ v) * 0x100000001b3ULL;
+}
+
+// One-pass hash of every replay-relevant field of `t`, seeded with
+// {kReplayKeySeed, kReplayCheckSeed} — the batch pipeline hashes every
+// trace, so the single traversal matters.
+ReplayKey replay_key(const Trace& t);
+
 }  // namespace softborg

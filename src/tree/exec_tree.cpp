@@ -24,10 +24,11 @@ bool ExecTree::is_infeasible(const Node& n, std::uint32_t site,
 
 ExecTree::MergeResult ExecTree::add_path(
     const std::vector<SymDecision>& decisions, Outcome outcome,
-    const std::optional<CrashInfo>& crash) {
+    const std::optional<CrashInfo>& crash, std::uint64_t weight) {
   MergeResult result;
+  if (weight == 0) return result;
   std::uint32_t cur = 0;
-  nodes_[0].visits++;
+  nodes_[0].visits += weight;
 
   std::size_t depth = 0;
   // Walk the shared prefix — the LCA is where we stop matching.
@@ -36,18 +37,24 @@ ExecTree::MergeResult ExecTree::add_path(
     const std::uint32_t child = find_child(nodes_[cur], d.site, d.taken);
     if (child == 0) break;
     cur = child;
-    nodes_[cur].visits++;
+    nodes_[cur].visits += weight;
   }
   result.lca_depth = depth;
 
-  // Paste the divergent suffix.
+  // Paste the divergent suffix. Reserve the whole suffix in one step, but
+  // never below doubling — an exact-fit reserve would reallocate (and copy
+  // every node) on each paste, degrading tree growth to quadratic.
+  const std::size_t needed = nodes_.size() + (decisions.size() - depth);
+  if (nodes_.capacity() < needed) {
+    nodes_.reserve(std::max(needed, nodes_.capacity() * 2));
+  }
   for (; depth < decisions.size(); ++depth) {
     const auto& d = decisions[depth];
     const std::uint32_t child = static_cast<std::uint32_t>(nodes_.size());
     nodes_.push_back(Node{});
     nodes_[cur].edges.push_back({d.site, d.taken, child});
     cur = child;
-    nodes_[cur].visits++;
+    nodes_[cur].visits += weight;
     result.new_nodes++;
   }
 
@@ -56,7 +63,7 @@ ExecTree::MergeResult ExecTree::add_path(
   bool outcome_seen = false;
   for (auto& [o, count] : leaf.outcomes) {
     if (o == outcome) {
-      count++;
+      count += weight;
       outcome_seen = true;
     }
   }
@@ -65,9 +72,10 @@ ExecTree::MergeResult ExecTree::add_path(
       num_leaves_++;
       result.new_path = true;
     }
-    leaf.outcomes.push_back({outcome, 1});
+    leaf.outcomes.push_back({outcome, weight});
   }
   if (crash.has_value() && !leaf.crash.has_value()) leaf.crash = crash;
+  result.leaf = cur;
   return result;
 }
 
@@ -83,12 +91,17 @@ const ExecTree::Node* ExecTree::walk(
 }
 
 bool ExecTree::mark_infeasible(const std::vector<SymDecision>& prefix,
-                               std::uint32_t site, bool dir) {
+                               std::uint32_t site, bool dir,
+                               std::optional<std::uint32_t> node_hint) {
   std::uint32_t cur = 0;
-  for (const auto& d : prefix) {
-    const std::uint32_t child = find_child(nodes_[cur], d.site, d.taken);
-    if (child == 0) return false;
-    cur = child;
+  if (node_hint.has_value() && *node_hint < nodes_.size()) {
+    cur = *node_hint;
+  } else {
+    for (const auto& d : prefix) {
+      const std::uint32_t child = find_child(nodes_[cur], d.site, d.taken);
+      if (child == 0) return false;
+      cur = child;
+    }
   }
   Node& n = nodes_[cur];
   // The node must actually branch on `site` in the other direction —
@@ -151,6 +164,7 @@ void ExecTree::collect_frontiers(std::uint32_t idx,
       f.site = e.site;
       f.direction = other_dir;
       f.parent_visits = n.visits;
+      f.node = idx;
       out.push_back(std::move(f));
     }
   }

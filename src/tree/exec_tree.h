@@ -39,19 +39,28 @@ class ExecTree {
     bool new_path = false;     // a previously unseen leaf
     std::size_t new_nodes = 0; // nodes pasted in
     std::size_t lca_depth = 0; // depth of the lowest common ancestor
+    std::uint32_t leaf = 0;    // terminal node: a valid mark_infeasible hint
   };
 
   // Merges one decision stream ending with `outcome`. Idempotent for
-  // already-present paths (only counters change).
+  // already-present paths (only counters change). `weight` merges the same
+  // execution `weight` times in one walk: because repeats of a present path
+  // only bump visit/outcome counters, add_path(d, o, c, k) leaves the tree
+  // byte-identical to k sequential calls — the batch pipeline leans on this
+  // to coalesce traces whose replay memoized to the same decision stream.
   MergeResult add_path(const std::vector<SymDecision>& decisions,
                        Outcome outcome,
-                       const std::optional<CrashInfo>& crash = std::nullopt);
+                       const std::optional<CrashInfo>& crash = std::nullopt,
+                       std::uint64_t weight = 1);
 
   // Marks direction `dir` at the node reached by `prefix` as proven
   // infeasible (symbolic gap closure). Returns false if the prefix does not
-  // lead to a node that branches on `site`.
+  // lead to a node that branches on `site`. `node_hint` (MergeResult::leaf
+  // or Frontier::node — valid forever, the tree is append-only) skips the
+  // prefix re-walk.
   bool mark_infeasible(const std::vector<SymDecision>& prefix,
-                       std::uint32_t site, bool dir);
+                       std::uint32_t site, bool dir,
+                       std::optional<std::uint32_t> node_hint = std::nullopt);
 
   // ---- coverage -----------------------------------------------------------
   std::size_t num_paths() const { return num_leaves_; }
@@ -69,6 +78,7 @@ class ExecTree {
     std::uint32_t site = 0;           // branch site with a missing direction
     bool direction = false;           // the unexplored direction
     std::uint64_t parent_visits = 0;  // how "hot" this region is
+    std::uint32_t node = 0;           // node reached by prefix (walk hint)
   };
 
   // Enumerates unexplored directions, hottest-first, up to `max_items`.

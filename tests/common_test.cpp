@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <set>
+#include <stdexcept>
 #include <vector>
 
 #include "common/bitvec.h"
+#include "common/flat_hash.h"
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -333,6 +336,121 @@ TEST(ThreadPool, SingleThreadOrdering) {
   }
   for (auto& f : futs) f.get();
   EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(ThreadPool, ManySmallTasksStress) {
+  ThreadPool pool(8);
+  std::atomic<std::uint64_t> sum{0};
+  std::vector<std::future<void>> futs;
+  futs.reserve(5000);
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    futs.push_back(pool.submit([&sum, i] { sum += i; }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(sum.load(), 5000ULL * 4999 / 2);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto boom =
+      pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(boom.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+// --------------------------------------------------------- parallel_for ----
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(&pool, hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, NullPoolRunsInline) {
+  std::vector<int> hits(100, 0);
+  parallel_for(nullptr, hits.size(), [&](std::size_t i) { hits[i]++; });
+  EXPECT_EQ(std::count(hits.begin(), hits.end(), 1), 100);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(parallel_for(&pool, 200,
+                            [&](std::size_t i) {
+                              ran++;
+                              if (i == 199) throw std::runtime_error("x");
+                            }),
+               std::runtime_error);
+  // Every other chunk still completed before the rethrow (no dangling
+  // captures; only the throwing chunk stops early, and 199 is its last
+  // index anyway).
+  EXPECT_EQ(ran.load(), 200);
+}
+
+// ----------------------------------------------------------- FlatU64Set ---
+
+TEST(FlatU64Set, InsertReportsNovelty) {
+  FlatU64Set set;
+  EXPECT_TRUE(set.insert(7));
+  EXPECT_FALSE(set.insert(7));
+  EXPECT_TRUE(set.contains(7));
+  EXPECT_FALSE(set.contains(8));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(FlatU64Set, ZeroIsAnOrdinaryKey) {
+  // 0 marks empty slots internally; the API must still treat it as a value.
+  FlatU64Set set;
+  EXPECT_FALSE(set.contains(0));
+  EXPECT_TRUE(set.insert(0));
+  EXPECT_FALSE(set.insert(0));
+  EXPECT_TRUE(set.contains(0));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(FlatU64Set, GrowsAndKeepsEverything) {
+  FlatU64Set set;
+  Rng r(17);
+  std::set<std::uint64_t> model;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = r.next_below(4000);  // force duplicates
+    EXPECT_EQ(set.insert(v), model.insert(v).second) << "i " << i;
+  }
+  EXPECT_EQ(set.size(), model.size());
+  for (auto v : model) EXPECT_TRUE(set.contains(v));
+}
+
+TEST(FlatU64Set, ReserveDoesNotDisturbContents) {
+  FlatU64Set set;
+  for (std::uint64_t v = 1; v <= 100; ++v) set.insert(v);
+  set.reserve(10000);
+  EXPECT_EQ(set.size(), 100u);
+  for (std::uint64_t v = 1; v <= 100; ++v) EXPECT_TRUE(set.contains(v));
+}
+
+TEST(FlatU64PtrMap, InsertKeepsFirstMapping) {
+  int a = 1, b = 2;
+  FlatU64PtrMap<int> map;
+  EXPECT_EQ(map.find(5), nullptr);
+  map.insert(5, &a);
+  map.insert(5, &b);  // emplace semantics: the first mapping wins
+  EXPECT_EQ(map.find(5), &a);
+  EXPECT_EQ(map.find(6), nullptr);
+}
+
+TEST(FlatU64PtrMap, ManyKeysSurviveGrowth) {
+  std::vector<int> values(2000);
+  FlatU64PtrMap<int> map;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    map.insert(i * 0x9e3779b9ULL + 1, &values[i]);
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(map.find(i * 0x9e3779b9ULL + 1), &values[i]) << "i " << i;
+  }
 }
 
 }  // namespace

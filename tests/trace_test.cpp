@@ -133,6 +133,116 @@ TEST(Codec, WireSizeIsCompact) {
   EXPECT_LT(wire.size(), 200u);
 }
 
+// --------------------------------------------------- wire summaries -------
+// codec.h promises: summarize_trace_wire(w) succeeds exactly when
+// decode_trace(w) succeeds, the shared fields agree, and key equals
+// replay_key(*decode_trace(w)). The batch pipeline's deferred decoding
+// (dedup and memoization straight off the wire) rests on these three.
+
+TEST(Codec, SummaryFieldsAgreeWithDecode) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const Bytes wire = encode_trace(sample_trace(seed));
+    const auto t = decode_trace(wire);
+    const auto s = summarize_trace_wire(wire);
+    ASSERT_TRUE(t.has_value());
+    ASSERT_TRUE(s.has_value()) << "seed " << seed;
+    EXPECT_EQ(s->id, t->id);
+    EXPECT_EQ(s->program, t->program);
+    EXPECT_EQ(s->pod, t->pod);
+    EXPECT_EQ(s->outcome, t->outcome);
+    EXPECT_EQ(s->crash, t->crash);
+    EXPECT_EQ(s->granularity, t->granularity);
+    EXPECT_EQ(s->steps, t->steps);
+    EXPECT_EQ(s->patched, t->patched);
+    EXPECT_EQ(s->guided, t->guided);
+    EXPECT_EQ(s->day, t->day);
+  }
+}
+
+TEST(Codec, SummaryKeyEqualsReplayKeyOfDecodedTrace) {
+  for (auto o : {Outcome::kOk, Outcome::kCrash, Outcome::kDeadlock,
+                 Outcome::kHang, Outcome::kUserKilled}) {
+    Trace t = sample_trace(static_cast<std::uint64_t>(o) + 1);
+    t.outcome = o;
+    if (o != Outcome::kCrash) t.crash.reset();
+    const Bytes wire = encode_trace(t);
+    const auto s = summarize_trace_wire(wire);
+    ASSERT_TRUE(s.has_value());
+    const ReplayKey k = replay_key(*decode_trace(wire));
+    EXPECT_EQ(s->key.key, k.key);
+    EXPECT_EQ(s->key.check, k.check);
+  }
+  // Odd bit counts exercise the last-word masking in the streaming fold.
+  for (int nbits : {0, 1, 63, 64, 65, 127, 128, 129}) {
+    Trace t;
+    Rng r(nbits + 7);
+    for (int i = 0; i < nbits; ++i) t.branch_bits.push_back(r.next_bool());
+    const Bytes wire = encode_trace(t);
+    const auto s = summarize_trace_wire(wire);
+    ASSERT_TRUE(s.has_value()) << "nbits " << nbits;
+    EXPECT_EQ(s->key.key, replay_key(*decode_trace(wire)).key)
+        << "nbits " << nbits;
+  }
+}
+
+TEST(Codec, SummarizeSucceedsExactlyWhenDecodeSucceeds) {
+  const Bytes wire = encode_trace(sample_trace());
+  // Strict prefixes fail both; so does appended garbage.
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    Bytes prefix(wire.begin(), wire.begin() + static_cast<long>(cut));
+    EXPECT_EQ(summarize_trace_wire(prefix).has_value(),
+              decode_trace(prefix).has_value())
+        << "cut " << cut;
+  }
+  Bytes padded = wire;
+  padded.push_back(0x00);
+  EXPECT_FALSE(summarize_trace_wire(padded).has_value());
+  // Mutation sweep: whatever decode thinks of a corrupted wire, summarize
+  // must agree — the batch path counts decode_failures off summaries alone.
+  Rng r(79);
+  for (int round = 0; round < 2000; ++round) {
+    Bytes mutated = wire;
+    const std::size_t n_mutations = 1 + r.next_below(4);
+    for (std::size_t i = 0; i < n_mutations; ++i) {
+      mutated[r.next_below(mutated.size())] = static_cast<std::uint8_t>(r());
+    }
+    EXPECT_EQ(summarize_trace_wire(mutated).has_value(),
+              decode_trace(mutated).has_value());
+  }
+  Rng junk_rng(80);
+  for (int round = 0; round < 2000; ++round) {
+    Bytes junk(junk_rng.next_below(64));
+    for (auto& byte : junk) byte = static_cast<std::uint8_t>(junk_rng());
+    EXPECT_EQ(summarize_trace_wire(junk).has_value(),
+              decode_trace(junk).has_value());
+  }
+}
+
+TEST(Codec, DecodeIntoRecyclesAcrossWires) {
+  // One scratch trace decodes a sequence of wires (the stage-2 miss path);
+  // every result must equal a fresh decode, including after a failure.
+  Trace scratch;
+  Rng r(81);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Trace t = sample_trace(seed);
+    if (seed % 3 == 0) {  // vary payload shapes so capacities shrink too
+      t.lock_events.clear();
+      t.syscalls.clear();
+      t.branch_bits.clear();
+      t.crash.reset();
+      t.outcome = Outcome::kOk;
+    }
+    const Bytes wire = encode_trace(t);
+    ASSERT_TRUE(decode_trace_into(scratch, wire)) << "seed " << seed;
+    EXPECT_EQ(scratch, t) << "seed " << seed;
+    Bytes broken = wire;
+    broken.resize(broken.size() / 2);
+    EXPECT_FALSE(decode_trace_into(scratch, broken));
+    ASSERT_TRUE(decode_trace_into(scratch, wire));  // recovers after failure
+    EXPECT_EQ(scratch, t) << "seed " << seed;
+  }
+}
+
 // ------------------------------------------------------------ sampling -----
 
 TEST(Sampling, RateOneRecordsEverything) {
