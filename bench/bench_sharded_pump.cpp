@@ -1,0 +1,99 @@
+// BM_ShardedPump — serial vs. shard-parallel hive pump on a multi-program
+// workload routed through the simulated network (paper §3: the hive "may be
+// physically centralized … entirely distributed, or hybrid").
+//
+// Each iteration stands up a fresh 8-shard ShardedHive on a reliable
+// 1-tick-latency SimNet, sends the full workload to the ingress, and pumps
+// until drained. The serial leg (/-1) is the pre-optimization pump: routing
+// decodes every wire outright and each shard ingests message-by-message
+// through the per-trace pipeline (Hive::ingest_bytes). The batched legs
+// (/0, /2, /8) route by header peek and drain each shard through
+// ingest_batch, fanned out on `pump_threads` workers. Methodology and
+// measured numbers: EXPERIMENTS.md ("BM_ShardedPump").
+#include <benchmark/benchmark.h>
+
+#include "core/softborg.h"
+
+namespace softborg {
+namespace {
+
+constexpr std::size_t kNumShards = 8;
+
+// A day of fleet traffic: 64 endpoints x 64 runs. Each endpoint runs one
+// corpus program with a fixed installed configuration (inputs drawn once per
+// endpoint), re-executed with a fresh scheduler seed per run — the paper's
+// redundancy model, where a huge number of endpoints keep re-walking a small
+// set of paths and the hive recycles the overlap. Every wire has a unique
+// trace id, so dedup passes all of them and the recycling happens in the
+// replay-coalescing stage, not at the dedup gate.
+const std::vector<Bytes>& fleet_workload() {
+  static const std::vector<Bytes> wires = [] {
+    const auto corpus = standard_corpus();
+    Rng rng(29);
+    std::vector<Bytes> out;
+    out.reserve(64 * 64);
+    for (std::size_t endpoint = 0; endpoint < 64; ++endpoint) {
+      const CorpusEntry& entry = corpus[rng.next_below(corpus.size())];
+      ExecConfig cfg;
+      for (const auto& d : entry.domains) {
+        cfg.inputs.push_back(rng.next_in(d.lo, d.hi));
+      }
+      for (std::size_t run = 0; run < 64; ++run) {
+        cfg.seed = endpoint * 64 + run + 1;
+        auto result = execute(entry.program, cfg);
+        result.trace.id = TraceId(endpoint * 64 + run + 1);
+        out.push_back(encode_trace(result.trace));
+      }
+    }
+    return out;
+  }();
+  return wires;
+}
+
+// Arg(-1): serial pump (decode-routed, per-trace ingest_bytes). Arg(k>=0):
+// shard-parallel pump with k workers (k=0 runs the batch path inline).
+void BM_ShardedPump(benchmark::State& state) {
+  static const std::vector<CorpusEntry> corpus = standard_corpus();
+  const std::vector<Bytes>& wires = fleet_workload();
+  const std::int64_t arg = state.range(0);
+  NetConfig net_config;
+  net_config.min_latency_ticks = 1;
+  net_config.max_latency_ticks = 1;
+  for (auto _ : state) {
+    SimNet net(net_config);
+    ShardedHiveConfig config;
+    config.serial_pump = arg < 0;
+    config.pump_threads = arg > 0 ? static_cast<std::size_t>(arg) : 0;
+    ShardedHive hive(&corpus, kNumShards, net, config);
+    const Endpoint client = net.add_endpoint();
+    for (const auto& w : wires) {
+      net.send(client, hive.ingress(), kMsgTrace, w);
+    }
+    // Round 1 delivers to the ingress and routes; round 2 delivers to the
+    // shards and ingests; round 3 confirms the fleet has drained.
+    for (int round = 0; round < 3; ++round) {
+      net.tick();
+      hive.pump(net);
+    }
+    benchmark::DoNotOptimize(hive.aggregate_stats().paths_merged);
+    // Fleet-wide pipeline telemetry from the last iteration: how much of the
+    // workload the replay-coalescing stage recycled (serial legs report 0 —
+    // the per-trace pipeline replays every wire).
+    const IngestStats agg = hive.aggregate_ingest_stats();
+    state.counters["hit_rate"] = agg.cache_hit_rate();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(wires.size()));
+}
+BENCHMARK(BM_ShardedPump)
+    ->Arg(-1)
+    ->Arg(0)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace softborg
+
+BENCHMARK_MAIN();

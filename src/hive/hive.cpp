@@ -520,19 +520,21 @@ std::vector<FixCandidate> Hive::process() {
 std::vector<GuidanceDirective> Hive::plan_guidance(std::size_t per_program) {
   std::vector<GuidanceDirective> out;
   for (const auto& entry : *corpus_) {
-    if (entry.program.num_threads() == 1) {
-      ExecTree* t = tree(entry.program.id);
-      if (t == nullptr) continue;
-      auto ds = planner_.plan_frontier(entry, *t, per_program);
-      out.insert(out.end(), std::make_move_iterator(ds.begin()),
-                 std::make_move_iterator(ds.end()));
-    } else {
-      auto ds = planner_.plan_schedules(entry, per_program, rng_);
-      out.insert(out.end(), std::make_move_iterator(ds.begin()),
-                 std::make_move_iterator(ds.end()));
-    }
+    auto ds = plan_guidance_for(entry, per_program);
+    out.insert(out.end(), std::make_move_iterator(ds.begin()),
+               std::make_move_iterator(ds.end()));
   }
   return out;
+}
+
+std::vector<GuidanceDirective> Hive::plan_guidance_for(
+    const CorpusEntry& entry, std::size_t per_program) {
+  if (entry.program.num_threads() == 1) {
+    ExecTree* t = tree(entry.program.id);
+    if (t == nullptr) return {};
+    return planner_.plan_frontier(entry, *t, per_program);
+  }
+  return planner_.plan_schedules(entry, per_program, rng_);
 }
 
 ProofCertificate Hive::attempt_proof(ProgramId program, Property property) {

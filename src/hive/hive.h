@@ -133,6 +133,12 @@ class Hive {
   // programs, schedule plans for multi-threaded ones).
   std::vector<GuidanceDirective> plan_guidance(std::size_t per_program);
 
+  // The per-program slice of plan_guidance: directives for `entry` only.
+  // ShardedHive uses this to plan exactly the programs a shard owns instead
+  // of planning the whole corpus and discarding the unowned directives.
+  std::vector<GuidanceDirective> plan_guidance_for(const CorpusEntry& entry,
+                                                   std::size_t per_program);
+
   // Attempts a cumulative proof for one program.
   ProofCertificate attempt_proof(ProgramId program, Property property);
 

@@ -9,8 +9,8 @@ namespace softborg {
 
 ShardedHive::ShardedHive(const std::vector<CorpusEntry>* corpus,
                          std::size_t num_shards, SimNet& net,
-                         HiveConfig config)
-    : corpus_(corpus) {
+                         ShardedHiveConfig config)
+    : corpus_(corpus), config_(config) {
   SB_CHECK(corpus_ != nullptr);
   SB_CHECK(num_shards >= 1);
   ingress_ = net.add_endpoint();
@@ -18,9 +18,9 @@ ShardedHive::ShardedHive(const std::vector<CorpusEntry>* corpus,
   for (std::size_t i = 0; i < num_shards; ++i) {
     Shard shard;
     // Fixer ids must not collide across shards.
-    HiveConfig shard_config = config;
+    HiveConfig shard_config = config.hive;
     shard_config.fixer.next_fix_id = 1 + i * 1'000'000;
-    shard_config.seed = config.seed ^ (i * 0x9e3779b97f4a7c15ULL);
+    shard_config.seed = config.hive.seed ^ (i * 0x9e3779b97f4a7c15ULL);
     shard.hive = std::make_unique<Hive>(corpus_, shard_config);
     shard.endpoint = net.add_endpoint();
     shards_.push_back(std::move(shard));
@@ -36,32 +36,71 @@ std::size_t ShardedHive::shard_index(ProgramId program) const {
   return static_cast<std::size_t>(x % shards_.size());
 }
 
+ThreadPool* ShardedHive::pump_pool() {
+  const std::size_t workers =
+      std::min(config_.pump_threads, shards_.size());
+  if (workers <= 1) return nullptr;
+  if (pump_pool_ == nullptr) {
+    pump_pool_ = std::make_unique<ThreadPool>(workers);
+  }
+  return pump_pool_.get();
+}
+
 void ShardedHive::pump(SimNet& net) {
   // Route ingress traffic to the owning shard. Routing only needs the
-  // program id, so decode once here (a real deployment would peek the
-  // header; our codec is cheap enough to decode outright).
-  for (const auto& msg : net.drain(ingress_)) {
-    if (msg.type != kMsgTrace) continue;
-    const auto trace = decode_trace(msg.payload);
-    if (!trace) {
+  // program id, so peek the header with the one-pass allocation-free
+  // validator instead of materializing the trace's vector payloads; the
+  // owning shard's ingest pipeline does the full decode exactly once.
+  for (auto& msg : net.drain(ingress_)) {
+    if (msg.type != kMsgTrace) {
+      unroutable_++;  // the router owns no other message type
+      continue;
+    }
+    std::optional<ProgramId> program;
+    if (config_.serial_pump) {
+      // Baseline flavor: the pre-peek router materialized the whole trace
+      // just to read its header. Kept bit-for-bit routable-equivalent to the
+      // peek (summarize succeeds exactly when decode does — codec tests pin
+      // this), so differential runs see identical send sequences.
+      if (const auto trace = decode_trace(msg.payload)) {
+        program = trace->program;
+      }
+    } else if (const auto summary = summarize_trace_wire(msg.payload)) {
+      program = summary->program;
+    }
+    if (!program) {
       routing_failures_++;
       continue;
     }
-    const std::size_t owner = shard_index(trace->program);
-    net.send(ingress_, shards_[owner].endpoint, kMsgTrace, msg.payload);
+    const std::size_t owner = shard_index(*program);
+    net.send(ingress_, shards_[owner].endpoint, kMsgTrace,
+             std::move(msg.payload));
     routed_++;
   }
-  // Shards ingest whatever has arrived, one batch per shard: the staged
-  // pipeline parallelizes decode+replay when the config enables workers.
-  std::vector<Bytes> batch;
-  for (auto& shard : shards_) {
-    batch.clear();
-    auto messages = net.drain(shard.endpoint);
+  // Drain every shard endpoint on the caller — SimNet is single-threaded
+  // state — so the fan-out below touches nothing but the shards' own Hives.
+  std::vector<std::vector<Bytes>> batches(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    auto messages = net.drain(shards_[i].endpoint);
+    batches[i].reserve(messages.size());
     for (auto& msg : messages) {
-      if (msg.type == kMsgTrace) batch.push_back(std::move(msg.payload));
+      if (msg.type == kMsgTrace) batches[i].push_back(std::move(msg.payload));
     }
-    if (!batch.empty()) shard.hive->ingest_batch(batch);
   }
+  if (config_.serial_pump) {
+    // Baseline flavor: the per-trace serial pipeline, message by message.
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      for (const Bytes& wire : batches[i]) shards_[i].hive->ingest_bytes(wire);
+    }
+    return;
+  }
+  // Shard-parallel ingestion: one worker per shard, each draining its batch
+  // through the staged pipeline. Shards own disjoint Hive state (trees,
+  // caches, stats), so no locking is needed; within a shard the batch keeps
+  // network-delivery order, so results are independent of pump_threads.
+  parallel_for(pump_pool(), shards_.size(), [&](std::size_t i) {
+    if (!batches[i].empty()) shards_[i].hive->ingest_batch(batches[i]);
+  });
 }
 
 std::vector<FixCandidate> ShardedHive::process_all() {
@@ -77,16 +116,14 @@ std::vector<FixCandidate> ShardedHive::process_all() {
 std::vector<GuidanceDirective> ShardedHive::plan_guidance_all(
     std::size_t per_program) {
   std::vector<GuidanceDirective> all;
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
-    // Each shard only plans for the programs it owns.
-    for (const auto& entry : *corpus_) {
-      if (shard_index(entry.program.id) != i) continue;
-      auto directives = shards_[i].hive->plan_guidance(per_program);
-      for (auto& d : directives) {
-        if (shard_index(d.program) == i) all.push_back(std::move(d));
-      }
-      break;  // plan_guidance already covers all programs of the corpus
-    }
+  // One pass over the corpus: each program is planned once, by its owning
+  // shard — no shard spends solver time on programs whose traces it never
+  // sees, and no directive can be emitted twice.
+  for (const auto& entry : *corpus_) {
+    auto directives = shards_[shard_index(entry.program.id)]
+                          .hive->plan_guidance_for(entry, per_program);
+    all.insert(all.end(), std::make_move_iterator(directives.begin()),
+               std::make_move_iterator(directives.end()));
   }
   return all;
 }
@@ -110,6 +147,22 @@ HiveStats ShardedHive::aggregate_stats() const {
     total.fixed_traces_seen += s.fixed_traces_seen;
     total.fix_recurrences += s.fix_recurrences;
     total.bugs_reopened += s.bugs_reopened;
+  }
+  return total;
+}
+
+IngestStats ShardedHive::aggregate_ingest_stats() const {
+  IngestStats total;
+  for (const auto& shard : shards_) {
+    const IngestStats& s = shard.hive->ingest_stats();
+    total.batches += s.batches;
+    total.batch_traces += s.batch_traces;
+    total.replay_cache_hits += s.replay_cache_hits;
+    total.replay_cache_misses += s.replay_cache_misses;
+    total.decode_seconds += s.decode_seconds;
+    total.serial_seconds += s.serial_seconds;
+    total.replay_seconds += s.replay_seconds;
+    total.merge_seconds += s.merge_seconds;
   }
   return total;
 }

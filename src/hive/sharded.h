@@ -12,6 +12,15 @@
 // Hive::ingest_batch() — per-program grouping and replay memoization apply
 // within each shard unchanged.
 //
+// pump() is shard-parallel: the SimNet drain/route step runs on the caller
+// (SimNet is single-threaded state), then the per-shard batches fan out on
+// a shared thread pool, one worker per shard. Shards own disjoint Hive
+// instances — and therefore disjoint ExecTrees, replay caches, and stats —
+// so one-worker-per-shard needs no locking anywhere. Routing peeks the wire
+// header with summarize_trace_wire (one allocation-free validation pass)
+// instead of fully decoding: the route step is O(validate), and the vector
+// payloads are only materialized inside the owning shard's pipeline.
+//
 // Shard state is portable: `export_trees` serializes every tree via
 // tree_codec, so shards can be migrated or their knowledge merged into a
 // centralized hive (the hybrid deployment).
@@ -21,17 +30,40 @@
 #include <memory>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "hive/hive.h"
 #include "net/simnet.h"
 
 namespace softborg {
+
+struct ShardedHiveConfig {
+  HiveConfig hive;
+  // Worker threads for the shard-parallel pump; <= 1 pumps shards inline on
+  // the caller (identical results — see tests/sharded_pump_test.cpp). The
+  // pool is sized at min(pump_threads, num_shards): more workers than
+  // shards could never be busy. Unlike ingest_threads this is deliberately
+  // not capped at the hardware concurrency, so the differential and TSan
+  // tests exercise real cross-shard interleavings even on small hosts.
+  std::size_t pump_threads = 0;
+  // When true, pump() reproduces the pre-optimization pump: routing decodes
+  // the full trace instead of peeking the header, and shards ingest
+  // message-by-message through the serial pipeline (Hive::ingest_bytes)
+  // instead of ingest_batch. Routing decisions and results are bit-identical
+  // to the optimized pump (differential tests pin this); only the work done
+  // differs. Kept as the baseline leg of BM_ShardedPump.
+  bool serial_pump = false;
+};
 
 class ShardedHive {
  public:
   // Creates `num_shards` hives, each with an endpoint on `net`, plus one
   // ingress endpoint that routes upstream traffic.
   ShardedHive(const std::vector<CorpusEntry>* corpus, std::size_t num_shards,
-              SimNet& net, HiveConfig config = {});
+              SimNet& net, ShardedHiveConfig config);
+  ShardedHive(const std::vector<CorpusEntry>* corpus, std::size_t num_shards,
+              SimNet& net, HiveConfig config = {})
+      : ShardedHive(corpus, num_shards, net,
+                    ShardedHiveConfig{.hive = config}) {}
 
   Endpoint ingress() const { return ingress_; }
   std::size_t num_shards() const { return shards_.size(); }
@@ -39,29 +71,41 @@ class ShardedHive {
   // Which shard owns a program (stable hash routing).
   std::size_t shard_index(ProgramId program) const;
   Hive& shard(std::size_t index) { return *shards_[index].hive; }
+  const Hive& shard(std::size_t index) const { return *shards_[index].hive; }
   Hive& shard_for(ProgramId program) {
     return *shards_[shard_index(program)].hive;
   }
 
   // Drains the ingress (routing traces onward) and every shard endpoint
-  // (ingesting what arrived). Call after net ticks.
+  // (ingesting what arrived, shard-parallel on the pump pool). Call after
+  // net ticks.
   void pump(SimNet& net);
 
   // Fans analysis out to every shard and concatenates approved fixes.
   std::vector<FixCandidate> process_all();
+  // One pass over the corpus: every program is planned exactly once, by the
+  // shard that owns it, so the result carries no duplicate directives and
+  // covers the same programs as a single unsharded hive with equal trees.
   std::vector<GuidanceDirective> plan_guidance_all(std::size_t per_program);
 
-  // Aggregated statistics across shards.
+  // Aggregated statistics across shards. aggregate_ingest_stats() sums the
+  // per-shard pipeline telemetry (stage timings are CPU-seconds summed over
+  // shards; the derived cache_hit_rate() is the fleet-wide rate). Per-shard
+  // breakdowns stay available via shard(i).ingest_stats().
   HiveStats aggregate_stats() const;
+  IngestStats aggregate_ingest_stats() const;
   std::size_t total_bugs() const;
 
   // Serialized trees of one shard, keyed by program id — the migration /
   // centralization payload.
   std::map<std::uint64_t, Bytes> export_trees(std::size_t index);
 
-  // Statistics about routing.
+  // Statistics about routing: traces forwarded to a shard, wires that
+  // failed header validation, and ingress messages of a non-trace type
+  // (which the router cannot own and would otherwise vanish silently).
   std::uint64_t routed() const { return routed_; }
   std::uint64_t routing_failures() const { return routing_failures_; }
+  std::uint64_t unroutable() const { return unroutable_; }
 
  private:
   struct Shard {
@@ -69,11 +113,17 @@ class ShardedHive {
     Endpoint endpoint = 0;
   };
 
+  // Null when the effective worker count is <= 1; lazily created otherwise.
+  ThreadPool* pump_pool();
+
   const std::vector<CorpusEntry>* corpus_;
+  ShardedHiveConfig config_;
   std::vector<Shard> shards_;
+  std::unique_ptr<ThreadPool> pump_pool_;
   Endpoint ingress_ = 0;
   std::uint64_t routed_ = 0;
   std::uint64_t routing_failures_ = 0;
+  std::uint64_t unroutable_ = 0;
 };
 
 }  // namespace softborg

@@ -1,5 +1,7 @@
 #include "net/simnet.h"
 
+#include <utility>
+
 #include "common/check.h"
 
 namespace softborg {
@@ -21,7 +23,7 @@ void SimNet::send(Endpoint from, Endpoint to, std::uint32_t type,
   stats_.sent++;
   stats_.bytes_sent += payload.size();
   if (blocked(from, to)) {
-    stats_.blocked_by_partition++;
+    stats_.blocked_at_send++;
     return;
   }
   if (config_.drop_prob > 0 && rng_.next_bool(config_.drop_prob)) {
@@ -39,7 +41,7 @@ void SimNet::send(Endpoint from, Endpoint to, std::uint32_t type,
         config_.max_latency_ticks - config_.min_latency_ticks;
     m.deliver_tick = now_ + config_.min_latency_ticks +
                      (span > 0 ? rng_.next_below(span + 1) : 0);
-    in_flight_.emplace(m.deliver_tick, std::move(m));
+    in_flight_[m.deliver_tick].push_back(std::move(m));
   };
   if (config_.dup_prob > 0 && rng_.next_bool(config_.dup_prob)) {
     stats_.duplicated++;
@@ -52,22 +54,22 @@ void SimNet::tick() {
   now_++;
   auto end = in_flight_.upper_bound(now_);
   for (auto it = in_flight_.begin(); it != end; ++it) {
-    Message& m = it->second;
-    if (blocked(m.from, m.to)) {
-      stats_.blocked_by_partition++;
-      continue;  // partitions that formed mid-flight eat the message
+    for (Message& m : it->second) {
+      if (blocked(m.from, m.to)) {
+        stats_.dropped_in_flight++;
+        continue;  // partitions that formed mid-flight eat the message
+      }
+      stats_.delivered++;
+      inboxes_[m.to].push_back(std::move(m));
     }
-    stats_.delivered++;
-    inboxes_[m.to].push_back(std::move(m));
   }
   in_flight_.erase(in_flight_.begin(), end);
 }
 
 std::vector<Message> SimNet::drain(Endpoint ep) {
   SB_CHECK(ep < inboxes_.size());
-  std::vector<Message> out(inboxes_[ep].begin(), inboxes_[ep].end());
-  inboxes_[ep].clear();
-  return out;
+  // Move the inbox out wholesale — draining used to copy every payload.
+  return std::exchange(inboxes_[ep], {});
 }
 
 void SimNet::set_partitioned(Endpoint a, Endpoint b, bool blocked_now) {

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <set>
 #include <vector>
@@ -42,7 +41,13 @@ struct NetStats {
   std::uint64_t delivered = 0;
   std::uint64_t dropped = 0;
   std::uint64_t duplicated = 0;
-  std::uint64_t blocked_by_partition = 0;
+  // Partition effects, counted once per message copy: refused at send()
+  // because the pair was already partitioned, vs. eaten at delivery time by
+  // a partition that formed while the message was in flight. (Formerly one
+  // `blocked_by_partition` counter incremented in both places, so a single
+  // message could be counted twice.)
+  std::uint64_t blocked_at_send = 0;
+  std::uint64_t dropped_in_flight = 0;
   std::uint64_t bytes_sent = 0;
 };
 
@@ -77,9 +82,13 @@ class SimNet {
   NetConfig config_;
   Rng rng_;
   std::uint64_t now_ = 0;
-  std::vector<std::deque<Message>> inboxes_;
-  // In-flight messages keyed by delivery tick.
-  std::multimap<std::uint64_t, Message> in_flight_;
+  std::vector<std::vector<Message>> inboxes_;
+  // In-flight messages bucketed by delivery tick. Within a tick, messages
+  // deliver in send order (push_back / in-order walk), exactly like the
+  // multimap this replaces — but with one tree node per distinct tick
+  // instead of one per message, which matters when a pump round moves
+  // thousands of messages.
+  std::map<std::uint64_t, std::vector<Message>> in_flight_;
   std::set<std::pair<Endpoint, Endpoint>> partitions_;
   std::set<Endpoint> isolated_;
   NetStats stats_;

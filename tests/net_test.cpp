@@ -76,7 +76,8 @@ TEST(SimNet, PartitionBlocksBothDirections) {
   for (int i = 0; i < 5; ++i) net.tick();
   EXPECT_TRUE(net.drain(a).empty());
   EXPECT_TRUE(net.drain(b).empty());
-  EXPECT_EQ(net.stats().blocked_by_partition, 2u);
+  EXPECT_EQ(net.stats().blocked_at_send, 2u);
+  EXPECT_EQ(net.stats().dropped_in_flight, 0u);
 }
 
 TEST(SimNet, PartitionHealRestoresDelivery) {
@@ -101,6 +102,33 @@ TEST(SimNet, MidFlightPartitionEatsMessages) {
   net.set_partitioned(a, b, true);
   for (int i = 0; i < 5; ++i) net.tick();
   EXPECT_TRUE(net.drain(b).empty());
+  // The message was accepted at send time and eaten mid-flight: exactly one
+  // of the two partition counters sees it.
+  EXPECT_EQ(net.stats().blocked_at_send, 0u);
+  EXPECT_EQ(net.stats().dropped_in_flight, 1u);
+}
+
+TEST(SimNet, PartitionCountersNeverDoubleCountOneMessage) {
+  // A message refused at send() never reaches in_flight_, so it cannot also
+  // be counted as dropped_in_flight (the old single counter could reach 2×
+  // the number of affected messages).
+  NetConfig cfg;
+  cfg.min_latency_ticks = 2;
+  cfg.max_latency_ticks = 2;
+  SimNet net(cfg);
+  const auto a = net.add_endpoint(), b = net.add_endpoint();
+  net.set_partitioned(a, b, true);
+  net.send(a, b, 0, {});  // refused at send
+  net.set_partitioned(a, b, false);
+  net.send(a, b, 0, {});  // accepted, then eaten mid-flight
+  net.tick();
+  net.set_partitioned(a, b, true);
+  for (int i = 0; i < 5; ++i) net.tick();
+  EXPECT_TRUE(net.drain(b).empty());
+  EXPECT_EQ(net.stats().blocked_at_send, 1u);
+  EXPECT_EQ(net.stats().dropped_in_flight, 1u);
+  EXPECT_EQ(net.stats().blocked_at_send + net.stats().dropped_in_flight,
+            net.stats().sent - net.stats().delivered - net.stats().dropped);
 }
 
 TEST(SimNet, IsolationModelsChurn) {

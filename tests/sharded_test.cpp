@@ -90,6 +90,78 @@ TEST_F(ShardedHiveTest, MalformedIngressCounted) {
   EXPECT_EQ(hive.routed(), 0u);
 }
 
+TEST_F(ShardedHiveTest, NonTraceIngressMessagesCountedUnroutable) {
+  SimNet net;
+  ShardedHive hive(&corpus_, 2, net);
+  const Endpoint client = net.add_endpoint();
+  // The ingress owns exactly one message type; anything else must be
+  // counted, not silently vanish.
+  net.send(client, hive.ingress(), kMsgGuidance, Bytes{1, 2, 3});
+  net.send(client, hive.ingress(), kMsgWorkRequest, Bytes{});
+  net.send(client, hive.ingress(), kMsgTrace,
+           trace_bytes(entry("media_parser"), {20, 10}, 1));
+  settle(net, hive);
+  EXPECT_EQ(hive.unroutable(), 2u);
+  EXPECT_EQ(hive.routed(), 1u);
+  EXPECT_EQ(hive.routing_failures(), 0u);
+  EXPECT_EQ(hive.aggregate_stats().traces_ingested, 1u);
+}
+
+TEST_F(ShardedHiveTest, GuidanceAllPlansEveryProgramOnceWithoutDuplicates) {
+  // Regression for the old corpus-scan-then-break loop: plan_guidance_all
+  // must plan each program exactly once (at its owning shard) and cover the
+  // same programs as a single unsharded hive holding equal trees.
+  SimNet net;
+  ShardedHive sharded(&corpus_, 3, net);
+  Hive central(&corpus_);
+  Rng rng(5);
+  for (int i = 0; i < 120; ++i) {
+    const auto& e = corpus_[rng.next_below(corpus_.size())];
+    ExecConfig cfg;
+    for (const auto& d : e.domains) cfg.inputs.push_back(rng.next_in(d.lo, d.hi));
+    cfg.seed = rng();
+    auto result = execute(e.program, cfg);
+    result.trace.id = TraceId(next_id_++);
+    const Bytes w = encode_trace(result.trace);
+    sharded.shard_for(e.program.id).ingest_bytes(w);
+    central.ingest_bytes(w);
+  }
+
+  const auto all = sharded.plan_guidance_all(3);
+  const auto ref = central.plan_guidance(3);
+
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_FALSE(all[i] == all[j]) << "duplicate directive at " << i
+                                     << " and " << j;
+    }
+  }
+
+  // Identical coverage: the same per-program directive counts as the
+  // unsharded hive (schedule-plan contents differ only by shard rng seed).
+  std::map<std::uint64_t, std::size_t> got, want;
+  for (const auto& d : all) got[d.program.value]++;
+  for (const auto& d : ref) want[d.program.value]++;
+  EXPECT_EQ(got, want);
+
+  // Frontier planning is solver-driven and rng-free, so for single-threaded
+  // programs the directives must match the unsharded hive exactly.
+  for (const auto& e : corpus_) {
+    if (e.program.num_threads() != 1) continue;
+    std::vector<GuidanceDirective> a, b;
+    for (const auto& d : all) {
+      if (d.program == e.program.id) a.push_back(d);
+    }
+    for (const auto& d : ref) {
+      if (d.program == e.program.id) b.push_back(d);
+    }
+    EXPECT_EQ(a.size(), b.size()) << e.program.name;
+    for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+      EXPECT_TRUE(a[i] == b[i]) << e.program.name << " directive " << i;
+    }
+  }
+}
+
 TEST_F(ShardedHiveTest, ProcessAllFindsFixesAcrossShards) {
   SimNet net;
   ShardedHive hive(&corpus_, 3, net);
