@@ -70,8 +70,10 @@ void BM_Replay(benchmark::State& state) {
 }
 BENCHMARK(BM_Replay);
 
-void BM_TreeMerge(benchmark::State& state) {
-  // Merge random 2^14-path decision streams into a growing tree.
+void BM_TreeMergePath(benchmark::State& state) {
+  // Merge random 2^14-path decision streams into a growing tree. (The
+  // legacy-vs-arena comparison on the fleet workload lives in
+  // bench_tree_v2.cpp as BM_TreeMerge/BM_TreeQuery.)
   const unsigned k = 14;
   Rng rng(3);
   std::vector<std::vector<SymDecision>> paths;
@@ -88,7 +90,7 @@ void BM_TreeMerge(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
-BENCHMARK(BM_TreeMerge);
+BENCHMARK(BM_TreeMergePath);
 
 void BM_TreeFrontier(benchmark::State& state) {
   const unsigned k = 12;

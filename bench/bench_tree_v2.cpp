@@ -1,0 +1,344 @@
+// BM_TreeMerge / BM_TreeQuery — arena-backed ExecTree v2 against the
+// pre-refactor baseline on a fleet-shaped workload: 64 endpoints x 64 runs
+// of one program, the same redundancy model as BM_ShardedPump. Each
+// endpoint owns one installed configuration — a fixed 64-decision path —
+// and every run re-walks it with one of a handful of scheduler-dependent
+// tail variants, so the hive re-merges a small set of hot paths thousands
+// of times and then interrogates the (~10k-node) tree with the planners'
+// query mix (frontier, completeness, subtree stats, outcome census).
+//
+// The workload is decision-stream-shaped rather than replayed from corpus
+// wires: the standard corpus programs have single-digit tainted branch
+// depth, so their trees (tens of nodes) measure allocator noise, not tree
+// mechanics. The stream model keeps the fleet's signature — deep hot
+// prefixes, massive re-walk redundancy, a bounded variant fan-out.
+//
+// Arg(0) runs `LegacyTree`, a faithful replica of the seed implementation:
+// array-of-structs nodes each owning three vectors plus an optional crash,
+// with recursive frontier/complete/stats walks that materialize a prefix
+// for every frontier before sorting and truncating. Arg(1) runs the arena
+// tree: SoA pools, packed 16-byte edge cells, and incremental aggregates that
+// make
+// complete()/open_frontiers()/stats_at() reads and let frontier() prune to
+// open subtrees, building prefixes only for the survivors. Methodology and
+// measured numbers: EXPERIMENTS.md ("BM_TreeMerge / BM_TreeQuery").
+#include <benchmark/benchmark.h>
+
+#include <optional>
+#include <vector>
+
+#include "core/softborg.h"
+
+namespace softborg {
+namespace {
+
+// ---------------------------------------------------------------- legacy ---
+// The seed-era tree, kept verbatim in miniature (merge + the four query
+// entry points; persistence and debug rendering dropped). Costs replicated:
+// per-node vector headers, prefix copies for every frontier hit, full
+// recursive walks for complete() and stats_at().
+class LegacyTree {
+ public:
+  explicit LegacyTree(ProgramId program) : program_(program) {
+    nodes_.push_back(Node{});
+  }
+
+  void add_path(const std::vector<SymDecision>& decisions, Outcome outcome,
+                const std::optional<CrashInfo>& crash = std::nullopt,
+                std::uint64_t weight = 1) {
+    if (weight == 0) return;
+    std::uint32_t cur = 0;
+    nodes_[0].visits += weight;
+    std::size_t depth = 0;
+    for (; depth < decisions.size(); ++depth) {
+      const auto& d = decisions[depth];
+      const std::uint32_t child = find_child(nodes_[cur], d.site, d.taken);
+      if (child == 0) break;
+      cur = child;
+      nodes_[cur].visits += weight;
+    }
+    const std::size_t needed = nodes_.size() + (decisions.size() - depth);
+    if (nodes_.capacity() < needed) {
+      nodes_.reserve(std::max(needed, nodes_.capacity() * 2));
+    }
+    for (; depth < decisions.size(); ++depth) {
+      const auto& d = decisions[depth];
+      const std::uint32_t child = static_cast<std::uint32_t>(nodes_.size());
+      nodes_.push_back(Node{});
+      nodes_[cur].edges.push_back({d.site, d.taken, child});
+      cur = child;
+      nodes_[cur].visits += weight;
+    }
+    Node& leaf = nodes_[cur];
+    bool outcome_seen = false;
+    for (auto& [o, count] : leaf.outcomes) {
+      if (o == outcome) {
+        count += weight;
+        outcome_seen = true;
+      }
+    }
+    if (!outcome_seen) leaf.outcomes.push_back({outcome, weight});
+    if (crash.has_value() && !leaf.crash.has_value()) leaf.crash = crash;
+  }
+
+  struct Frontier {
+    std::vector<SymDecision> prefix;
+    std::uint32_t site = 0;
+    bool direction = false;
+    std::uint64_t parent_visits = 0;
+  };
+
+  std::vector<Frontier> frontier(std::size_t max_items) const {
+    std::vector<Frontier> out;
+    std::vector<SymDecision> prefix;
+    collect_frontiers(0, prefix, out);
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Frontier& a, const Frontier& b) {
+                       return a.parent_visits > b.parent_visits;
+                     });
+    if (out.size() > max_items) out.resize(max_items);
+    return out;
+  }
+
+  bool complete() const {
+    if (nodes_[0].visits == 0) return false;
+    return complete_from(0);
+  }
+
+  struct SubtreeStats {
+    std::uint64_t visits = 0;
+    std::size_t leaves = 0;
+    std::size_t nodes = 0;
+    std::size_t open_frontiers = 0;
+  };
+
+  std::optional<SubtreeStats> stats_at(
+      const std::vector<SymDecision>& prefix) const {
+    std::uint32_t cur = 0;
+    for (const auto& d : prefix) {
+      const std::uint32_t child = find_child(nodes_[cur], d.site, d.taken);
+      if (child == 0) return std::nullopt;
+      cur = child;
+    }
+    SubtreeStats stats;
+    stats.visits = nodes_[cur].visits;
+    subtree_stats(cur, stats);
+    return stats;
+  }
+
+  std::uint64_t paths_with_outcome(Outcome o) const {
+    std::uint64_t total = 0;
+    for (const auto& n : nodes_) {
+      for (const auto& [outcome, count] : n.outcomes) {
+        if (outcome == o) total++;
+      }
+    }
+    return total;
+  }
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Edge {
+    std::uint32_t site = 0;
+    bool dir = false;
+    std::uint32_t child = 0;
+  };
+  struct Node {
+    std::uint64_t visits = 0;
+    std::vector<Edge> edges;
+    std::vector<std::pair<std::uint32_t, bool>> infeasible;
+    std::vector<std::pair<Outcome, std::uint64_t>> outcomes;
+    std::optional<CrashInfo> crash;
+  };
+
+  std::uint32_t find_child(const Node& n, std::uint32_t site,
+                           bool dir) const {
+    for (const auto& e : n.edges) {
+      if (e.site == site && e.dir == dir) return e.child;
+    }
+    return 0;
+  }
+
+  bool is_infeasible(const Node& n, std::uint32_t site, bool dir) const {
+    for (const auto& [s, d] : n.infeasible) {
+      if (s == site && d == dir) return true;
+    }
+    return false;
+  }
+
+  void collect_frontiers(std::uint32_t idx, std::vector<SymDecision>& prefix,
+                         std::vector<Frontier>& out) const {
+    const Node& n = nodes_[idx];
+    for (const auto& e : n.edges) {
+      if (find_child(n, e.site, !e.dir) == 0 &&
+          !is_infeasible(n, e.site, !e.dir)) {
+        out.push_back({prefix, e.site, !e.dir, n.visits});
+      }
+    }
+    for (const auto& e : n.edges) {
+      prefix.push_back({e.site, e.dir});
+      collect_frontiers(e.child, prefix, out);
+      prefix.pop_back();
+    }
+  }
+
+  bool complete_from(std::uint32_t idx) const {
+    const Node& n = nodes_[idx];
+    for (const auto& e : n.edges) {
+      if (find_child(n, e.site, !e.dir) == 0 &&
+          !is_infeasible(n, e.site, !e.dir)) {
+        return false;
+      }
+      if (!complete_from(e.child)) return false;
+    }
+    return true;
+  }
+
+  void subtree_stats(std::uint32_t idx, SubtreeStats& stats) const {
+    const Node& n = nodes_[idx];
+    stats.nodes++;
+    if (!n.outcomes.empty()) stats.leaves++;
+    for (const auto& e : n.edges) {
+      if (find_child(n, e.site, !e.dir) == 0 &&
+          !is_infeasible(n, e.site, !e.dir)) {
+        stats.open_frontiers++;
+      }
+      subtree_stats(e.child, stats);
+    }
+  }
+
+  ProgramId program_;
+  std::vector<Node> nodes_;
+};
+
+// -------------------------------------------------------------- workload ---
+constexpr std::size_t kEndpoints = 64;
+constexpr std::size_t kRunsPerEndpoint = 64;
+constexpr std::size_t kDepth = 64;          // decisions per execution
+constexpr std::size_t kTail = 16;           // scheduler-dependent suffix
+constexpr std::size_t kTailVariants = 8;    // interleavings seen in practice
+
+struct Run {
+  std::vector<SymDecision> decisions;
+  Outcome outcome = Outcome::kOk;
+  std::optional<CrashInfo> crash;
+};
+
+// 64 endpoints x 64 runs. Each endpoint's installed configuration fixes the
+// first kDepth-kTail decisions; the last kTail are scheduler-dependent,
+// drawn per run from the endpoint's kTailVariants precomputed
+// interleavings. ~7/8 of all merges re-walk a path the tree already holds —
+// the fleet redundancy the hive recycles. One tail variant per seventh
+// endpoint crashes, so the outcome census has real hits to count.
+const std::vector<Run>& fleet_runs() {
+  static const std::vector<Run> runs = [] {
+    Rng rng(29);
+    std::vector<Run> out;
+    out.reserve(kEndpoints * kRunsPerEndpoint);
+    for (std::size_t endpoint = 0; endpoint < kEndpoints; ++endpoint) {
+      std::vector<SymDecision> base(kDepth);
+      for (std::size_t j = 0; j < kDepth; ++j) {
+        base[j] = {static_cast<std::uint32_t>(j), rng.next_bool()};
+      }
+      std::vector<std::vector<SymDecision>> variants(kTailVariants, base);
+      for (std::size_t v = 1; v < kTailVariants; ++v) {
+        for (std::size_t j = kDepth - kTail; j < kDepth; ++j) {
+          variants[v][j].taken = rng.next_bool();
+        }
+      }
+      for (std::size_t run = 0; run < kRunsPerEndpoint; ++run) {
+        Run r;
+        const std::size_t v = rng.next_below(kTailVariants);
+        r.decisions = variants[v];
+        if (v == 1 && endpoint % 7 == 0) {
+          r.outcome = Outcome::kCrash;
+          r.crash = CrashInfo{CrashKind::kExplicitAbort, 9, 1};
+        }
+        out.push_back(std::move(r));
+      }
+    }
+    return out;
+  }();
+  return runs;
+}
+
+// stats_at() probes, the portfolio allocator's access pattern: for a few
+// endpoints, one shallow prefix (the shared hot region) and one deep
+// prefix (that endpoint's own chain).
+const std::vector<std::vector<SymDecision>>& probes() {
+  static const std::vector<std::vector<SymDecision>> out = [] {
+    std::vector<std::vector<SymDecision>> probes;
+    for (std::size_t endpoint = 0; endpoint < kEndpoints; endpoint += 16) {
+      const auto& path = fleet_runs()[endpoint * kRunsPerEndpoint].decisions;
+      probes.emplace_back(path.begin(), path.begin() + 6);
+      probes.emplace_back(path.begin(), path.begin() + kDepth - kTail);
+    }
+    return probes;
+  }();
+  return out;
+}
+
+template <typename TreeT>
+TreeT build_tree() {
+  TreeT tree(ProgramId(1));
+  for (const auto& run : fleet_runs()) {
+    tree.add_path(run.decisions, run.outcome, run.crash);
+  }
+  return tree;
+}
+
+// ------------------------------------------------------------ benchmarks ---
+// Arg(0): legacy baseline. Arg(1): arena tree. Single-core by design — the
+// win measured here is per-merge/per-query cost, not parallelism.
+
+template <typename TreeT>
+void merge_day(benchmark::State& state) {
+  for (auto _ : state) {
+    const TreeT tree = build_tree<TreeT>();
+    benchmark::DoNotOptimize(tree.num_nodes());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(fleet_runs().size()));
+}
+
+void BM_TreeMerge(benchmark::State& state) {
+  if (state.range(0) == 0) {
+    merge_day<LegacyTree>(state);
+  } else {
+    merge_day<ExecTree>(state);
+  }
+}
+BENCHMARK(BM_TreeMerge)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+template <typename TreeT>
+void query_day(benchmark::State& state) {
+  const TreeT tree = build_tree<TreeT>();
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink += tree.frontier(64).size();
+    sink += tree.complete() ? 1 : 0;
+    sink += tree.paths_with_outcome(Outcome::kCrash);
+    for (const auto& probe : probes()) {
+      if (const auto stats = tree.stats_at(probe)) {
+        sink += stats->open_frontiers + stats->leaves;
+      }
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_TreeQuery(benchmark::State& state) {
+  if (state.range(0) == 0) {
+    query_day<LegacyTree>(state);
+  } else {
+    query_day<ExecTree>(state);
+  }
+}
+BENCHMARK(BM_TreeQuery)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace softborg
+
+BENCHMARK_MAIN();

@@ -226,6 +226,7 @@ void World::step_day() {
   for (const auto& entry : corpus_) {
     if (const ExecTree* tree = hive_->tree(entry.program.id)) {
       metrics.total_paths += tree->num_paths();
+      metrics.open_frontiers += tree->open_frontiers();
     }
   }
   metrics.traces_delivered_total = net_.stats().delivered;

@@ -57,6 +57,10 @@ struct DayMetrics {
   std::size_t bugs_fixed_total = 0;
   std::size_t fixes_distributed_total = 0;
   std::size_t total_paths = 0;         // union coverage across programs
+  // Unexplored directions remaining across all trees — the fleet's distance
+  // from "every program proven". An O(1) read per tree (incremental
+  // aggregate), so it is affordable as a daily metric.
+  std::size_t open_frontiers = 0;
   std::uint64_t traces_delivered_total = 0;
 };
 

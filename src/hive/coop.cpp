@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "pod/protocol.h"
 #include "sym/executor.h"
+#include "tree/exec_tree.h"
 
 namespace softborg {
 
@@ -251,13 +252,20 @@ CoopResult run_cooperative_exploration(const CorpusEntry& entry,
   result.complete = ex.stats().complete;
 
   // Partition paths into prefix units of depth `split_depth` and equities
-  // by first decision.
-  std::map<std::vector<SymDecision>, WorkUnit> unit_map;
+  // by first decision. Units are keyed on the collective tree's node ids —
+  // every path with the same truncated prefix lands on the same (stable,
+  // append-only) node, so the key is one uint32 instead of a decision
+  // vector, and the depth-k walk replaces a vector copy per path.
+  ExecTree tree(entry.program.id);
+  for (const auto& p : paths) tree.add_path(p.decisions, Outcome::kOk);
+  std::map<std::uint32_t, WorkUnit> unit_map;  // prefix node id -> unit
   std::map<SymDecision, std::size_t> equity_ids;
   for (const auto& p : paths) {
     std::vector<SymDecision> prefix = p.decisions;
     if (prefix.size() > config.split_depth) prefix.resize(config.split_depth);
-    WorkUnit& u = unit_map[prefix];
+    const std::uint32_t node = tree.node_at(prefix);
+    SB_CHECK(node != ExecTree::kNoNode);  // the path was just merged
+    WorkUnit& u = unit_map[node];
     u.path_costs.push_back(std::max<std::uint64_t>(p.steps, 1));
     u.total_cost += std::max<std::uint64_t>(p.steps, 1);
     const SymDecision top =
@@ -265,11 +273,22 @@ CoopResult run_cooperative_exploration(const CorpusEntry& entry,
     auto [it, inserted] = equity_ids.try_emplace(top, equity_ids.size());
     u.equity = it->second;
   }
+  // Flatten in lexicographic prefix order — reconstructed on demand from
+  // the tree's parent links — so unit numbering (and thus the static
+  // partition and every strategy's deterministic outcome) is identical to
+  // the original prefix-keyed map.
+  std::vector<std::pair<std::vector<SymDecision>, WorkUnit*>> ordered;
+  ordered.reserve(unit_map.size());
+  for (auto& [node, u] : unit_map) {
+    ordered.emplace_back(tree.path_to(node), &u);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   std::vector<WorkUnit> units;
-  units.reserve(unit_map.size());
-  for (auto& [prefix, u] : unit_map) {
-    u.id = units.size();
-    units.push_back(std::move(u));
+  units.reserve(ordered.size());
+  for (auto& [prefix, u] : ordered) {
+    u->id = units.size();
+    units.push_back(std::move(*u));
   }
   const std::size_t num_units = units.size();
   const std::size_t num_equities = std::max<std::size_t>(equity_ids.size(), 1);

@@ -25,6 +25,12 @@ namespace softborg {
 struct GuidancePlannerConfig {
   std::size_t solver_nodes = 200'000;
   std::size_t max_paths_per_frontier = 4;
+  // Frontiers enumerated per plan_frontier call; 0 keeps the historical
+  // default of 2x the directive budget (headroom for infeasible gaps the
+  // solver declines). Overshooting is cheap now that enumeration is
+  // O(answer), but each witness still costs a solver call, so the budget
+  // is worth keeping configurable per deployment.
+  std::size_t frontier_budget = 0;
 };
 
 class GuidancePlanner {

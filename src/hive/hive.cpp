@@ -17,6 +17,7 @@ Hive::Hive(const std::vector<CorpusEntry>* corpus, HiveConfig config)
     : corpus_(corpus),
       config_(config),
       fixer_(config.fixer),
+      planner_(config.guidance),
       rng_(config.seed) {
   SB_CHECK(corpus_ != nullptr);
   entry_index_.reserve(corpus_->size());

@@ -62,6 +62,7 @@ struct HiveConfig {
   std::size_t replay_cache_capacity = 1 << 16;
   FixerConfig fixer;
   ProofBudget proof_budget;
+  GuidancePlannerConfig guidance;
 };
 
 struct HiveStats {

@@ -106,7 +106,8 @@ ProofCertificate ProofEngine::attempt(const CorpusEntry& entry,
 
     std::size_t closures = 0;
     for (;;) {
-      const auto frontiers = tree.frontier(64);
+      const auto frontiers = tree.frontier(budget.frontier_budget);
+      if (tree.open_frontiers() > frontiers.size()) cert.frontier_clips++;
       if (frontiers.empty()) break;
       bool progress = false;
       for (const auto& f : frontiers) {

@@ -49,6 +49,11 @@ struct ProofCertificate {
 
   bool complete = false;  // every direction observed or refuted
   bool holds = false;     // no counterexample path in the tree
+  // How many gap-closure rounds saw more open directions than the frontier
+  // budget could enumerate. Nonzero means the engine worked from a clipped
+  // window of the frontier (correct but slower — later rounds revisit the
+  // rest); it is the observability hook for tuning ProofBudget.
+  std::size_t frontier_clips = 0;
   // When !holds: one counterexample (decision path + outcome).
   std::vector<SymDecision> counterexample;
   Outcome counterexample_outcome = Outcome::kOk;
@@ -66,6 +71,11 @@ struct ProofBudget {
   std::size_t max_gap_closures = 10'000;
   std::size_t max_symbolic_paths = 100'000;
   std::uint64_t solver_nodes = 200'000;
+  // Frontiers enumerated per gap-closure round. Enumeration is O(answer)
+  // on the incremental tree, so this bounds solver work per round, not
+  // tree-walk cost; ProofCertificate::frontier_clips records every round
+  // where the tree held more open directions than this window.
+  std::size_t frontier_budget = 64;
 };
 
 class ProofEngine {

@@ -177,6 +177,9 @@ std::size_t ShardedHive::total_bugs() const {
 
 std::map<std::uint64_t, Bytes> ShardedHive::export_trees(std::size_t index) {
   SB_CHECK(index < shards_.size());
+  // Trees ship in the current wire version (v2, parent-link layout); the
+  // importer accepts v1 as well, so mixed-version fleets can still migrate
+  // shard knowledge into a central hive mid-upgrade.
   std::map<std::uint64_t, Bytes> out;
   for (const auto& entry : *corpus_) {
     if (shard_index(entry.program.id) != index) continue;

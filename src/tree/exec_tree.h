@@ -16,6 +16,26 @@
 //
 // Edges are keyed by (branch site, direction) rather than direction alone,
 // so interleaving-dependent multi-threaded decision streams merge cleanly.
+//
+// Storage (v2): an arena of structure-of-arrays node pools instead of the
+// original node-of-vectors trie. Nodes are identified by their creation
+// index (append-only, so ids are stable forever and double as walk hints
+// and consumer-side keys). Per-node edge storage is inline for the common
+// 0..2-edge case, spilling rare wider nodes (multi-threaded interleavings)
+// into a shared overflow chain pool; infeasibility marks and leaf outcome
+// counters live in shared chain pools too, so a node costs no heap
+// allocations of its own.
+//
+// Aggregates are incremental: add_path and mark_infeasible bubble
+// open-frontier counts, subtree node/leaf tallies, and per-outcome leaf
+// censuses up the parent chain (O(depth) per mutation), so
+//   * complete() and open_frontiers() are O(1) reads,
+//   * frontier() visits only subtrees that still contain open directions
+//     and reconstructs prefixes on demand via parent links (O(answer)),
+//   * stats_at() is a prefix walk plus four array reads,
+//   * paths_with_outcome() is a table lookup.
+// Every traversal is iterative (explicit stack): a 20k-deep natural
+// execution must not be a stack overflow (tests/tree_test.cpp pins this).
 #pragma once
 
 #include <cstdint>
@@ -24,6 +44,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/varint.h"
 #include "sym/executor.h"
 #include "trace/trace.h"
 
@@ -31,9 +52,10 @@ namespace softborg {
 
 class ExecTree {
  public:
-  explicit ExecTree(ProgramId program) : program_(program) {
-    nodes_.push_back(Node{});  // root
-  }
+  // "No such node": node ids are creation indices, bounded far below this.
+  static constexpr std::uint32_t kNoNode = 0xffffffffu;
+
+  explicit ExecTree(ProgramId program) : program_(program) { push_node(); }
 
   struct MergeResult {
     bool new_path = false;     // a previously unseen leaf
@@ -64,9 +86,9 @@ class ExecTree {
 
   // ---- coverage -----------------------------------------------------------
   std::size_t num_paths() const { return num_leaves_; }
-  std::size_t num_nodes() const { return nodes_.size(); }
-  std::uint64_t total_executions() const { return nodes_[0].visits; }
-  std::uint64_t paths_with_outcome(Outcome o) const;
+  std::size_t num_nodes() const { return visits_.size(); }
+  std::uint64_t total_executions() const { return visits_[0]; }
+  std::uint64_t paths_with_outcome(Outcome o) const;  // distinct leaves, O(1)
 
   // Decision path of some leaf with outcome `o`, if any (counterexamples).
   std::optional<std::vector<SymDecision>> find_path_with_outcome(
@@ -82,12 +104,19 @@ class ExecTree {
   };
 
   // Enumerates unexplored directions, hottest-first, up to `max_items`.
+  // Prunes on the incremental subtree counts — only regions that still hold
+  // open directions are visited — and materializes prefixes (via parent
+  // links) only for the items actually returned.
   std::vector<Frontier> frontier(std::size_t max_items = SIZE_MAX) const;
+
+  // Open directions in the whole tree: frontier().size() without the
+  // enumeration. O(1); lets callers detect when a frontier budget clipped.
+  std::size_t open_frontiers() const { return open_[0]; }
 
   // ---- completeness -------------------------------------------------------
   // True iff every observed branch site has both directions observed or
-  // proven infeasible, recursively. An empty tree is not complete.
-  bool complete() const;
+  // proven infeasible, recursively. An empty tree is not complete. O(1).
+  bool complete() const { return visits_[0] > 0 && open_[0] == 0; }
 
   // ---- subtree statistics (portfolio allocation, §4) ----------------------
   struct SubtreeStats {
@@ -97,16 +126,30 @@ class ExecTree {
     std::size_t open_frontiers = 0;
   };
 
-  // Stats of the subtree reached by `prefix`; nullopt if absent.
+  // Stats of the subtree reached by `prefix`; nullopt if absent. O(prefix).
   std::optional<SubtreeStats> stats_at(
       const std::vector<SymDecision>& prefix) const;
 
+  // Node reached by `prefix` (kNoNode if absent). Ids are stable creation
+  // indices — consumers may key on them (e.g. coop partitioning units).
+  std::uint32_t node_at(const std::vector<SymDecision>& prefix) const;
+
+  // Decision path from the root to `node`, reconstructed via parent links.
+  std::vector<SymDecision> path_to(std::uint32_t node) const;
+
   ProgramId program() const { return program_; }
 
-  // ---- persistence (see tree_codec.h) ---------------------------------------
-  std::vector<std::uint8_t> encode() const;
-  static std::optional<ExecTree> decode(
-      const std::vector<std::uint8_t>& bytes);
+  // ---- persistence (see tree_codec.h) -------------------------------------
+  enum class WireVersion : std::uint8_t {
+    kV1 = 1,  // legacy node-of-vectors layout (compat: migration round-trip)
+    kV2 = 2,  // parent-link layout with packed (site, dir) decisions
+  };
+
+  Bytes encode(WireVersion version = WireVersion::kV2) const;
+  // Accepts both wire versions; validates structure (tree-shaped, child
+  // indices strictly increasing, leaf census consistent) and rebuilds the
+  // incremental aggregates.
+  static std::optional<ExecTree> decode(const Bytes& bytes);
 
   bool operator==(const ExecTree& other) const;
 
@@ -114,37 +157,106 @@ class ExecTree {
   std::string to_string() const;
 
  private:
+  friend struct TreeCodecAccess;  // tree_codec.cpp builder/walker
+
+  // Decoded edge view handed to for_each_edge callbacks.
   struct Edge {
     std::uint32_t site = 0;
+    std::uint32_t child = kNoNode;
     bool dir = false;
-    std::uint32_t child = 0;
-
-    bool operator==(const Edge&) const = default;
   };
 
-  struct Node {
-    std::vector<Edge> edges;                     // usually 0..2 entries
-    std::vector<std::pair<std::uint32_t, bool>> infeasible;
-    std::uint64_t visits = 0;
-    // Leaf bookkeeping: outcome counts materialize once a path terminates
-    // here. A node can be both internal and terminal for MT programs.
-    std::vector<std::pair<Outcome, std::uint64_t>> outcomes;
-    std::optional<CrashInfo> crash;
-
-    bool operator==(const Node&) const = default;
+  // Edge storage: one 16-byte cell per node inline in edges_, holding the
+  // first (for chain nodes: only) edge; wider nodes link further cells
+  // through the shared edge_pool_. The (site, direction) pair packs into a
+  // single 64-bit key so the hot-path child lookup is one load and one
+  // compare per edge.
+  static constexpr std::uint64_t kNoKey = ~0ULL;
+  struct EdgeCell {
+    std::uint64_t key = kNoKey;    // (site << 1) | dir
+    std::uint32_t child = kNoNode;
+    std::uint32_t next = kNoNode;  // into edge_pool_
+  };
+  static constexpr std::uint64_t edge_key(std::uint32_t site, bool dir) {
+    return (static_cast<std::uint64_t>(site) << 1) | (dir ? 1 : 0);
+  }
+  struct MarkLink {
+    std::uint32_t site = 0;
+    bool dir = false;
+    std::uint32_t next = kNoNode;
+  };
+  struct OutcomeLink {
+    Outcome outcome = Outcome::kOk;
+    std::uint64_t count = 0;
+    std::uint32_t next = kNoNode;
   };
 
-  const Node* walk(const std::vector<SymDecision>& prefix) const;
-  std::uint32_t find_child(const Node& n, std::uint32_t site, bool dir) const;
-  bool is_infeasible(const Node& n, std::uint32_t site, bool dir) const;
-  bool complete_from(std::uint32_t idx) const;
-  void collect_frontiers(std::uint32_t idx, std::vector<SymDecision>& prefix,
-                         std::vector<Frontier>& out) const;
-  void subtree_stats(std::uint32_t idx, SubtreeStats& stats) const;
+  static constexpr std::size_t kNumOutcomes =
+      static_cast<std::size_t>(Outcome::kUserKilled) + 1;
+
+  std::uint32_t push_node();
+  std::uint32_t find_child(std::uint32_t node, std::uint32_t site,
+                           bool dir) const;
+  bool is_infeasible(std::uint32_t node, std::uint32_t site, bool dir) const;
+  void append_edge(std::uint32_t node, std::uint32_t site, bool dir,
+                   std::uint32_t child);
+  void append_mark(std::uint32_t node, std::uint32_t site, bool dir);
+  // Outcome bookkeeping at a terminal node; returns true when this was the
+  // node's first outcome (a brand-new leaf).
+  bool record_outcome(std::uint32_t node, Outcome outcome,
+                      std::uint64_t weight);
+
+  // Calls f(const Edge&) for every edge of `node`, in insertion order
+  // (which is ascending child order — children are appended after parents).
+  template <typename F>
+  void for_each_edge(std::uint32_t node, F&& f) const {
+    const EdgeCell* cell = &edges_[node];
+    if (cell->key == kNoKey) return;
+    while (true) {
+      f(Edge{static_cast<std::uint32_t>(cell->key >> 1), cell->child,
+             (cell->key & 1) != 0});
+      if (cell->next == kNoNode) break;
+      cell = &edge_pool_[cell->next];
+    }
+  }
+
+  // 1 if `site` at `node` has exactly one observed direction whose opposite
+  // is neither observed nor proven infeasible — i.e. the site contributes
+  // one open frontier. The local building block of the open_ aggregate.
+  std::uint32_t site_open(std::uint32_t node, std::uint32_t site) const;
+
+  // Adds the deltas to `from` and every ancestor up to the root.
+  void bubble(std::uint32_t from, std::int64_t open_delta,
+              std::uint32_t nodes_delta, std::uint32_t leaves_delta);
+
+  // Recomputes open_/sub_nodes_/sub_leaves_/outcome census bottom-up
+  // (decode path; children always carry larger indices than parents).
+  void rebuild_aggregates();
 
   ProgramId program_;
-  std::vector<Node> nodes_;
+
+  // ---- arena: one entry per node, indexed by creation order ---------------
+  std::vector<std::uint64_t> visits_;
+  std::vector<std::uint32_t> parent_;       // kNoNode at the root
+  std::vector<std::uint32_t> parent_site_;  // decision on the parent edge
+  std::vector<std::uint8_t> parent_dir_;
+  std::vector<EdgeCell> edges_;
+  std::vector<std::uint32_t> infeasible_head_;  // chain into marks_
+  std::vector<std::uint32_t> outcome_head_;     // chain into outcomes_
+  std::vector<std::uint32_t> crash_;            // into crash_pool_ or kNoNode
+  // Incremental subtree aggregates (self included).
+  std::vector<std::uint32_t> open_;       // open frontier directions
+  std::vector<std::uint32_t> sub_nodes_;
+  std::vector<std::uint32_t> sub_leaves_;
+
+  // ---- shared pools --------------------------------------------------------
+  std::vector<EdgeCell> edge_pool_;  // overflow cells past the first edge
+  std::vector<MarkLink> marks_;
+  std::vector<OutcomeLink> outcomes_;
+  std::vector<CrashInfo> crash_pool_;
+
   std::size_t num_leaves_ = 0;
+  std::uint64_t outcome_leaf_counts_[kNumOutcomes] = {};
 };
 
 }  // namespace softborg

@@ -4,121 +4,307 @@ namespace softborg {
 
 namespace {
 constexpr std::uint64_t kTreeMagic = 0x53425452'45ULL;  // "SBTRE"
-constexpr std::uint64_t kTreeVersion = 1;
 constexpr std::uint64_t kMaxNodes = 1u << 26;
 constexpr std::uint64_t kMaxPerNode = 1u << 20;
 }  // namespace
 
-Bytes ExecTree::encode() const {
-  Bytes out;
-  put_varint(out, kTreeMagic);
-  put_varint(out, kTreeVersion);
-  put_varint(out, program_.value);
-  put_varint(out, num_leaves_);
-  put_varint(out, nodes_.size());
-  for (const auto& n : nodes_) {
-    put_varint(out, n.visits);
-    put_varint(out, n.edges.size());
-    for (const auto& e : n.edges) {
-      put_varint(out, e.site);
-      put_varint(out, e.dir ? 1 : 0);
-      put_varint(out, e.child);
+// The codec builds and walks the arena directly (it is the only code
+// besides ExecTree itself that sees the SoA layout).
+struct TreeCodecAccess {
+  using Edge = ExecTree::Edge;
+
+  // -------------------------------------------------------------- encode --
+  // Per-node trailer shared by both wire versions: infeasibility marks,
+  // outcome counters, crash record — emitted in chain (= insertion) order.
+  static void encode_trailer(const ExecTree& t, std::uint32_t node, Bytes& out,
+                             ExecTree::WireVersion version) {
+    const bool packed = version == ExecTree::WireVersion::kV2;
+    std::uint64_t n_marks = 0;
+    for (std::uint32_t link = t.infeasible_head_[node];
+         link != ExecTree::kNoNode; link = t.marks_[link].next) {
+      n_marks++;
     }
-    put_varint(out, n.infeasible.size());
-    for (const auto& [site, dir] : n.infeasible) {
-      put_varint(out, site);
-      put_varint(out, dir ? 1 : 0);
+    put_varint(out, n_marks);
+    for (std::uint32_t link = t.infeasible_head_[node];
+         link != ExecTree::kNoNode; link = t.marks_[link].next) {
+      if (packed) {
+        put_varint(out, (static_cast<std::uint64_t>(t.marks_[link].site) << 1) |
+                            (t.marks_[link].dir ? 1 : 0));
+      } else {
+        put_varint(out, t.marks_[link].site);
+        put_varint(out, t.marks_[link].dir ? 1 : 0);
+      }
     }
-    put_varint(out, n.outcomes.size());
-    for (const auto& [outcome, count] : n.outcomes) {
-      put_varint(out, static_cast<std::uint64_t>(outcome));
-      put_varint(out, count);
+    std::uint64_t n_outcomes = 0;
+    for (std::uint32_t link = t.outcome_head_[node]; link != ExecTree::kNoNode;
+         link = t.outcomes_[link].next) {
+      n_outcomes++;
     }
-    put_varint(out, n.crash.has_value() ? 1 : 0);
-    if (n.crash) {
-      put_varint(out, static_cast<std::uint64_t>(n.crash->kind));
-      put_varint(out, n.crash->pc);
-      put_varint_signed(out, n.crash->detail);
+    put_varint(out, n_outcomes);
+    for (std::uint32_t link = t.outcome_head_[node]; link != ExecTree::kNoNode;
+         link = t.outcomes_[link].next) {
+      put_varint(out, static_cast<std::uint64_t>(t.outcomes_[link].outcome));
+      put_varint(out, t.outcomes_[link].count);
+    }
+    const bool has_crash = t.crash_[node] != ExecTree::kNoNode;
+    put_varint(out, has_crash ? 1 : 0);
+    if (has_crash) {
+      const CrashInfo& crash = t.crash_pool_[t.crash_[node]];
+      put_varint(out, static_cast<std::uint64_t>(crash.kind));
+      put_varint(out, crash.pc);
+      put_varint_signed(out, crash.detail);
     }
   }
-  return out;
+
+  // v1: the legacy node-of-vectors layout — per node, the explicit edge list
+  // in insertion order. Byte-identical to the original encoder for any tree
+  // built through the public API (edge insertion order is preserved by the
+  // arena), which is what the differential pump tests compare.
+  static Bytes encode_v1(const ExecTree& t) {
+    Bytes out;
+    put_varint(out, kTreeMagic);
+    put_varint(out, 1);
+    put_varint(out, t.program_.value);
+    put_varint(out, t.num_leaves_);
+    const std::size_t count = t.visits_.size();
+    put_varint(out, count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      put_varint(out, t.visits_[i]);
+      std::uint64_t n_edges = 0;
+      t.for_each_edge(i, [&](const Edge&) { n_edges++; });
+      put_varint(out, n_edges);
+      t.for_each_edge(i, [&](const Edge& e) {
+        put_varint(out, e.site);
+        put_varint(out, e.dir ? 1 : 0);
+        put_varint(out, e.child);
+      });
+      encode_trailer(t, i, out, ExecTree::WireVersion::kV1);
+    }
+    return out;
+  }
+
+  // v2: parent-link layout. Edges are not written at all — each non-root
+  // node carries (parent delta, packed (site<<1)|dir), and the decoder
+  // re-derives every edge list by appending children in index order, which
+  // is exactly the insertion order (children are always created after their
+  // parent). Chain pastes encode their parent link in one byte.
+  static Bytes encode_v2(const ExecTree& t) {
+    Bytes out;
+    put_varint(out, kTreeMagic);
+    put_varint(out, 2);
+    put_varint(out, t.program_.value);
+    put_varint(out, t.num_leaves_);
+    const std::size_t count = t.visits_.size();
+    put_varint(out, count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      if (i > 0) {
+        put_varint(out, i - t.parent_[i]);
+        put_varint(out, (static_cast<std::uint64_t>(t.parent_site_[i]) << 1) |
+                            (t.parent_dir_[i] != 0 ? 1 : 0));
+      }
+      put_varint(out, t.visits_[i]);
+      encode_trailer(t, i, out, ExecTree::WireVersion::kV2);
+    }
+    return out;
+  }
+
+  // -------------------------------------------------------------- decode --
+  static bool decode_trailer(const Bytes& bytes, std::size_t& pos,
+                             ExecTree& t, std::uint32_t node,
+                             ExecTree::WireVersion version) {
+    const bool packed = version == ExecTree::WireVersion::kV2;
+    auto u = [&]() { return get_varint(bytes, pos); };
+    const auto n_marks = u();
+    if (!n_marks || *n_marks > kMaxPerNode) return false;
+    for (std::uint64_t k = 0; k < *n_marks; ++k) {
+      std::uint64_t site = 0;
+      bool dir = false;
+      if (packed) {
+        const auto word = u();
+        if (!word || (*word >> 1) > 0xffffffffULL) return false;
+        site = *word >> 1;
+        dir = (*word & 1) != 0;
+      } else {
+        const auto s = u(), d = u();
+        if (!s || !d || *d > 1) return false;
+        site = *s;
+        dir = *d == 1;
+      }
+      t.append_mark(node, static_cast<std::uint32_t>(site), dir);
+    }
+    const auto n_outcomes = u();
+    if (!n_outcomes || *n_outcomes > kMaxPerNode) return false;
+    std::uint32_t tail = ExecTree::kNoNode;
+    for (std::uint64_t k = 0; k < *n_outcomes; ++k) {
+      const auto outcome = u(), occurrences = u();
+      if (!outcome || !occurrences ||
+          *outcome > static_cast<std::uint64_t>(Outcome::kUserKilled)) {
+        return false;
+      }
+      const std::uint32_t link =
+          static_cast<std::uint32_t>(t.outcomes_.size());
+      t.outcomes_.push_back({static_cast<Outcome>(*outcome), *occurrences,
+                             ExecTree::kNoNode});
+      if (tail == ExecTree::kNoNode) {
+        t.outcome_head_[node] = link;
+      } else {
+        t.outcomes_[tail].next = link;
+      }
+      tail = link;
+    }
+    const auto has_crash = u();
+    if (!has_crash || *has_crash > 1) return false;
+    if (*has_crash == 1) {
+      const auto kind = u(), pc = u();
+      const auto detail = get_varint_signed(bytes, pos);
+      if (!kind || !pc || !detail ||
+          *kind > static_cast<std::uint64_t>(CrashKind::kExplicitAbort)) {
+        return false;
+      }
+      t.crash_[node] = static_cast<std::uint32_t>(t.crash_pool_.size());
+      t.crash_pool_.push_back(CrashInfo{static_cast<CrashKind>(*kind),
+                                        static_cast<std::uint32_t>(*pc),
+                                        *detail});
+    }
+    return true;
+  }
+
+  static std::optional<ExecTree> decode(const Bytes& bytes) {
+    std::size_t pos = 0;
+    auto u = [&]() { return get_varint(bytes, pos); };
+    const auto magic = u(), version = u(), program = u(), leaves = u(),
+               count = u();
+    if (!magic || *magic != kTreeMagic) return std::nullopt;
+    if (!version || (*version != 1 && *version != 2)) return std::nullopt;
+    if (!program || !leaves || !count || *count == 0 || *count > kMaxNodes) {
+      return std::nullopt;
+    }
+    const ExecTree::WireVersion wire = *version == 1
+                                           ? ExecTree::WireVersion::kV1
+                                           : ExecTree::WireVersion::kV2;
+
+    ExecTree tree{ProgramId{*program}};
+    for (std::uint64_t i = 1; i < *count; ++i) tree.push_node();
+
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      if (wire == ExecTree::WireVersion::kV2 && i > 0) {
+        const auto delta = u(), word = u();
+        if (!delta || *delta == 0 || *delta > i) return std::nullopt;
+        if (!word || (*word >> 1) > 0xffffffffULL) return std::nullopt;
+        const std::uint32_t parent = i - static_cast<std::uint32_t>(*delta);
+        const std::uint32_t site = static_cast<std::uint32_t>(*word >> 1);
+        const bool dir = (*word & 1) != 0;
+        // Reject duplicate (site, direction) edges: add_path never produces
+        // them, and a decoded tree must merge new paths canonically.
+        if (tree.find_child(parent, site, dir) != ExecTree::kNoNode) {
+          return std::nullopt;
+        }
+        tree.append_edge(parent, site, dir, i);
+        tree.parent_[i] = parent;
+        tree.parent_site_[i] = site;
+        tree.parent_dir_[i] = dir ? 1 : 0;
+      }
+      const auto visits = u();
+      if (!visits) return std::nullopt;
+      tree.visits_[i] = *visits;
+      if (wire == ExecTree::WireVersion::kV1) {
+        const auto n_edges = u();
+        if (!n_edges || *n_edges > kMaxPerNode) return std::nullopt;
+        std::uint64_t last_child = 0;
+        for (std::uint64_t k = 0; k < *n_edges; ++k) {
+          const auto site = u(), dir = u(), child = u();
+          // Beyond the original checks (child is a non-root in-range node),
+          // require the structural invariants every legitimately encoded
+          // tree satisfies: children are created after their parent and
+          // appended in ascending index order, and each node has exactly
+          // one parent. This is what makes the wire a *tree* — parent links
+          // and incremental aggregates are meaningless on anything else.
+          if (!site || !dir || !child || *dir > 1 || *child <= i ||
+              *child >= *count || *child <= last_child ||
+              *site > 0xffffffffULL) {
+            return std::nullopt;
+          }
+          const std::uint32_t c = static_cast<std::uint32_t>(*child);
+          if (tree.parent_[c] != ExecTree::kNoNode) return std::nullopt;
+          tree.append_edge(i, static_cast<std::uint32_t>(*site), *dir == 1, c);
+          tree.parent_[c] = i;
+          tree.parent_site_[c] = static_cast<std::uint32_t>(*site);
+          tree.parent_dir_[c] = *dir == 1 ? 1 : 0;
+          last_child = *child;
+        }
+      }
+      if (!decode_trailer(bytes, pos, tree, i, wire)) return std::nullopt;
+    }
+    if (pos != bytes.size()) return std::nullopt;
+    // Every non-root node must have been claimed by a parent edge (v2 makes
+    // this true by construction; v1 wires could dangle orphans).
+    for (std::uint32_t i = 1; i < *count; ++i) {
+      if (tree.parent_[i] == ExecTree::kNoNode) return std::nullopt;
+    }
+    tree.rebuild_aggregates();
+    // The wire's leaf census must agree with the outcome records.
+    if (tree.num_leaves_ != *leaves) return std::nullopt;
+    return tree;
+  }
+
+  // --------------------------------------------------------------- equal --
+  static bool equal(const ExecTree& a, const ExecTree& b) {
+    // Node identity is creation order, and edge lists are fully determined
+    // by the parent-link arrays (children attach in index order), so equal
+    // parent arrays mean equal tree shape. Chain contents are compared in
+    // chain order; pool indices are layout, not state.
+    if (a.program_ != b.program_ || a.num_leaves_ != b.num_leaves_) {
+      return false;
+    }
+    if (a.visits_ != b.visits_ || a.parent_ != b.parent_ ||
+        a.parent_site_ != b.parent_site_ || a.parent_dir_ != b.parent_dir_) {
+      return false;
+    }
+    const std::size_t count = a.visits_.size();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::uint32_t la = a.infeasible_head_[i], lb = b.infeasible_head_[i];
+      while (la != ExecTree::kNoNode && lb != ExecTree::kNoNode) {
+        if (a.marks_[la].site != b.marks_[lb].site ||
+            a.marks_[la].dir != b.marks_[lb].dir) {
+          return false;
+        }
+        la = a.marks_[la].next;
+        lb = b.marks_[lb].next;
+      }
+      if (la != lb) return false;  // both must be kNoNode
+      la = a.outcome_head_[i];
+      lb = b.outcome_head_[i];
+      while (la != ExecTree::kNoNode && lb != ExecTree::kNoNode) {
+        if (a.outcomes_[la].outcome != b.outcomes_[lb].outcome ||
+            a.outcomes_[la].count != b.outcomes_[lb].count) {
+          return false;
+        }
+        la = a.outcomes_[la].next;
+        lb = b.outcomes_[lb].next;
+      }
+      if (la != lb) return false;
+      const bool ca = a.crash_[i] != ExecTree::kNoNode;
+      const bool cb = b.crash_[i] != ExecTree::kNoNode;
+      if (ca != cb) return false;
+      if (ca && !(a.crash_pool_[a.crash_[i]] == b.crash_pool_[b.crash_[i]])) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+Bytes ExecTree::encode(WireVersion version) const {
+  return version == WireVersion::kV1 ? TreeCodecAccess::encode_v1(*this)
+                                     : TreeCodecAccess::encode_v2(*this);
 }
 
 std::optional<ExecTree> ExecTree::decode(const Bytes& bytes) {
-  std::size_t pos = 0;
-  auto u = [&]() { return get_varint(bytes, pos); };
-
-  auto magic = u(), version = u(), program = u(), leaves = u(), count = u();
-  if (!magic || *magic != kTreeMagic) return std::nullopt;
-  if (!version || *version != kTreeVersion) return std::nullopt;
-  if (!program || !leaves || !count || *count == 0 || *count > kMaxNodes) {
-    return std::nullopt;
-  }
-
-  ExecTree tree{ProgramId{*program}};
-  tree.nodes_.clear();
-  tree.nodes_.reserve(*count);
-  tree.num_leaves_ = *leaves;
-
-  for (std::uint64_t i = 0; i < *count; ++i) {
-    Node n;
-    auto visits = u();
-    if (!visits) return std::nullopt;
-    n.visits = *visits;
-
-    auto n_edges = u();
-    if (!n_edges || *n_edges > kMaxPerNode) return std::nullopt;
-    for (std::uint64_t k = 0; k < *n_edges; ++k) {
-      auto site = u(), dir = u(), child = u();
-      if (!site || !dir || !child || *dir > 1 || *child == 0 ||
-          *child >= *count) {
-        return std::nullopt;  // child 0 (the root) is never a target
-      }
-      n.edges.push_back({static_cast<std::uint32_t>(*site), *dir == 1,
-                         static_cast<std::uint32_t>(*child)});
-    }
-
-    auto n_infeasible = u();
-    if (!n_infeasible || *n_infeasible > kMaxPerNode) return std::nullopt;
-    for (std::uint64_t k = 0; k < *n_infeasible; ++k) {
-      auto site = u(), dir = u();
-      if (!site || !dir || *dir > 1) return std::nullopt;
-      n.infeasible.push_back({static_cast<std::uint32_t>(*site), *dir == 1});
-    }
-
-    auto n_outcomes = u();
-    if (!n_outcomes || *n_outcomes > kMaxPerNode) return std::nullopt;
-    for (std::uint64_t k = 0; k < *n_outcomes; ++k) {
-      auto outcome = u(), occurrences = u();
-      if (!outcome || !occurrences ||
-          *outcome > static_cast<std::uint64_t>(Outcome::kUserKilled)) {
-        return std::nullopt;
-      }
-      n.outcomes.push_back({static_cast<Outcome>(*outcome), *occurrences});
-    }
-
-    auto has_crash = u();
-    if (!has_crash || *has_crash > 1) return std::nullopt;
-    if (*has_crash == 1) {
-      auto kind = u(), pc = u();
-      auto detail = get_varint_signed(bytes, pos);
-      if (!kind || !pc || !detail ||
-          *kind > static_cast<std::uint64_t>(CrashKind::kExplicitAbort)) {
-        return std::nullopt;
-      }
-      n.crash = CrashInfo{static_cast<CrashKind>(*kind),
-                          static_cast<std::uint32_t>(*pc), *detail};
-    }
-    tree.nodes_.push_back(std::move(n));
-  }
-
-  if (pos != bytes.size()) return std::nullopt;
-  return tree;
+  return TreeCodecAccess::decode(bytes);
 }
 
 bool ExecTree::operator==(const ExecTree& other) const {
-  return program_ == other.program_ && num_leaves_ == other.num_leaves_ &&
-         nodes_ == other.nodes_;
+  return TreeCodecAccess::equal(*this, other);
 }
 
 Bytes encode_tree(const ExecTree& tree) { return tree.encode(); }

@@ -302,6 +302,32 @@ TEST(Proof, MagicLookupProofRequiresFindingTheNeedle) {
   EXPECT_GT(tree.paths_with_outcome(Outcome::kCrash), 0u);
 }
 
+TEST(Proof, FrontierClipsAreRecordedAndProofStillLands) {
+  // A tight frontier window under-enumerates the open directions each
+  // round; the certificate must record that it worked from a clipped view
+  // (the old hard-coded frontier(64) clipped silently) — and the proof must
+  // still converge, since later rounds revisit the remainder.
+  const auto entry = make_config_space(6);
+  ExecTree tree(entry.program.id);
+  observe(tree, entry, {0, 0, 0, 0, 0, 0});
+  EXPECT_GT(tree.open_frontiers(), 2u);
+  ProofBudget tight;
+  tight.frontier_budget = 2;
+  ProofEngine engine;
+  const auto cert =
+      engine.attempt(entry, tree, Property::kNeverCrashes, tight);
+  EXPECT_TRUE(cert.publishable());
+  EXPECT_GT(cert.frontier_clips, 0u);
+
+  // An ample window (the default) never clips on this tree.
+  ExecTree fresh(entry.program.id);
+  observe(fresh, entry, {0, 0, 0, 0, 0, 0});
+  ProofEngine engine2;
+  const auto wide = engine2.attempt(entry, fresh, Property::kNeverCrashes);
+  EXPECT_TRUE(wide.publishable());
+  EXPECT_EQ(wide.frontier_clips, 0u);
+}
+
 // ------------------------------------------------------------ guidance -----
 
 TEST(Guidance, FrontierDirectivesReachUnexploredPaths) {
@@ -334,6 +360,19 @@ TEST(Guidance, FaultPlanDirectivesDriveSyscallPaths) {
     if (d.faults.has_value()) fault_directive = true;
   }
   EXPECT_TRUE(fault_directive);
+}
+
+TEST(Guidance, FrontierBudgetConfigBoundsEnumeration) {
+  // frontier_budget = 1 examines exactly one gap, so at most one directive
+  // comes back; 0 keeps the historical 2x-directives default.
+  const auto entry = make_config_space(4);
+  ExecTree tree(entry.program.id);
+  observe(tree, entry, {0, 0, 0, 0});
+  GuidancePlannerConfig tight;
+  tight.frontier_budget = 1;
+  GuidancePlanner planner(tight);
+  const auto directives = planner.plan_frontier(entry, tree, 8);
+  EXPECT_EQ(directives.size(), 1u);
 }
 
 TEST(Guidance, SchedulePlansForMultithreadedPrograms) {

@@ -93,6 +93,66 @@ TEST(TreeCodec, FuzzMutationsNeverCrash) {
   }
 }
 
+TEST(TreeCodec, V1WireMigratesToV2) {
+  // Property: every tree decodable from v1 bytes re-encodes to v2 and
+  // compares equal — persisted pre-migration state survives the upgrade,
+  // and downgrading reproduces the original v1 bytes exactly.
+  for (const std::uint64_t seed : {3u, 5u, 9u, 17u, 29u}) {
+    ExecTree tree = build_tree(seed, 40);
+    for (const auto& f : tree.frontier(4)) {
+      ASSERT_TRUE(tree.mark_infeasible(f.prefix, f.site, f.direction, f.node));
+    }
+    const Bytes v1_wire = tree.encode(ExecTree::WireVersion::kV1);
+    const auto from_v1 = decode_tree(v1_wire);
+    ASSERT_TRUE(from_v1.has_value()) << "seed " << seed;
+    EXPECT_TRUE(*from_v1 == tree);
+
+    const Bytes v2_wire = from_v1->encode(ExecTree::WireVersion::kV2);
+    const auto from_v2 = decode_tree(v2_wire);
+    ASSERT_TRUE(from_v2.has_value()) << "seed " << seed;
+    EXPECT_TRUE(*from_v2 == *from_v1);
+    // Migrating through v1 lands on the same bytes as encoding fresh.
+    EXPECT_EQ(v2_wire, encode_tree(tree));
+    // Downgrade path: v2 -> v1 is byte-stable.
+    EXPECT_EQ(from_v2->encode(ExecTree::WireVersion::kV1), v1_wire);
+    // The parent-link wire drops the per-edge child indices: it is the
+    // strictly denser format.
+    EXPECT_LT(v2_wire.size(), v1_wire.size());
+  }
+}
+
+TEST(TreeCodec, FuzzBothVersionsPrefixesAndMutations) {
+  for (const auto version :
+       {ExecTree::WireVersion::kV1, ExecTree::WireVersion::kV2}) {
+    const Bytes wire = build_tree(11, 20).encode(version);
+    // Every proper prefix is rejected (never a crash, never a false accept).
+    for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+      const Bytes prefix(wire.begin(),
+                         wire.begin() + static_cast<long>(cut));
+      EXPECT_FALSE(decode_tree(prefix).has_value()) << "cut " << cut;
+    }
+    // Random corruption: decode must not crash, and anything it does
+    // accept must be a well-formed tree that round-trips both wires.
+    Rng rng(17);
+    for (int round = 0; round < 1000; ++round) {
+      Bytes mutated = wire;
+      for (int m = 0; m < 3; ++m) {
+        mutated[rng.next_below(mutated.size())] =
+            static_cast<std::uint8_t>(rng());
+      }
+      const auto tree = decode_tree(mutated);
+      if (tree.has_value()) {
+        const auto v1 = decode_tree(tree->encode(ExecTree::WireVersion::kV1));
+        const auto v2 = decode_tree(tree->encode(ExecTree::WireVersion::kV2));
+        ASSERT_TRUE(v1.has_value());
+        ASSERT_TRUE(v2.has_value());
+        EXPECT_TRUE(*v1 == *tree);
+        EXPECT_TRUE(*v2 == *tree);
+      }
+    }
+  }
+}
+
 // ----------------------------------------------------------------- disasm --
 
 TEST(Disasm, ListsEveryInstruction) {

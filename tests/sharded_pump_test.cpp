@@ -15,6 +15,7 @@
 #include "minivm/corpus.h"
 #include "minivm/interp.h"
 #include "trace/codec.h"
+#include "tree/tree_codec.h"
 
 namespace softborg {
 namespace {
@@ -103,6 +104,20 @@ void expect_identical(const FleetResult& a, const FleetResult& b) {
   for (std::size_t i = 0; i < a.per_shard.size(); ++i) {
     EXPECT_TRUE(a.per_shard[i] == b.per_shard[i]) << "shard " << i;
     EXPECT_EQ(a.trees[i], b.trees[i]) << "shard " << i;  // byte-identical
+    // Wire-version equivalence, proven for every pump flavor / shard count /
+    // fault pattern this helper compares: each exported (v2) tree must
+    // survive a round-trip through the legacy v1 wire — decode, re-encode
+    // under kV1, decode again — with `operator==` holding throughout and
+    // the v1 rendering itself byte-stable.
+    for (const auto& [program, bytes] : a.trees[i]) {
+      const auto v2 = decode_tree(bytes);
+      ASSERT_TRUE(v2.has_value()) << "shard " << i << " program " << program;
+      const Bytes v1_wire = v2->encode(ExecTree::WireVersion::kV1);
+      const auto v1 = decode_tree(v1_wire);
+      ASSERT_TRUE(v1.has_value()) << "shard " << i << " program " << program;
+      EXPECT_TRUE(*v1 == *v2) << "shard " << i << " program " << program;
+      EXPECT_EQ(v1->encode(ExecTree::WireVersion::kV1), v1_wire);
+    }
   }
 }
 

@@ -231,6 +231,147 @@ TEST(ExecTree, CoverageGrowsMonotonically) {
   EXPECT_LE(tree.num_paths(), 200u);
 }
 
+TEST(ExecTree, DeepPathTraversalsAreStackSafe) {
+  // A 20k-decision natural execution (deep loop over tainted input) must
+  // merge and answer every query without recursion — the old recursive
+  // collect_frontiers/complete_from was a latent stack overflow here.
+  constexpr std::uint32_t kDepth = 20'000;
+  ExecTree tree(ProgramId(1));
+  std::vector<SymDecision> path;
+  path.reserve(kDepth);
+  for (std::uint32_t i = 0; i < kDepth; ++i) {
+    path.push_back({i, (i & 1) == 0});
+  }
+  const auto r = tree.add_path(path, Outcome::kCrash,
+                               CrashInfo{CrashKind::kDivByZero, 3, 0});
+  EXPECT_TRUE(r.new_path);
+  EXPECT_EQ(r.new_nodes, kDepth);
+  EXPECT_EQ(tree.num_nodes(), kDepth + 1);
+  EXPECT_EQ(tree.open_frontiers(), kDepth);  // every level has a sibling gap
+  EXPECT_FALSE(tree.complete());
+
+  // Budgeted frontier: only the requested prefixes get materialized.
+  const auto top = tree.frontier(8);
+  ASSERT_EQ(top.size(), 8u);
+  EXPECT_TRUE(top[0].prefix.empty());
+  EXPECT_EQ(top[0].site, 0u);
+
+  // Subtree stats at the very bottom.
+  const auto stats = tree.stats_at(path);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->nodes, 1u);
+  EXPECT_EQ(stats->leaves, 1u);
+  EXPECT_EQ(stats->open_frontiers, 0u);
+
+  // Counterexample reconstruction walks the full chain.
+  const auto cx = tree.find_path_with_outcome(Outcome::kCrash);
+  ASSERT_TRUE(cx.has_value());
+  EXPECT_EQ(*cx, path);
+
+  // Both wire versions round-trip the deep chain (iterative codec walk).
+  for (const auto version :
+       {ExecTree::WireVersion::kV1, ExecTree::WireVersion::kV2}) {
+    const auto back = ExecTree::decode(tree.encode(version));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(*back == tree);
+    EXPECT_EQ(back->open_frontiers(), kDepth);
+  }
+
+  // Deep infeasibility marks bubble the whole parent chain; close the
+  // deepest gaps (node ids on a single chain are their depths).
+  for (std::uint32_t d = kDepth; d-- > kDepth - 100;) {
+    EXPECT_TRUE(tree.mark_infeasible({}, path[d].site, !path[d].taken, d));
+  }
+  EXPECT_EQ(tree.open_frontiers(), kDepth - 100);
+  EXPECT_FALSE(tree.complete());
+}
+
+TEST(ExecTree, DeepPathCompletesUnderFullGapClosure) {
+  // Smaller chain, but driven all the way to completeness through hinted
+  // infeasibility marks — the O(1) complete() bit must flip exactly at the
+  // last closure.
+  constexpr std::uint32_t kDepth = 2'000;
+  ExecTree tree(ProgramId(1));
+  std::vector<SymDecision> path;
+  for (std::uint32_t i = 0; i < kDepth; ++i) {
+    path.push_back({i, true});
+  }
+  tree.add_path(path, Outcome::kOk);
+  for (std::uint32_t d = 0; d < kDepth; ++d) {
+    EXPECT_FALSE(tree.complete());
+    EXPECT_TRUE(tree.mark_infeasible({}, path[d].site, false, d));
+    EXPECT_EQ(tree.open_frontiers(), kDepth - 1 - d);
+  }
+  EXPECT_TRUE(tree.complete());
+  EXPECT_TRUE(tree.frontier().empty());
+}
+
+TEST(ExecTree, RandomTrieIncrementalAggregatesMatchScratchRebuild) {
+  // Grow a ~10k-node random trie with interleaved gap closures; the
+  // incrementally bubbled aggregates must agree exactly with the
+  // from-scratch rebuild a codec round-trip performs.
+  ExecTree tree(ProgramId(7));
+  Rng rng(21);
+  std::vector<std::vector<SymDecision>> paths;
+  while (tree.num_nodes() < 10'000) {
+    std::vector<SymDecision> path;
+    const std::size_t len = 1 + rng.next_below(24);
+    for (std::size_t d = 0; d < len; ++d) {
+      path.push_back({static_cast<std::uint32_t>(rng.next_below(6)),
+                      rng.next_bool()});
+    }
+    const Outcome outcome =
+        rng.next_bool(0.1) ? Outcome::kCrash : Outcome::kOk;
+    tree.add_path(path, outcome,
+                  outcome == Outcome::kCrash
+                      ? std::optional<CrashInfo>(
+                            CrashInfo{CrashKind::kExplicitAbort, 9, 1})
+                      : std::nullopt);
+    paths.push_back(std::move(path));
+    if (rng.next_bool(0.25)) {
+      const auto gaps = tree.frontier(4);
+      if (!gaps.empty()) {
+        const auto& f = gaps[rng.next_below(gaps.size())];
+        EXPECT_TRUE(tree.mark_infeasible(f.prefix, f.site, f.direction,
+                                         f.node));
+      }
+    }
+  }
+
+  const auto scratch = ExecTree::decode(tree.encode());
+  ASSERT_TRUE(scratch.has_value());
+  EXPECT_TRUE(*scratch == tree);
+  EXPECT_EQ(scratch->open_frontiers(), tree.open_frontiers());
+  EXPECT_EQ(scratch->complete(), tree.complete());
+  EXPECT_EQ(scratch->num_paths(), tree.num_paths());
+
+  const auto live = tree.frontier();
+  const auto rebuilt = scratch->frontier();
+  EXPECT_EQ(live.size(), tree.open_frontiers());
+  ASSERT_EQ(live.size(), rebuilt.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(live[i].prefix, rebuilt[i].prefix);
+    EXPECT_EQ(live[i].site, rebuilt[i].site);
+    EXPECT_EQ(live[i].direction, rebuilt[i].direction);
+    EXPECT_EQ(live[i].parent_visits, rebuilt[i].parent_visits);
+    EXPECT_EQ(live[i].node, rebuilt[i].node);
+  }
+
+  for (int i = 0; i < 50; ++i) {
+    auto prefix = paths[rng.next_below(paths.size())];
+    prefix.resize(rng.next_below(prefix.size() + 1));
+    const auto a = tree.stats_at(prefix);
+    const auto b = scratch->stats_at(prefix);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a.has_value()) {
+      EXPECT_EQ(a->visits, b->visits);
+      EXPECT_EQ(a->leaves, b->leaves);
+      EXPECT_EQ(a->nodes, b->nodes);
+      EXPECT_EQ(a->open_frontiers, b->open_frontiers);
+    }
+  }
+}
+
 TEST(ExecTree, MergeIsOrderIndependent) {
   // Property: the final tree does not depend on arrival order.
   const auto entry = make_config_space(6);
