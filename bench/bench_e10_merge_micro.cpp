@@ -8,6 +8,8 @@
 // program" being a tractable volume of work.
 #include <benchmark/benchmark.h>
 
+#include "bench_json_gbench.h"
+
 #include "core/softborg.h"
 
 namespace softborg {
@@ -237,4 +239,12 @@ BENCHMARK(BM_HiveIngest);
 }  // namespace
 }  // namespace softborg
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  softborg::BenchJsonWriter json("e10_merge_micro", argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  softborg::JsonTeeReporter reporter(json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return json.write() ? 0 : 1;
+}

@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <set>
 
+#include "bench_json.h"
 #include "core/softborg.h"
 
 using namespace softborg;
@@ -44,7 +45,8 @@ std::vector<SymDecision> run_and_replay(const CorpusEntry& entry,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter json("e1_coverage_growth", argc, argv);
   const unsigned kOptions = 14;
   const std::size_t kUsers = 500;
   const std::size_t kTotalExecutions = 60'000;
@@ -127,6 +129,10 @@ int main() {
       fleet_tree.num_paths(), fleet_tree.num_nodes(),
       static_cast<unsigned long long>(fleet_tree.total_executions()),
       fleet_tree.complete() ? "yes" : "no");
+  json.add("fleet_60k", "union_paths",
+           static_cast<double>(fleet_tree.num_paths()),
+           static_cast<double>(org_paths.size()));
+  json.add("fleet_60k", "per_user_mean_paths", per_user.mean());
 
   // The paper's volume argument: the fleet can simply keep going. Double
   // the fleet volume and report again.
@@ -142,5 +148,8 @@ int main() {
               2 * kTotalExecutions, fleet_tree.num_paths(),
               100.0 * static_cast<double>(fleet_tree.num_paths()) /
                   static_cast<double>(kAllPaths));
-  return 0;
+  json.add("fleet_120k", "coverage_pct",
+           100.0 * static_cast<double>(fleet_tree.num_paths()) /
+               static_cast<double>(kAllPaths));
+  return json.write() ? 0 : 1;
 }

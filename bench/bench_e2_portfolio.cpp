@@ -21,11 +21,13 @@
 // resource ratio strictly below 3x (cancellation saves most loser work).
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/softborg.h"
 
 using namespace softborg;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter json("e2_portfolio", argc, argv);
   constexpr std::uint64_t kBudget = 40'000'000;
 
   // Workload mix.
@@ -102,6 +104,15 @@ int main() {
   std::printf("  vs best single:    %6.1fx\n",
               static_cast<double>(best_single) /
                   static_cast<double>(portfolio_wall));
+  json.add("mixed_sat_workload", "portfolio_wall_ticks",
+           static_cast<double>(portfolio_wall),
+           static_cast<double>(best_single));
+  json.add("mixed_sat_workload", "speedup_vs_best_single",
+           static_cast<double>(best_single) /
+               static_cast<double>(portfolio_wall));
+  json.add("mixed_sat_workload", "cost_over_wall",
+           static_cast<double>(portfolio_cost) /
+               static_cast<double>(portfolio_wall));
   std::printf("\nresource ratio: %.2fx (3 engines run until the first "
               "decides, then losers are cancelled — the paper's 3x)\n",
               static_cast<double>(portfolio_cost) /
@@ -158,5 +169,5 @@ int main() {
   std::printf("(complementarity, not redundancy, is what pays: the "
               "systematic+local-search pair does most of the work, the "
               "third engine buys the last instances and robustness)\n");
-  return 0;
+  return json.write() ? 0 : 1;
 }

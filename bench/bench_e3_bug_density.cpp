@@ -13,6 +13,7 @@
 // schedule-race residue remains); the OFF deployment stays flat.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/softborg.h"
 
 using namespace softborg;
@@ -46,7 +47,8 @@ std::vector<CorpusEntry> fixable_corpus() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter json("e3_bug_density", argc, argv);
   std::printf("# E3: failure rate over deployment time, with vs without the "
               "fix loop\n");
   std::printf("## corpus of auto-fixable bugs (crashes + deadlock)\n");
@@ -99,6 +101,10 @@ int main() {
                 "REPRODUCED)\n");
   }
 
+  json.add("fixable_corpus", "late_failure_rate_pct_loop_on",
+           late_on * 100.0, late_off * 100.0);
+  json.add("fixable_corpus", "early_failure_rate_pct", early_on * 100.0);
+
   // Ablation: staged (canary) rollout — a 10% canary for 3 days before the
   // full fleet gets each fix. Reliability converges a few days later but to
   // the same floor; the canary bounds the blast radius of a bad fix.
@@ -136,5 +142,7 @@ int main() {
               "remaining failures are the schedule race awaiting a human "
               "fix (repair-lab entries: see fleet_simulation example)\n",
               full_early * 100, full_late * 100);
-  return 0;
+  json.add("full_corpus", "late_failure_rate_pct", full_late * 100.0,
+           full_early * 100.0);
+  return json.write() ? 0 : 1;
 }

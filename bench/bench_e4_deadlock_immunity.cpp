@@ -17,11 +17,13 @@
 //      and after the fix propagates.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/softborg.h"
 
 using namespace softborg;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter json("e4_deadlock_immunity", argc, argv);
   const auto entry = make_bank_transfer();
   const int kSeeds = 2000;
 
@@ -116,6 +118,8 @@ int main() {
   std::printf("\nrecurrences after the fix day: %llu %s\n",
               static_cast<unsigned long long>(recurrences),
               recurrences == 0 ? "(immunity REPRODUCED)" : "");
+  json.add("bank_transfer_fleet", "recurrences_after_fix",
+           static_cast<double>(recurrences));
 
   // Generalization: a length-n cycle (dining philosophers). The same
   // pipeline — lock-event diagnosis, immunity fix, validation — must
@@ -158,6 +162,8 @@ int main() {
     }
     std::printf("%-4u %-14.1f %-14.1f %-12.2f\n", n, 100.0 * bare / 500,
                 100.0 * with_fix / 500, score);
+    json.add("dining_philosophers_" + std::to_string(n), "deadlock_pct_fixed",
+             100.0 * with_fix / 500, 100.0 * bare / 500);
   }
-  return 0;
+  return json.write() ? 0 : 1;
 }

@@ -16,6 +16,7 @@
 // deterministically instead of stochastically.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/softborg.h"
 
 using namespace softborg;
@@ -41,7 +42,8 @@ std::vector<SymDecision> decisions_of_run(const CorpusEntry& entry,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter json("e5_guidance", argc, argv);
   // ---- 1. coverage milestones --------------------------------------------
   const auto cs = make_config_space(12);
   const std::size_t all_paths = 1u << 12;
@@ -94,6 +96,9 @@ int main() {
               natural_tree.num_paths(), guided_tree.num_paths(),
               static_cast<double>(guided_tree.num_paths()) /
                   static_cast<double>(natural_tree.num_paths()));
+  json.add("config_space_12", "guided_paths",
+           static_cast<double>(guided_tree.num_paths()),
+           static_cast<double>(natural_tree.num_paths()));
 
   // ---- 2. the needle -------------------------------------------------------
   const auto needle = make_magic_lookup();
@@ -131,6 +136,10 @@ int main() {
                   ? static_cast<double>(natural_runs_to_find) /
                         static_cast<double>(guided_runs_to_find)
                   : 0.0);
+
+  json.add("magic_lookup_needle", "guided_runs_to_crash",
+           static_cast<double>(guided_runs_to_find),
+           static_cast<double>(natural_runs_to_find));
 
   // ---- 3. fault injection ---------------------------------------------------
   const auto copier = make_file_copier();
@@ -172,5 +181,8 @@ int main() {
               static_cast<unsigned long long>(natural_to_error_path));
   std::printf("guided (fault-injection) executions:        %llu\n",
               static_cast<unsigned long long>(guided_to_error_path));
-  return 0;
+  json.add("file_copier_fault", "guided_runs_to_error_path",
+           static_cast<double>(guided_to_error_path),
+           static_cast<double>(natural_to_error_path));
+  return json.write() ? 0 : 1;
 }

@@ -18,11 +18,13 @@
 // while the bug's site keeps rank 1 until very aggressive rates.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/softborg.h"
 
 using namespace softborg;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter json("e6_recording_overhead", argc, argv);
   // ---- part 1: granularity sweep -------------------------------------------
   struct Workload {
     CorpusEntry entry;
@@ -65,6 +67,10 @@ int main() {
                   w.entry.program.name.c_str(), name, kRuns / secs,
                   static_cast<double>(bits) / kRuns,
                   static_cast<double>(bytes) / kRuns);
+      json.add(w.entry.program.name + "/" + name, "exec_per_sec",
+               kRuns / secs);
+      json.add(w.entry.program.name + "/" + name, "bytes_per_exec",
+               static_cast<double>(bytes) / kRuns);
     }
   }
 
@@ -108,5 +114,5 @@ int main() {
   }
   std::printf("\n(site 3 is the planted crash predictor; rank 1 means the "
               "aggregated statistics localize the bug exactly)\n");
-  return 0;
+  return json.write() ? 0 : 1;
 }

@@ -22,6 +22,7 @@
 // solver cost; the soundness direction always holds.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/softborg.h"
 
 using namespace softborg;
@@ -82,7 +83,8 @@ CorpusEntry make_padded_worker_pool(unsigned preamble) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter json("e7_relaxed_consistency", argc, argv);
   std::printf("# E7: system-consistent vs relaxed (unit-level) exploration\n");
   std::printf("%-10s %-8s | %-8s %-10s %-10s %-9s | %-8s %-10s %-10s %-9s | "
               "%-8s\n",
@@ -136,11 +138,14 @@ int main() {
                 static_cast<unsigned long long>(unit.stats().total_steps),
                 static_cast<unsigned long long>(unit.stats().solver_calls),
                 unit_ms, superset ? "yes" : "NO");
+    json.add("preamble_" + std::to_string(preamble), "unit_total_steps",
+             static_cast<double>(unit.stats().total_steps),
+             static_cast<double>(sys.stats().total_steps));
   }
 
   std::printf(
       "\n(unit-level cost is flat in the preamble; its extra paths — the "
       "defensive abort — are the over-approximation the paper accepts in "
       "exchange)\n");
-  return 0;
+  return json.write() ? 0 : 1;
 }

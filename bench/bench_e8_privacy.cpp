@@ -22,11 +22,13 @@
 // ones — the paper's trade-off, quantified.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/softborg.h"
 
 using namespace softborg;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter json("e8_privacy", argc, argv);
   // ---------------- part A: re-identification risk --------------------------
   const auto rich = make_config_space(12);
   Rng rng(5);
@@ -70,6 +72,8 @@ int main() {
     std::printf("%-16s %-12.1f %-10zu %-10.2f %-10.1f\n", rung.name,
                 m.mean_bits_per_trace, m.distinct_paths, m.path_entropy_bits,
                 m.unique_fraction * 100.0);
+    json.add(std::string("reid_risk/") + rung.name, "unique_pct",
+             m.unique_fraction * 100.0);
   }
 
   // ---------------- part B: utility ladder ----------------------------------
@@ -129,6 +133,7 @@ int main() {
             ? "input-guard"
             : "crash-guard";
 
+    json.add(std::string("utility/") + rung.name, "fix_score", fix_score);
     std::printf("%-14s | %-12llu %-9llu | %-10s %-10.2f %-10s\n", rung.name,
                 static_cast<unsigned long long>(hive.stats().gated_traces),
                 static_cast<unsigned long long>(hive.stats().paths_merged),
@@ -141,5 +146,5 @@ int main() {
       "suppression keeps the crash *bucketed* but destroys the replayable "
       "structure fix synthesis needs: the two ends of the paper's "
       "privacy/utility spectrum)\n");
-  return 0;
+  return json.write() ? 0 : 1;
 }

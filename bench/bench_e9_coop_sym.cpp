@@ -18,6 +18,7 @@
 // other and well ahead, with portfolio wasting the least work.
 #include <cstdio>
 
+#include "bench_json.h"
 #include "core/softborg.h"
 
 using namespace softborg;
@@ -53,7 +54,8 @@ Cell average(const CorpusEntry& entry, CoopConfig config, int seeds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter json("e9_coop_sym", argc, argv);
   const auto entry = make_skewed_workload(11);
   const int kSeeds = 5;
 
@@ -91,6 +93,10 @@ int main() {
                     strategy_name(strategy), workers, cell.ticks, speedup,
                     speedup / static_cast<double>(workers), cell.wasted,
                     cell.messages, cell.complete ? "" : "  INCOMPLETE");
+        if (scenario == 0 && workers == 8) {
+          json.add(std::string("reliable/") + strategy_name(strategy),
+                   "speedup_8_workers", speedup);
+        }
       }
     }
   }
@@ -109,5 +115,5 @@ int main() {
   std::printf("\n(too-coarse units straggle on the heavy subtree; finer "
               "units trade messages for balance — the undecidability of a "
               "good static split, made visible)\n");
-  return 0;
+  return json.write() ? 0 : 1;
 }

@@ -1,0 +1,47 @@
+// google-benchmark glue for --json: a reporter that tees every finished run
+// into a BenchJsonWriter (workload = the benchmark's full name, metric =
+// real time in the run's declared unit, plus one record per user counter)
+// while still printing the normal console table. Used by the gbench-based
+// bench binaries, whose mains become:
+//
+//   int main(int argc, char** argv) {
+//     softborg::BenchJsonWriter json("tree_v2", argc, argv);  // strips --json
+//     benchmark::Initialize(&argc, argv);
+//     softborg::JsonTeeReporter reporter(json);
+//     benchmark::RunSpecifiedBenchmarks(&reporter);
+//     benchmark::Shutdown();
+//     return json.write() ? 0 : 1;
+//   }
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_json.h"
+
+namespace softborg {
+
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(BenchJsonWriter& out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      const std::string name = run.benchmark_name();
+      const std::string unit = benchmark::GetTimeUnitString(run.time_unit);
+      out_.add(name, std::string("real_time_") + unit,
+               run.GetAdjustedRealTime());
+      for (const auto& [counter, value] : run.counters) {
+        out_.add(name, counter, static_cast<double>(value));
+      }
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  BenchJsonWriter& out_;
+};
+
+}  // namespace softborg

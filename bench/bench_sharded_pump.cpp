@@ -12,6 +12,8 @@
 // measured numbers: EXPERIMENTS.md ("BM_ShardedPump").
 #include <benchmark/benchmark.h>
 
+#include "bench_json_gbench.h"
+
 #include "core/softborg.h"
 
 namespace softborg {
@@ -96,4 +98,12 @@ BENCHMARK(BM_ShardedPump)
 }  // namespace
 }  // namespace softborg
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  softborg::BenchJsonWriter json("sharded_pump", argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  softborg::JsonTeeReporter reporter(json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return json.write() ? 0 : 1;
+}

@@ -24,6 +24,8 @@
 // measured numbers: EXPERIMENTS.md ("BM_TreeMerge / BM_TreeQuery").
 #include <benchmark/benchmark.h>
 
+#include "bench_json_gbench.h"
+
 #include <optional>
 #include <vector>
 
@@ -341,4 +343,12 @@ BENCHMARK(BM_TreeQuery)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace softborg
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  softborg::BenchJsonWriter json("tree_v2", argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  softborg::JsonTeeReporter reporter(json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return json.write() ? 0 : 1;
+}

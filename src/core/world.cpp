@@ -204,13 +204,25 @@ void World::step_day() {
   }
   if (!batch.empty()) hive_->ingest_batch(batch);
 
-  // 4. Analysis: bugs -> fixes -> distribution; guidance planning.
+  // 4. Analysis: bugs -> fixes -> distribution; guidance planning; proof
+  //    gap closure over a rotating corpus slice.
   const auto fixes = hive_->process();
   if (config_.distribute_fixes) {
     advance_rollouts();
     broadcast_fixes(fixes);
   }
   send_guidance();
+  if (config_.proof_programs_per_day > 0 && !corpus_.empty()) {
+    const std::size_t n =
+        std::min(config_.proof_programs_per_day, corpus_.size());
+    const std::size_t start = ((day_ - 1) * n) % corpus_.size();
+    std::vector<const CorpusEntry*> slice;
+    slice.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      slice.push_back(&corpus_[(start + i) % corpus_.size()]);
+    }
+    hive_->attempt_proofs_for(slice, config_.proof_property);
+  }
   for (std::size_t t = 0; t < config_.ticks_per_day; ++t) net_.tick();
 
   // 5. Metrics.
@@ -230,6 +242,9 @@ void World::step_day() {
     }
   }
   metrics.traces_delivered_total = net_.stats().delivered;
+  metrics.proofs_valid_total = hive_->valid_proof_count();
+  metrics.proof_solver_calls_total = hive_->proof_stats().solver_calls;
+  metrics.proof_solver_recycled_total = hive_->proof_stats().recycled();
   history_.push_back(metrics);
 
   SB_LOG_INFO(

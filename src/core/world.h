@@ -43,6 +43,13 @@ struct WorldConfig {
   double canary_fraction = 1.0;  // 1.0 = ship to everyone immediately
   std::uint64_t canary_days = 2;
   std::size_t guidance_per_program_per_day = 0;
+  // Proof gap closure: each day the hive attempts cumulative proofs for this
+  // many programs (a rotating corpus slice, so the whole fleet is swept every
+  // ceil(corpus / n) days); 0 disables. Attempts fan out on
+  // HiveConfig::proof_threads and recycle solver results when
+  // HiveConfig::solver_cache is on.
+  std::size_t proof_programs_per_day = 0;
+  Property proof_property = Property::kNeverCrashes;
   std::size_t ticks_per_day = 12;
   std::uint64_t seed = 1;
 };
@@ -62,6 +69,14 @@ struct DayMetrics {
   // aggregate), so it is affordable as a daily metric.
   std::size_t open_frontiers = 0;
   std::uint64_t traces_delivered_total = 0;
+  // Proof gap closure (when WorldConfig::proof_programs_per_day > 0):
+  // cumulative totals from the hive's closure telemetry. The solver counters
+  // split recycled results (cache hits + subsumptions + reused models) from
+  // fresh solver work, so the day series shows recycling compound as the
+  // fleet's knowledge accumulates.
+  std::size_t proofs_valid_total = 0;
+  std::uint64_t proof_solver_calls_total = 0;
+  std::uint64_t proof_solver_recycled_total = 0;
 };
 
 class World {

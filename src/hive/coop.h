@@ -29,6 +29,8 @@
 
 namespace softborg {
 
+class SolverCache;
+
 enum class PartitionStrategy : std::uint8_t {
   kStatic = 0,
   kDynamic = 1,
@@ -48,6 +50,10 @@ struct CoopConfig {
   NetConfig net;
   std::uint64_t seed = 1;
   std::uint64_t max_ticks = 2'000'000;
+  // Optional solver-result recycling cache for the ground-truth exploration
+  // (sym/solver_cache.h). Not owned; the caller serializes access — the
+  // simulation itself runs on one thread.
+  SolverCache* solver_cache = nullptr;
 };
 
 struct CoopResult {

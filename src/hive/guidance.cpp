@@ -4,7 +4,7 @@ namespace softborg {
 
 std::vector<GuidanceDirective> GuidancePlanner::plan_frontier(
     const CorpusEntry& entry, const ExecTree& tree,
-    std::size_t max_directives) {
+    std::size_t max_directives, SolverCache* cache) {
   std::vector<GuidanceDirective> out;
   if (entry.program.num_threads() != 1) return out;
 
@@ -21,7 +21,8 @@ std::vector<GuidanceDirective> GuidancePlanner::plan_frontier(
     ExploreOptions opt;
     opt.input_domains = domains_of(entry);
     opt.max_paths = config_.max_paths_per_frontier;
-    opt.solver_nodes = config_.solver_nodes;
+    opt.solver = config_.solver;
+    opt.solver_cache = cache;
     opt.check_crashes = false;  // guidance only needs a witness
     SymbolicExecutor ex(entry.program, opt);
     const auto paths = ex.explore_subtree(target);

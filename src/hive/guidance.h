@@ -23,7 +23,9 @@
 namespace softborg {
 
 struct GuidancePlannerConfig {
-  std::size_t solver_nodes = 200'000;
+  // The unified solver budget (see SolverOptions in csolver.h for the
+  // precedence rules shared with ExploreOptions and ProofBudget).
+  SolverOptions solver;
   std::size_t max_paths_per_frontier = 4;
   // Frontiers enumerated per plan_frontier call; 0 keeps the historical
   // default of 2x the directive budget (headroom for infeasible gaps the
@@ -39,10 +41,12 @@ class GuidancePlanner {
       : config_(config) {}
 
   // Input/fault directives targeting up to `max_directives` frontier gaps
-  // of a single-threaded program's tree.
+  // of a single-threaded program's tree. `cache`, when non-null, recycles
+  // solver results across frontiers (and across programs, via the caller).
   std::vector<GuidanceDirective> plan_frontier(const CorpusEntry& entry,
                                                const ExecTree& tree,
-                                               std::size_t max_directives);
+                                               std::size_t max_directives,
+                                               SolverCache* cache = nullptr);
 
   // Schedule-exploration directives for multi-threaded programs: plans that
   // force long runs of each thread at staggered offsets, plus random mixes.

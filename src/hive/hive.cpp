@@ -18,6 +18,7 @@ Hive::Hive(const std::vector<CorpusEntry>* corpus, HiveConfig config)
       config_(config),
       fixer_(config.fixer),
       planner_(config.guidance),
+      prover_(config.next_proof_id),
       rng_(config.seed) {
   SB_CHECK(corpus_ != nullptr);
   entry_index_.reserve(corpus_->size());
@@ -533,7 +534,11 @@ std::vector<GuidanceDirective> Hive::plan_guidance_for(
   if (entry.program.num_threads() == 1) {
     ExecTree* t = tree(entry.program.id);
     if (t == nullptr) return {};
-    return planner_.plan_frontier(entry, *t, per_program);
+    // Guidance shares the hive-wide cache: frontier witnesses recycle models
+    // and UNSAT proofs left behind by earlier proof attempts, and vice versa.
+    return planner_.plan_frontier(entry, *t, per_program,
+                                  config_.solver_cache ? &solver_cache_
+                                                       : nullptr);
   }
   return planner_.plan_schedules(entry, per_program, rng_);
 }
@@ -543,9 +548,78 @@ ProofCertificate Hive::attempt_proof(ProgramId program, Property property) {
   SB_CHECK(entry != nullptr);
   auto [it, inserted] = trees_.try_emplace(program.value, program);
   ProofCertificate cert =
-      prover_.attempt(*entry, it->second, property, config_.proof_budget);
-  if (cert.publishable()) proofs_.push_back({cert, false});
+      prover_.attempt(*entry, it->second, property, config_.proof_budget,
+                      config_.solver_cache ? &solver_cache_ : nullptr);
+  record_certificate(cert);
   return cert;
+}
+
+void Hive::record_certificate(const ProofCertificate& cert) {
+  if (cert.publishable()) proofs_.push_back({cert, false});
+  proof_stats_.attempts++;
+  if (cert.publishable()) proof_stats_.publishable++;
+  if (!cert.holds) proof_stats_.refuted++;
+  proof_stats_.solver_calls += cert.solver_calls;
+  proof_stats_.solver_cache_hits += cert.solver_cache_hits;
+  proof_stats_.solver_unsat_subsumed += cert.solver_unsat_subsumed;
+  proof_stats_.solver_models_reused += cert.solver_models_reused;
+}
+
+ThreadPool* Hive::proof_pool() {
+  if (config_.proof_threads <= 1) return nullptr;
+  if (proof_pool_ == nullptr) {
+    proof_pool_ = std::make_unique<ThreadPool>(config_.proof_threads);
+  }
+  return proof_pool_.get();
+}
+
+std::vector<ProofCertificate> Hive::attempt_proofs_all(Property property) {
+  std::vector<const CorpusEntry*> entries;
+  entries.reserve(corpus_->size());
+  for (const auto& e : *corpus_) entries.push_back(&e);
+  return attempt_proofs_for(entries, property);
+}
+
+std::vector<ProofCertificate> Hive::attempt_proofs_for(
+    const std::vector<const CorpusEntry*>& entries, Property property) {
+  // Trees are created serially so the attempts never mutate the map; the
+  // map is node-based, so the references stay stable across later inserts.
+  std::vector<ExecTree*> trees(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    SB_CHECK(entries[i] != nullptr);
+    trees[i] = &trees_.try_emplace(entries[i]->program.id.value,
+                                   entries[i]->program.id)
+                    .first->second;
+  }
+
+  // Pre-assigned ids: attempt i issues exactly the ProofId a serial loop
+  // would have, whatever order the workers finish in.
+  const std::uint64_t id_base = prover_.next_id();
+  prover_.advance_ids(entries.size());
+
+  // Each attempt runs against its own snapshot of the shared cache (the
+  // cache is not thread-safe, and attempts must not observe each other's
+  // in-flight inserts, or results would depend on scheduling). Snapshots
+  // are used even on the inline path so serial == parallel by construction.
+  const bool use_cache = config_.solver_cache;
+  std::vector<SolverCache> caches;
+  if (use_cache) caches.assign(entries.size(), solver_cache_);
+
+  std::vector<ProofCertificate> certs(entries.size());
+  parallel_for(proof_pool(), entries.size(), [&](std::size_t i) {
+    ProofEngine local(id_base + i);
+    certs[i] = local.attempt(*entries[i], *trees[i], property,
+                             config_.proof_budget,
+                             use_cache ? &caches[i] : nullptr);
+  });
+
+  // Barrier: merge the snapshots back and publish, both in corpus order —
+  // the merged cache and the proof log are deterministic.
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (use_cache) solver_cache_.merge_from(caches[i]);
+    record_certificate(certs[i]);
+  }
+  return certs;
 }
 
 void Hive::revoke_proofs(ProgramId program) {

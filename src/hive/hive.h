@@ -41,6 +41,7 @@
 #include "hive/proof.h"
 #include "minivm/corpus.h"
 #include "privacy/anonymize.h"
+#include "sym/solver_cache.h"
 #include "trace/sampling.h"
 #include "tree/exec_tree.h"
 
@@ -60,6 +61,17 @@ struct HiveConfig {
   // Replay-memoization entries kept before the cache resets (generational
   // eviction: O(1) amortized, good enough for streaming trace workloads).
   std::size_t replay_cache_capacity = 1 << 16;
+  // Solver-result recycling (sym/solver_cache.h): when true, proof attempts
+  // and guidance planning route feasibility queries through a hive-wide
+  // cache so constraints proven once are never re-solved.
+  bool solver_cache = true;
+  // Worker threads for attempt_proofs_all/_for; <= 1 runs the sweep inline
+  // on the caller. Deliberately not capped at the hardware concurrency so
+  // determinism tests can exercise real interleavings at high counts.
+  std::size_t proof_threads = 0;
+  // First ProofId this hive issues (ShardedHive gives each shard a disjoint
+  // block, mirroring FixerConfig::next_fix_id).
+  std::uint64_t next_proof_id = 1;
   FixerConfig fixer;
   ProofBudget proof_budget;
   GuidancePlannerConfig guidance;
@@ -143,6 +155,17 @@ class Hive {
   // Attempts a cumulative proof for one program.
   ProofCertificate attempt_proof(ProgramId program, Property property);
 
+  // Proof gap closure for the whole corpus (or an explicit program slice),
+  // fanned out on `proof_threads` workers. Programs own disjoint trees, so
+  // the attempts need no locks; each attempt runs against a snapshot copy of
+  // the shared solver cache and the snapshots merge back in corpus order at
+  // the barrier, so certificates, trees, and the merged cache are identical
+  // for every worker count (including the inline <= 1 path). Certificates
+  // come back in corpus order; publishable ones are published in that order.
+  std::vector<ProofCertificate> attempt_proofs_all(Property property);
+  std::vector<ProofCertificate> attempt_proofs_for(
+      const std::vector<const CorpusEntry*>& entries, Property property);
+
   // --- introspection ----------------------------------------------------------
   ExecTree* tree(ProgramId program);
   BugTracker& bug_tracker() { return bugs_; }
@@ -162,6 +185,31 @@ class Hive {
     return proofs_;
   }
   std::size_t valid_proof_count() const;
+
+  // The hive-wide solver-result recycling cache (empty and unused when
+  // HiveConfig::solver_cache is false). Exposed so fleets can seed a hive
+  // from another's accumulated results (merge_from) — the paper's
+  // "collective information recycling" across hives.
+  SolverCache& solver_cache() { return solver_cache_; }
+  const SolverCache& solver_cache() const { return solver_cache_; }
+
+  // Telemetry for every proof attempt this hive made (attempt_proof and the
+  // sweep paths alike), summed from the certificates.
+  struct ProofClosureStats {
+    std::uint64_t attempts = 0;
+    std::uint64_t publishable = 0;
+    std::uint64_t refuted = 0;  // attempts that found a counterexample
+    std::uint64_t solver_calls = 0;
+    std::uint64_t solver_cache_hits = 0;
+    std::uint64_t solver_unsat_subsumed = 0;
+    std::uint64_t solver_models_reused = 0;
+
+    std::uint64_t recycled() const {
+      return solver_cache_hits + solver_unsat_subsumed + solver_models_reused;
+    }
+    bool operator==(const ProofClosureStats&) const = default;
+  };
+  const ProofClosureStats& proof_stats() const { return proof_stats_; }
 
  private:
   const CorpusEntry* entry_of(ProgramId program) const;
@@ -189,6 +237,12 @@ class Hive {
   // at the hardware concurrency: extra workers beyond physical cores only
   // add context switches on the pure-CPU decode/replay stages.
   ThreadPool* ingest_pool();
+  // Null when proof_threads <= 1 (sweeps run inline). Unlike ingest_pool,
+  // not capped: see HiveConfig::proof_threads.
+  ThreadPool* proof_pool();
+  // Publishes `cert` if publishable and folds its telemetry into
+  // proof_stats_; shared by attempt_proof and the sweep barrier.
+  void record_certificate(const ProofCertificate& cert);
 
   const std::vector<CorpusEntry>* corpus_;
   FlatU64PtrMap<const CorpusEntry> entry_index_;  // program id -> entry
@@ -233,6 +287,10 @@ class Hive {
   std::mutex replay_mu_;
   ReplayCache replay_cache_;
   std::unique_ptr<ThreadPool> ingest_pool_;  // lazily created
+  std::unique_ptr<ThreadPool> proof_pool_;   // lazily created
+
+  SolverCache solver_cache_;
+  ProofClosureStats proof_stats_;
 
   BugTracker bugs_;
   FixSynthesizer fixer_;

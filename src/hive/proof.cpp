@@ -69,7 +69,8 @@ Outcome outcome_of_terminal(PathTerminal t) {
 
 ProofCertificate ProofEngine::attempt(const CorpusEntry& entry,
                                       ExecTree& tree, Property property,
-                                      const ProofBudget& budget) {
+                                      const ProofBudget& budget,
+                                      SolverCache* cache) {
   ProofCertificate cert;
   cert.id = ProofId(next_id_++);
   cert.program = entry.program.id;
@@ -85,7 +86,14 @@ ProofCertificate ProofEngine::attempt(const CorpusEntry& entry,
     ExploreOptions opt;
     opt.input_domains = cert.input_domain;
     opt.max_paths = budget.max_symbolic_paths;
-    opt.solver_nodes = budget.solver_nodes;
+    opt.solver = budget.solver;
+    opt.solver_cache = cache;
+    const auto account = [&cert](const ExploreStats& s) {
+      cert.solver_calls += s.solver_calls;
+      cert.solver_cache_hits += s.solver_cache_hits;
+      cert.solver_unsat_subsumed += s.solver_unsat_subsumed;
+      cert.solver_models_reused += s.solver_models_reused;
+    };
 
     // Bootstrap: with no natural executions yet, the proof attempt is a
     // pure symbolic exploration (the "test suite" end of the spectrum is
@@ -98,6 +106,7 @@ ProofCertificate ProofEngine::attempt(const CorpusEntry& entry,
             p.decisions, outcome_of_terminal(p.terminal), p.crash);
         if (r.new_path) cert.paths_from_symbolic++;
       }
+      account(ex.stats());
       // If exploration was cut, completion cannot be claimed; the property
       // check below still reports refutations found so far.
       bootstrap_cut = !ex.stats().complete;
@@ -119,6 +128,7 @@ ProofCertificate ProofEngine::attempt(const CorpusEntry& entry,
 
         SymbolicExecutor ex(entry.program, opt);
         const auto paths = ex.explore_subtree(target);
+        account(ex.stats());
         if (paths.empty() && ex.stats().complete) {
           // Direction refuted: no feasible execution goes that way.
           if (tree.mark_infeasible(f.prefix, f.site, f.direction, f.node)) {

@@ -58,6 +58,15 @@ struct ProofCertificate {
   std::vector<SymDecision> counterexample;
   Outcome counterexample_outcome = Outcome::kOk;
 
+  // Solver telemetry for this attempt, summed over every executor the
+  // engine spawned. The cache counters say how much of the solver work was
+  // recycled instead of re-derived (0 when no cache was supplied); the
+  // fresh-solve count is solver_calls minus the three.
+  std::uint64_t solver_calls = 0;
+  std::uint64_t solver_cache_hits = 0;
+  std::uint64_t solver_unsat_subsumed = 0;
+  std::uint64_t solver_models_reused = 0;
+
   std::uint64_t day_issued = 0;
 
   // A certificate is publishable iff the tree was completed AND no
@@ -65,12 +74,16 @@ struct ProofCertificate {
   bool publishable() const { return complete && holds; }
 
   std::string describe() const;
+
+  bool operator==(const ProofCertificate&) const = default;
 };
 
 struct ProofBudget {
   std::size_t max_gap_closures = 10'000;
   std::size_t max_symbolic_paths = 100'000;
-  std::uint64_t solver_nodes = 200'000;
+  // The unified solver budget, copied into every executor the engine
+  // spawns (see SolverOptions in csolver.h for the precedence rules).
+  SolverOptions solver;
   // Frontiers enumerated per gap-closure round. Enumeration is O(answer)
   // on the incremental tree, so this bounds solver work per round, not
   // tree-walk cost; ProofCertificate::frontier_clips records every round
@@ -88,8 +101,19 @@ class ProofEngine {
   // directions marked). Multi-threaded programs are rejected for
   // kNeverCrashes/kAlwaysTerminates (their decision trees are schedule-
   // woven) but kNeverDeadlocks can still be refuted from observations.
+  // `cache`, when non-null, recycles solver results across the attempt's
+  // executors (and, via the caller, across attempts and programs); the
+  // certificate's cache counters report what it saved.
   ProofCertificate attempt(const CorpusEntry& entry, ExecTree& tree,
-                           Property property, const ProofBudget& budget = {});
+                           Property property, const ProofBudget& budget = {},
+                           SolverCache* cache = nullptr);
+
+  // Id bookkeeping for parallel sweeps: Hive::attempt_proofs_for assigns
+  // each program `next_id() + its corpus position` up front (local engines
+  // issue the pre-assigned ids), then advances this engine past the block —
+  // so ids match what a serial loop over the same programs would issue.
+  std::uint64_t next_id() const { return next_id_; }
+  void advance_ids(std::uint64_t n) { next_id_ += n; }
 
  private:
   std::uint64_t next_id_;

@@ -20,6 +20,7 @@ ShardedHive::ShardedHive(const std::vector<CorpusEntry>* corpus,
     // Fixer ids must not collide across shards.
     HiveConfig shard_config = config.hive;
     shard_config.fixer.next_fix_id = 1 + i * 1'000'000;
+    shard_config.next_proof_id = 1 + i * 1'000'000;
     shard_config.seed = config.hive.seed ^ (i * 0x9e3779b97f4a7c15ULL);
     shard.hive = std::make_unique<Hive>(corpus_, shard_config);
     shard.endpoint = net.add_endpoint();
@@ -124,6 +125,36 @@ std::vector<GuidanceDirective> ShardedHive::plan_guidance_all(
                           .hive->plan_guidance_for(entry, per_program);
     all.insert(all.end(), std::make_move_iterator(directives.begin()),
                std::make_move_iterator(directives.end()));
+  }
+  return all;
+}
+
+std::vector<ProofCertificate> ShardedHive::attempt_proofs_all(
+    Property property) {
+  // Slice the corpus by owner, preserving corpus order within each slice,
+  // and remember where each program sits so the certificates can reassemble
+  // positionally.
+  std::vector<std::vector<const CorpusEntry*>> slices(shards_.size());
+  std::vector<std::vector<std::size_t>> positions(shards_.size());
+  for (std::size_t pos = 0; pos < corpus_->size(); ++pos) {
+    const std::size_t owner = shard_index((*corpus_)[pos].program.id);
+    slices[owner].push_back(&(*corpus_)[pos]);
+    positions[owner].push_back(pos);
+  }
+  // Shard-parallel: each worker drives one shard's sweep. The shard's own
+  // proof_threads setting still applies inside (nested pools compose; the
+  // default of 0 keeps the inner sweep inline on the pump worker).
+  std::vector<std::vector<ProofCertificate>> per_shard(shards_.size());
+  parallel_for(pump_pool(), shards_.size(), [&](std::size_t i) {
+    if (!slices[i].empty()) {
+      per_shard[i] = shards_[i].hive->attempt_proofs_for(slices[i], property);
+    }
+  });
+  std::vector<ProofCertificate> all(corpus_->size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    for (std::size_t k = 0; k < per_shard[i].size(); ++k) {
+      all[positions[i][k]] = std::move(per_shard[i][k]);
+    }
   }
   return all;
 }

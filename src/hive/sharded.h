@@ -87,6 +87,14 @@ class ShardedHive {
   // shard that owns it, so the result carries no duplicate directives and
   // covers the same programs as a single unsharded hive with equal trees.
   std::vector<GuidanceDirective> plan_guidance_all(std::size_t per_program);
+  // Proof gap closure for the whole corpus, shard-parallel on the pump pool:
+  // each shard runs Hive::attempt_proofs_for over the slice of the corpus it
+  // owns (corpus order within the slice), then the certificates reassemble
+  // in corpus order — so the result is positionally identical to a single
+  // unsharded hive's attempt_proofs_all over equal trees, independent of
+  // pump_threads. Shards own disjoint Hives (trees, solver caches, proof
+  // engines with disjoint id blocks), so the fan-out needs no locks.
+  std::vector<ProofCertificate> attempt_proofs_all(Property property);
 
   // Aggregated statistics across shards. aggregate_ingest_stats() sums the
   // per-shard pipeline telemetry (stage timings are CPU-seconds summed over

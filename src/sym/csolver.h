@@ -21,11 +21,15 @@ namespace softborg {
 struct VarDomain {
   Value lo = 0;
   Value hi = 0;
+
+  bool operator==(const VarDomain&) const = default;
 };
 
 struct Assignment {
   std::vector<Value> inputs;
   std::vector<Value> unknowns;
+
+  bool operator==(const Assignment&) const = default;
 };
 
 enum class SolveStatus : std::uint8_t { kSat, kUnsat, kUnknown };
@@ -38,6 +42,14 @@ struct SolveResult {
   std::uint64_t nodes = 0;
 };
 
+// THE solver budget. Every layer that issues solver queries embeds this
+// struct rather than duplicating its knobs: ExploreOptions::solver,
+// ProofBudget::solver, and GuidancePlannerConfig::solver are all copied
+// verbatim into the solve_path calls their layer makes. Precedence is
+// strictly top-down — the proof engine overwrites ExploreOptions::solver
+// with ProofBudget::solver for the executors it spawns, and the guidance
+// planner does the same with its config — so the struct closest to the
+// caller always wins and the knobs can no longer drift independently.
 struct SolverOptions {
   std::uint64_t max_nodes = 200'000;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "sym/solver_cache.h"
 
 namespace softborg {
 
@@ -194,13 +195,29 @@ class SymbolicExecutor::Impl {
     }
   }
 
+  // One solver query, routed through the recycling cache when configured;
+  // classifies the answer's source into the cache counters.
+  SolveResult query(const PathConstraint& pc,
+                    const std::vector<VarDomain>& unknown_domains) {
+    stats_.solver_calls++;
+    if (opt_.solver_cache != nullptr) {
+      CacheLookup outcome = CacheLookup::kMiss;
+      const SolveResult r = opt_.solver_cache->solve(
+          pc, opt_.input_domains, unknown_domains, opt_.solver, &outcome);
+      switch (outcome) {
+        case CacheLookup::kExactHit: stats_.solver_cache_hits++; break;
+        case CacheLookup::kUnsatSubsumed: stats_.solver_unsat_subsumed++; break;
+        case CacheLookup::kModelReused: stats_.solver_models_reused++; break;
+        case CacheLookup::kMiss: break;
+      }
+      return r;
+    }
+    return solve_path(pc, opt_.input_domains, unknown_domains, opt_.solver);
+  }
+
   SolveStatus check(const PathConstraint& pc, const State& s,
                     Assignment* model) {
-    stats_.solver_calls++;
-    SolverOptions so;
-    so.max_nodes = opt_.solver_nodes;
-    const SolveResult r =
-        solve_path(pc, opt_.input_domains, s.unknown_domains, so);
+    const SolveResult r = query(pc, s.unknown_domains);
     switch (r.status) {
       case SolveStatus::kSat:
         stats_.solver_sat++;
@@ -421,13 +438,7 @@ class SymbolicExecutor::Impl {
     if (satisfies(path.constraints, path.model)) {
       path.model_verified = true;
     } else {
-      Assignment model;
-      SolverOptions so;
-      so.max_nodes = opt_.solver_nodes;
-      std::vector<VarDomain> ud = path.unknown_domains;
-      const SolveResult r =
-          solve_path(path.constraints, opt_.input_domains, ud, so);
-      stats_.solver_calls++;
+      const SolveResult r = query(path.constraints, path.unknown_domains);
       if (r.status == SolveStatus::kSat) {
         path.model = r.model;
         path.model_verified = true;

@@ -26,6 +26,7 @@ PortfolioOutcome PortfolioSolver::solve_simulated(
   // Winner: fewest ticks among solvers that decided.
   for (std::size_t i = 0; i < results.size(); ++i) {
     out.per_solver_ticks.push_back(results[i].ticks);
+    out.per_solver_status.push_back(results[i].status);
     if (results[i].status == SatStatus::kUnknown) continue;
     if (out.winner < 0 || results[i].ticks < out.wall_ticks) {
       out.winner = static_cast<int>(i);
@@ -39,8 +40,15 @@ PortfolioOutcome PortfolioSolver::solve_simulated(
     out.wall_ticks = budget_ticks_per_solver;
   }
   // Losers are cancelled at the winner's finish time.
-  for (const auto& r : results) {
-    out.cost_ticks += std::min(r.ticks, out.wall_ticks);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::uint64_t charged = std::min(results[i].ticks, out.wall_ticks);
+    out.cost_ticks += charged;
+    if (static_cast<int>(i) == out.winner) continue;
+    out.duplicated_ticks += charged;
+    if (results[i].status != SatStatus::kUnknown &&
+        results[i].ticks <= out.wall_ticks) {
+      out.redundant_decisions++;
+    }
   }
   return out;
 }
@@ -63,17 +71,30 @@ PortfolioOutcome PortfolioSolver::solve_threaded(
   }
 
   PortfolioOutcome out;
+  std::vector<SatOutcome> results;
+  results.reserve(futures.size());
   for (std::size_t i = 0; i < futures.size(); ++i) {
-    SatOutcome r = futures[i].get();
+    results.push_back(futures[i].get());
+    const SatOutcome& r = results.back();
     out.per_solver_ticks.push_back(r.ticks);
+    out.per_solver_status.push_back(r.status);
     out.cost_ticks += r.ticks;
     if (r.status == SatStatus::kUnknown) continue;
     if (out.winner < 0 || r.ticks < out.wall_ticks) {
       out.winner = static_cast<int>(i);
       out.wall_ticks = r.ticks;
       out.status = r.status;
-      out.model = std::move(r.model);
     }
+  }
+  if (out.winner >= 0) out.model = std::move(results[out.winner].model);
+  // Duplicated work: everything the losers burned. Threaded cancellation is
+  // lazy (solvers poll the flag), so losers may run past the winner's finish
+  // — and may even decide on their own before noticing; both must be split
+  // out or fleet telemetry counts the same answer as multiple solves.
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (static_cast<int>(i) == out.winner) continue;
+    out.duplicated_ticks += results[i].ticks;
+    if (results[i].status != SatStatus::kUnknown) out.redundant_decisions++;
   }
   if (out.winner < 0) out.wall_ticks = budget_ticks_per_solver;
   return out;

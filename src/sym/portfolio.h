@@ -28,6 +28,20 @@ struct PortfolioOutcome {
   std::uint64_t wall_ticks = 0;   // simulated elapsed time (winner's ticks)
   std::uint64_t cost_ticks = 0;   // total resource consumption
   std::vector<std::uint64_t> per_solver_ticks;
+  // Per-solver terminal status, index-aligned with per_solver_ticks. Fleet
+  // telemetry needs the split: only the winner's decision is fresh solver
+  // work; a loser that also decided merely duplicated it. Before this field
+  // existed, aggregators counting decisions over the portfolio's solvers
+  // double-counted every such duplicate as independent work.
+  std::vector<SatStatus> per_solver_status;
+  // Ticks the losers burned (cost_ticks minus the winner's share): the
+  // resource overhead of investing in parallel. In solve_simulated losers
+  // are clamped at the winner's finish; in solve_threaded cancellation is
+  // lazy, so their real (possibly larger) spend is what is recorded.
+  std::uint64_t duplicated_ticks = 0;
+  // Losers that reached their own decision before cancellation took hold —
+  // each one a re-derivation of an answer the portfolio already had.
+  std::size_t redundant_decisions = 0;
 };
 
 class PortfolioSolver {

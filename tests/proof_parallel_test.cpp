@@ -1,0 +1,266 @@
+// Differential tests for parallel proof gap closure: attempt_proofs_all
+// fanned out on N workers must produce byte-identical certificates, trees,
+// and closure telemetry compared to the inline sweep — with and without the
+// solver-result recycling cache — because programs own disjoint trees,
+// proof ids are pre-assigned in corpus order, and each worker solves
+// against a snapshot copy of the shared cache that merges back at the
+// barrier in corpus order (see Hive::attempt_proofs_for).
+//
+// Test names carry the ProofParallel prefix so the TSAN CI job's -R regex
+// picks the whole suite up.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/softborg.h"
+#include "tree/tree_codec.h"
+
+namespace softborg {
+namespace {
+
+constexpr Property kProperty = Property::kNeverCrashes;
+
+// Executes random corpus programs on random in-domain inputs and returns
+// the encoded by-products, ids 1..n (unique, so dedup passes every wire).
+std::vector<Bytes> make_workload(const std::vector<CorpusEntry>& corpus,
+                                 std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Bytes> wires;
+  wires.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const CorpusEntry& entry = corpus[rng.next_below(corpus.size())];
+    ExecConfig cfg;
+    for (const auto& d : entry.domains) {
+      cfg.inputs.push_back(rng.next_in(d.lo, d.hi));
+    }
+    cfg.seed = seed * 1'000'000 + i;
+    auto result = execute(entry.program, cfg);
+    result.trace.id = TraceId(i + 1);
+    wires.push_back(encode_trace(result.trace));
+  }
+  return wires;
+}
+
+struct ClosureResult {
+  std::vector<ProofCertificate> certs;
+  std::map<std::uint64_t, Bytes> trees;  // program id -> encoded tree
+  Hive::ProofClosureStats stats;
+  std::size_t valid_proofs = 0;
+  std::size_t cache_size = 0;
+};
+
+// One hive lifecycle: batch-ingest the workload, run the full-corpus proof
+// sweep with the given cache/threads configuration, snapshot everything a
+// divergence could show up in.
+ClosureResult run_closure(const std::vector<CorpusEntry>& corpus,
+                          const std::vector<Bytes>& wires, bool cache,
+                          std::size_t threads) {
+  HiveConfig config;
+  config.solver_cache = cache;
+  config.proof_threads = threads;
+  Hive hive(&corpus, config);
+  hive.ingest_batch(wires);
+
+  ClosureResult out;
+  out.certs = hive.attempt_proofs_all(kProperty);
+  for (const auto& entry : corpus) {
+    if (ExecTree* t = hive.tree(entry.program.id)) {
+      out.trees[entry.program.id.value] = encode_tree(*t);
+    }
+  }
+  out.stats = hive.proof_stats();
+  out.valid_proofs = hive.valid_proof_count();
+  out.cache_size = hive.solver_cache().size();
+  return out;
+}
+
+void expect_identical(const ClosureResult& a, const ClosureResult& b) {
+  ASSERT_EQ(a.certs.size(), b.certs.size());
+  for (std::size_t i = 0; i < a.certs.size(); ++i) {
+    EXPECT_TRUE(a.certs[i] == b.certs[i]) << "certificate " << i << " ("
+                                          << a.certs[i].describe() << " vs "
+                                          << b.certs[i].describe() << ")";
+  }
+  EXPECT_EQ(a.trees, b.trees);  // byte-identical wire encodings
+  EXPECT_TRUE(a.stats == b.stats);
+  EXPECT_EQ(a.valid_proofs, b.valid_proofs);
+  EXPECT_EQ(a.cache_size, b.cache_size);
+}
+
+// Certificates with the attempt-local solver telemetry scrubbed: the
+// semantic payload (census, completeness, verdict, counterexample) that
+// must not depend on whether a cache answered the queries.
+ProofCertificate scrub_solver_counters(ProofCertificate c) {
+  c.solver_calls = 0;
+  c.solver_cache_hits = 0;
+  c.solver_unsat_subsumed = 0;
+  c.solver_models_reused = 0;
+  return c;
+}
+
+TEST(ProofParallel, WorkerCountInvarianceWithCache) {
+  const auto corpus = standard_corpus();
+  const auto wires = make_workload(corpus, 200, 11);
+  const ClosureResult serial = run_closure(corpus, wires, true, 0);
+  ASSERT_EQ(serial.certs.size(), corpus.size());
+  EXPECT_GT(serial.valid_proofs, 0u);
+  EXPECT_GT(serial.stats.recycled(), 0u);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    expect_identical(serial, run_closure(corpus, wires, true, threads));
+  }
+}
+
+TEST(ProofParallel, WorkerCountInvarianceWithoutCache) {
+  const auto corpus = standard_corpus();
+  const auto wires = make_workload(corpus, 200, 11);
+  const ClosureResult serial = run_closure(corpus, wires, false, 0);
+  EXPECT_EQ(serial.stats.recycled(), 0u);
+  EXPECT_EQ(serial.cache_size, 0u);
+  for (const std::size_t threads : {2u, 8u}) {
+    expect_identical(serial, run_closure(corpus, wires, false, threads));
+  }
+}
+
+// The parallel sweep must match what a plain serial loop of attempt_proof
+// calls produces. Cache off: with it on the two schedules legitimately
+// differ in *telemetry* (the loop lets attempt i see attempt i-1's results;
+// the sweep snapshots the cache up front) though never in semantics.
+TEST(ProofParallel, SweepMatchesSerialAttemptLoop) {
+  const auto corpus = standard_corpus();
+  const auto wires = make_workload(corpus, 200, 11);
+
+  HiveConfig config;
+  config.solver_cache = false;
+  Hive loop_hive(&corpus, config);
+  loop_hive.ingest_batch(wires);
+  std::vector<ProofCertificate> loop_certs;
+  for (const auto& entry : corpus) {
+    loop_certs.push_back(loop_hive.attempt_proof(entry.program.id, kProperty));
+  }
+
+  const ClosureResult sweep = run_closure(corpus, wires, false, 8);
+  ASSERT_EQ(sweep.certs.size(), loop_certs.size());
+  for (std::size_t i = 0; i < loop_certs.size(); ++i) {
+    EXPECT_TRUE(sweep.certs[i] == loop_certs[i]) << "certificate " << i;
+  }
+  EXPECT_EQ(sweep.valid_proofs, loop_hive.valid_proof_count());
+  EXPECT_TRUE(sweep.stats == loop_hive.proof_stats());
+}
+
+// Recycling must be invisible outside the telemetry: same verdicts, same
+// census, same trees, same published proofs with the cache on or off. (The
+// only divergence the cache is allowed — deciding a query a fresh solve
+// would give up on — cannot occur here: the default budget decides every
+// query of this corpus.)
+TEST(ProofParallel, CacheOnMatchesCacheOffSemantics) {
+  const auto corpus = standard_corpus();
+  const auto wires = make_workload(corpus, 200, 11);
+  const ClosureResult off = run_closure(corpus, wires, false, 0);
+  const ClosureResult on = run_closure(corpus, wires, true, 8);
+
+  ASSERT_EQ(on.certs.size(), off.certs.size());
+  for (std::size_t i = 0; i < on.certs.size(); ++i) {
+    EXPECT_TRUE(scrub_solver_counters(on.certs[i]) ==
+                scrub_solver_counters(off.certs[i]))
+        << "certificate " << i;
+    // Total query count is schedule-independent; only who answers differs.
+    EXPECT_EQ(on.certs[i].solver_calls, off.certs[i].solver_calls);
+  }
+  EXPECT_EQ(on.trees, off.trees);
+  EXPECT_EQ(on.valid_proofs, off.valid_proofs);
+}
+
+// Publishable certificates from the parallel cached sweep survive the
+// independent checker (exhaustive re-execution over the input domain).
+TEST(ProofParallel, CertificatesSurviveIndependentCheck) {
+  const auto corpus = standard_corpus();
+  const auto wires = make_workload(corpus, 200, 11);
+
+  HiveConfig config;
+  config.proof_threads = 4;
+  Hive hive(&corpus, config);
+  hive.ingest_batch(wires);
+  const auto certs = hive.attempt_proofs_all(kProperty);
+
+  std::size_t checked = 0;
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    if (!certs[i].publishable()) continue;
+    std::string reason;
+    EXPECT_TRUE(check_certificate(corpus[i], certs[i], 20'000, &reason))
+        << corpus[i].program.name << ": " << reason;
+    checked++;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+// The sharded fleet: per-shard sweeps fan out on the pump pool, each shard
+// issuing ids from its own disjoint block. Same ingested traffic, different
+// pump_threads -> identical certificates in corpus order.
+TEST(ProofParallel, ShardedSweepIsPumpThreadInvariant) {
+  const auto corpus = standard_corpus();
+  const auto wires = make_workload(corpus, 200, 11);
+
+  const auto run_sharded = [&](std::size_t pump_threads) {
+    ShardedHiveConfig config;
+    config.pump_threads = pump_threads;
+    SimNet net{NetConfig{}};
+    ShardedHive hive(&corpus, 4, net, config);
+    const Endpoint client = net.add_endpoint();
+    for (const Bytes& wire : wires) {
+      net.send(client, hive.ingress(), kMsgTrace, wire);
+    }
+    for (int i = 0; i < 12; ++i) {  // flush the (lossless-default) net
+      net.tick();
+      hive.pump(net);
+    }
+    return hive.attempt_proofs_all(kProperty);
+  };
+
+  const auto serial = run_sharded(1);
+  ASSERT_EQ(serial.size(), corpus.size());
+  const auto parallel = run_sharded(8);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i] == parallel[i]) << "certificate " << i;
+  }
+}
+
+// End to end through the world loop: daily rotating proof slices with the
+// parallel cached closure leave the simulation bit-reproducible across
+// worker counts, and the day series actually reports closure progress.
+TEST(ProofParallel, WorldDailyClosureIsDeterministic) {
+  const auto run_world = [](std::size_t threads) {
+    WorldConfig config;
+    config.pods_per_program = 2;
+    config.days = 4;
+    config.proof_programs_per_day = 3;
+    config.hive.proof_threads = threads;
+    World world(standard_corpus(), config);
+    world.run();
+    return world;
+  };
+
+  World a = run_world(0);
+  World b = run_world(8);
+  ASSERT_EQ(a.history().size(), b.history().size());
+  for (std::size_t d = 0; d < a.history().size(); ++d) {
+    const DayMetrics& ma = a.history()[d];
+    const DayMetrics& mb = b.history()[d];
+    EXPECT_EQ(ma.proofs_valid_total, mb.proofs_valid_total) << "day " << d;
+    EXPECT_EQ(ma.proof_solver_calls_total, mb.proof_solver_calls_total)
+        << "day " << d;
+    EXPECT_EQ(ma.proof_solver_recycled_total, mb.proof_solver_recycled_total)
+        << "day " << d;
+    EXPECT_EQ(ma.failures, mb.failures) << "day " << d;
+    EXPECT_EQ(ma.total_paths, mb.total_paths) << "day " << d;
+  }
+  EXPECT_TRUE(a.hive().proof_stats() == b.hive().proof_stats());
+  EXPECT_EQ(a.hive().valid_proof_count(), b.hive().valid_proof_count());
+  // The rotating slice must have recycled something by day 4.
+  EXPECT_GT(a.history().back().proof_solver_recycled_total, 0u);
+  EXPECT_GT(a.history().back().proofs_valid_total, 0u);
+}
+
+}  // namespace
+}  // namespace softborg

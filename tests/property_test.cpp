@@ -147,7 +147,7 @@ TEST_P(RandomProgram, SymbolicModelsExecuteToPredictedPaths) {
   opt.max_paths = 128;
   // Keep nasty random constraints (mul/mod chains) from wedging the test:
   // budget exhaustion marks paths unverified and we skip those.
-  opt.solver_nodes = 3'000;
+  opt.solver.max_nodes = 3'000;
   opt.max_total_steps = 100'000;
   SymbolicExecutor ex(entry_.program, opt);
   const auto paths = ex.explore();
@@ -168,7 +168,7 @@ TEST_P(RandomProgram, SymbolicAgreesWithExhaustiveEnumeration) {
   ExploreOptions opt;
   opt.input_domains = domains_of(entry_);
   opt.max_paths = 2048;
-  opt.solver_nodes = 3'000;
+  opt.solver.max_nodes = 3'000;
   opt.max_total_steps = 100'000;
   SymbolicExecutor ex(entry_.program, opt);
   const auto paths = ex.explore();
@@ -231,7 +231,7 @@ TEST_P(RandomProgram, PublishableProofsSurviveTheChecker) {
   ProofBudget budget;
   budget.max_symbolic_paths = 1024;
   budget.max_gap_closures = 100;
-  budget.solver_nodes = 3'000;
+  budget.solver.max_nodes = 3'000;
   const auto cert =
       engine.attempt(entry_, tree, Property::kNeverCrashes, budget);
   if (!cert.publishable()) GTEST_SKIP() << "not publishable for this seed";

@@ -1,0 +1,300 @@
+// SolverCache: canonicalization, the two subsumption fast paths, eviction
+// policy, merge, and a randomized differential against the raw solver.
+//
+// The cache's contract (sym/solver_cache.h): solve() returns a result that
+// is never less correct than solve_path — a decided answer must match what
+// a fresh solve would decide, every SAT witness must actually satisfy the
+// query within its domains, and the only permitted divergence is returning
+// a decision where a fresh solve would have exhausted its budget.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <iterator>
+
+#include "core/softborg.h"
+#include "sym/solver_cache.h"
+
+namespace softborg {
+namespace {
+
+Expr in(std::uint32_t slot) { return make_input(slot); }
+Expr cv(Value v) { return make_const(v); }
+
+// cond: `a < b` as a literal expected true/false.
+Literal lt(Expr a, Expr b, bool expected = true) {
+  return {make_bin(BinOp::kLt, std::move(a), std::move(b)), expected};
+}
+Literal eq(Expr a, Expr b, bool expected = true) {
+  return {make_bin(BinOp::kEq, std::move(a), std::move(b)), expected};
+}
+
+TEST(SolverCache, ExactHitAfterInsert) {
+  SolverCache cache;
+  const PathConstraint pc = {lt(in(0), cv(5))};
+  const std::vector<VarDomain> doms = {{0, 10}};
+
+  CacheLookup outcome = CacheLookup::kExactHit;
+  const SolveResult first = cache.solve(pc, doms, {}, {}, &outcome);
+  EXPECT_EQ(outcome, CacheLookup::kMiss);
+  EXPECT_EQ(first.status, SolveStatus::kSat);
+
+  const SolveResult again = cache.solve(pc, doms, {}, {}, &outcome);
+  EXPECT_EQ(outcome, CacheLookup::kExactHit);
+  EXPECT_EQ(again.status, SolveStatus::kSat);
+  EXPECT_TRUE(satisfies(pc, again.model));
+  EXPECT_EQ(cache.stats().lookups, 2u);
+  EXPECT_EQ(cache.stats().exact_hits, 1u);
+}
+
+TEST(SolverCache, CanonicalRenamingHits) {
+  // The same constraint shape over a different input slot, with the same
+  // domain riding along, canonicalizes to the same key.
+  SolverCache cache;
+  const std::vector<VarDomain> doms0 = {{0, 10}};
+  const std::vector<VarDomain> doms7 = {{0, 0}, {0, 0}, {0, 0},
+                                        {0, 0}, {0, 0}, {0, 0},
+                                        {0, 0}, {0, 10}};
+  cache.solve({lt(in(0), cv(5))}, doms0);
+
+  CacheLookup outcome = CacheLookup::kMiss;
+  const SolveResult r = cache.solve({lt(in(7), cv(5))}, doms7, {}, {},
+                                    &outcome);
+  EXPECT_EQ(outcome, CacheLookup::kExactHit);
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  // The witness must be rebuilt into slot 7's raw space, not slot 0's.
+  EXPECT_TRUE(satisfies({lt(in(7), cv(5))}, r.model));
+}
+
+TEST(SolverCache, RenamingRespectsDomains) {
+  // Same shape, different domain for the renamed variable: must MISS (the
+  // domains are part of the canonical key, or SAT/UNSAT could flip).
+  SolverCache cache;
+  cache.solve({lt(in(0), cv(5))}, {{0, 10}});
+  CacheLookup outcome = CacheLookup::kExactHit;
+  const SolveResult r = cache.solve({lt(in(0), cv(5))}, {{6, 10}}, {}, {},
+                                    &outcome);
+  EXPECT_EQ(outcome, CacheLookup::kMiss);
+  EXPECT_EQ(r.status, SolveStatus::kUnsat);
+}
+
+TEST(SolverCache, ClauseOrderAndDuplicatesIrrelevant) {
+  SolverCache cache;
+  const std::vector<VarDomain> doms = {{0, 10}, {0, 10}};
+  const Literal a = lt(in(0), cv(5));
+  const Literal b = lt(cv(2), in(1));
+  cache.solve({a, b}, doms);
+
+  CacheLookup outcome = CacheLookup::kMiss;
+  cache.solve({b, a}, doms, {}, {}, &outcome);
+  EXPECT_EQ(outcome, CacheLookup::kExactHit);
+  cache.solve({a, b, a}, doms, {}, {}, &outcome);  // A && A == A
+  EXPECT_EQ(outcome, CacheLookup::kExactHit);
+}
+
+TEST(SolverCache, UnsatSubsetSubsumesSuperset) {
+  SolverCache cache;
+  const std::vector<VarDomain> doms = {{0, 10}, {0, 10}};
+  // Core: x < 0 over x in [0,10] — UNSAT.
+  const Literal core = lt(in(0), cv(0));
+  const SolveResult seed = cache.solve({core}, doms);
+  ASSERT_EQ(seed.status, SolveStatus::kUnsat);
+
+  // Any superset conjunction is UNSAT for free.
+  CacheLookup outcome = CacheLookup::kMiss;
+  const SolveResult r =
+      cache.solve({lt(cv(3), in(1)), core}, doms, {}, {}, &outcome);
+  EXPECT_EQ(outcome, CacheLookup::kUnsatSubsumed);
+  EXPECT_EQ(r.status, SolveStatus::kUnsat);
+  EXPECT_EQ(cache.stats().unsat_subsumed, 1u);
+}
+
+TEST(SolverCache, UnsatSubsumptionRequiresDomainContainment) {
+  SolverCache cache;
+  // UNSAT over x in [0,10]...
+  const Literal core = lt(in(0), cv(0));
+  ASSERT_EQ(cache.solve({core}, {{0, 10}}).status, SolveStatus::kUnsat);
+
+  // ...but SAT over x in [-5,10]: the wider query box is not contained in
+  // the core's box, so subsumption must decline — and the fresh solve
+  // indeed finds a witness. This is exactly the unsoundness the domain
+  // guard prevents.
+  CacheLookup outcome = CacheLookup::kUnsatSubsumed;
+  const SolveResult r = cache.solve({core, lt(cv(3), in(1))},
+                                    {{-5, 10}, {0, 10}}, {}, {}, &outcome);
+  EXPECT_EQ(outcome, CacheLookup::kMiss);
+  EXPECT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_TRUE(satisfies({core}, r.model));
+}
+
+TEST(SolverCache, ModelReuseAnswersNewQuery) {
+  SolverCache cache;
+  const std::vector<VarDomain> doms = {{0, 10}};
+  // Seed a SAT model for x >= 5.
+  const Literal ge5 = lt(in(0), cv(5), /*expected=*/false);
+  const SolveResult seed = cache.solve({ge5}, doms);
+  ASSERT_EQ(seed.status, SolveStatus::kSat);
+
+  // A narrower query the cached witness happens to satisfy: answered
+  // without solving, and the witness is re-verified against the new query.
+  CacheLookup outcome = CacheLookup::kMiss;
+  const SolveResult r =
+      cache.solve({ge5, lt(in(0), cv(9))}, doms, {}, {}, &outcome);
+  EXPECT_EQ(outcome, CacheLookup::kModelReused);
+  ASSERT_EQ(r.status, SolveStatus::kSat);
+  EXPECT_TRUE(satisfies({ge5, lt(in(0), cv(9))}, r.model));
+  EXPECT_EQ(cache.stats().models_reused, 1u);
+}
+
+TEST(SolverCache, UnknownIsNeverCached) {
+  SolverCache cache;
+  SolverOptions tiny;
+  tiny.max_nodes = 1;  // force budget exhaustion
+  const PathConstraint pc = {eq(make_bin(BinOp::kMul, in(0), in(1)), cv(7))};
+  const std::vector<VarDomain> doms = {{0, 10}, {0, 10}};
+
+  CacheLookup outcome = CacheLookup::kExactHit;
+  const SolveResult r = cache.solve(pc, doms, {}, tiny, &outcome);
+  ASSERT_EQ(r.status, SolveStatus::kUnknown);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+
+  // Second identical query: still a miss — budget artifacts are not facts.
+  cache.solve(pc, doms, {}, tiny, &outcome);
+  EXPECT_EQ(outcome, CacheLookup::kMiss);
+  EXPECT_EQ(cache.stats().hits(), 0u);
+
+  // With a real budget the same query is decided and then cached.
+  const SolveResult full = cache.solve(pc, doms, {}, {}, &outcome);
+  EXPECT_EQ(full.status, SolveStatus::kSat);
+  cache.solve(pc, doms, {}, {}, &outcome);
+  EXPECT_EQ(outcome, CacheLookup::kExactHit);
+}
+
+TEST(SolverCache, MergeFromTransfersKnowledge) {
+  SolverCache a, b;
+  const std::vector<VarDomain> doms = {{0, 10}};
+  const PathConstraint sat_pc = {lt(in(0), cv(5))};
+  const PathConstraint unsat_pc = {lt(in(0), cv(0))};
+  a.solve(sat_pc, doms);
+  a.solve(unsat_pc, doms);
+
+  b.merge_from(a);
+  CacheLookup outcome = CacheLookup::kMiss;
+  EXPECT_EQ(b.solve(sat_pc, doms, {}, {}, &outcome).status,
+            SolveStatus::kSat);
+  EXPECT_EQ(outcome, CacheLookup::kExactHit);
+  EXPECT_EQ(b.solve(unsat_pc, doms, {}, {}, &outcome).status,
+            SolveStatus::kUnsat);
+  EXPECT_EQ(outcome, CacheLookup::kExactHit);
+
+  // Merging is idempotent.
+  const std::size_t size = b.size();
+  b.merge_from(a);
+  EXPECT_EQ(b.size(), size);
+}
+
+TEST(SolverCache, GenerationalEvictionStaysCorrect) {
+  SolverCacheConfig config;
+  config.max_entries = 8;  // evict constantly
+  config.max_unsat_cores = 2;
+  config.max_models = 2;
+  SolverCache cache(config);
+  Rng rng(7);
+  for (int round = 0; round < 200; ++round) {
+    const Value k = static_cast<Value>(rng.next_in(-5, 15));
+    const PathConstraint pc = {lt(in(0), cv(k))};
+    const std::vector<VarDomain> doms = {{0, 10}};
+    const SolveResult r = cache.solve(pc, doms);
+    EXPECT_EQ(r.status, k > 0 ? SolveStatus::kSat : SolveStatus::kUnsat);
+    if (r.status == SolveStatus::kSat) {
+      EXPECT_TRUE(satisfies(pc, r.model));
+    }
+  }
+  EXPECT_GT(cache.stats().resets, 0u);
+}
+
+// The core soundness property, fuzzed: whatever the cache's internal state,
+// a decided answer agrees with a fresh solve and every witness verifies.
+TEST(SolverCache, RandomizedDifferentialAgainstSolvePath) {
+  SolverCache cache;
+  Rng rng(0x5eed);
+  const BinOp ops[] = {BinOp::kAdd, BinOp::kSub, BinOp::kMul, BinOp::kLt,
+                       BinOp::kLe,  BinOp::kEq,  BinOp::kNe};
+
+  std::function<Expr(int)> random_expr = [&](int depth) -> Expr {
+    if (depth == 0 || rng.next_bool(0.3)) {
+      return rng.next_bool(0.5)
+                 ? in(static_cast<std::uint32_t>(rng.next_below(3)))
+                 : cv(static_cast<Value>(rng.next_in(-3, 3)));
+    }
+    const BinOp op = ops[rng.next_below(std::size(ops))];
+    return make_bin(op, random_expr(depth - 1), random_expr(depth - 1));
+  };
+
+  for (int round = 0; round < 400; ++round) {
+    PathConstraint pc;
+    const std::size_t lits = 1 + rng.next_below(3);
+    for (std::size_t i = 0; i < lits; ++i) {
+      pc.push_back({random_expr(2), rng.next_bool(0.5)});
+    }
+    std::vector<VarDomain> doms(3);
+    for (auto& d : doms) {
+      d.lo = static_cast<Value>(rng.next_in(-2, 2));
+      d.hi = d.lo + static_cast<Value>(rng.next_below(4));
+    }
+
+    const SolveResult fresh = solve_path(pc, doms);
+    const SolveResult cached = cache.solve(pc, doms);
+    if (fresh.status != SolveStatus::kUnknown) {
+      EXPECT_EQ(cached.status, fresh.status) << "round " << round;
+    }
+    if (cached.status == SolveStatus::kSat) {
+      EXPECT_TRUE(satisfies(pc, cached.model)) << "round " << round;
+      for (std::size_t v = 0; v < cached.model.inputs.size() && v < 3; ++v) {
+        EXPECT_GE(cached.model.inputs[v], doms[v].lo);
+        EXPECT_LE(cached.model.inputs[v], doms[v].hi);
+      }
+    }
+  }
+  // The fuzz stream must actually exercise the recycling tiers.
+  EXPECT_GT(cache.stats().hits(), 0u);
+}
+
+// End-to-end through the executor: exploration with a cache yields the same
+// paths and statuses as without one (witness models may differ — both are
+// verified — so paths are compared by decisions and terminal).
+TEST(SolverCache, ExecutorExplorationMatchesUncached) {
+  for (const auto& entry : standard_corpus()) {
+    if (entry.program.num_threads() != 1) continue;
+    ExploreOptions base;
+    base.input_domains = domains_of(entry);
+
+    SymbolicExecutor plain(entry.program, base);
+    const auto expected = plain.explore();
+
+    SolverCache cache;
+    ExploreOptions with_cache = base;
+    with_cache.solver_cache = &cache;
+    SymbolicExecutor cached(entry.program, with_cache);
+    const auto got = cached.explore();
+
+    ASSERT_EQ(got.size(), expected.size()) << entry.program.name;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].decisions, expected[i].decisions);
+      EXPECT_EQ(got[i].terminal, expected[i].terminal);
+      if (got[i].model_verified) {
+        EXPECT_TRUE(satisfies(got[i].constraints, got[i].model));
+      }
+    }
+    EXPECT_EQ(cached.stats().complete, plain.stats().complete);
+    EXPECT_EQ(cached.stats().solver_calls, plain.stats().solver_calls);
+    const auto& s = cached.stats();
+    EXPECT_LE(s.solver_cache_hits + s.solver_unsat_subsumed +
+                  s.solver_models_reused,
+              s.solver_calls);
+    // The uncached run must report zero recycling.
+    EXPECT_EQ(plain.stats().solver_cache_hits, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace softborg
