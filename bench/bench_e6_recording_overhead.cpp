@@ -16,6 +16,11 @@
 // Expected shape: tainted-only costs a small multiple of no-recording and
 // far less than all-branches; with rate-r sampling per-pod cost drops ~r x
 // while the bug's site keeps rank 1 until very aggressive rates.
+//
+// Part 3: fleet telemetry overhead — the BM_ShardedPump workload pumped
+// with observability fully disabled, with counters on (the default), and
+// with counters plus span sampling. The acceptance bar (ROADMAP): counters
+// with exporters idle cost < 2% on this workload.
 #include <cstdio>
 
 #include "bench_json.h"
@@ -114,5 +119,92 @@ int main(int argc, char** argv) {
   }
   std::printf("\n(site 3 is the planted crash predictor; rank 1 means the "
               "aggregated statistics localize the bug exactly)\n");
+
+  // ---- part 3: fleet telemetry overhead ------------------------------------
+  // The BM_ShardedPump fleet workload (64 endpoints x 64 runs, 8 shards,
+  // reliable 1-tick net), pumped with telemetry fully off, with counters on
+  // (the shipping default; exporters idle), and with counters + stage spans.
+  {
+    const auto corpus = standard_corpus();
+    std::vector<Bytes> wires;
+    {
+      Rng rng(29);
+      wires.reserve(64 * 64);
+      for (std::size_t endpoint = 0; endpoint < 64; ++endpoint) {
+        const CorpusEntry& entry = corpus[rng.next_below(corpus.size())];
+        ExecConfig cfg;
+        for (const auto& d : entry.domains) {
+          cfg.inputs.push_back(rng.next_in(d.lo, d.hi));
+        }
+        for (std::size_t run = 0; run < 64; ++run) {
+          cfg.seed = endpoint * 64 + run + 1;
+          auto result = execute(entry.program, cfg);
+          result.trace.id = TraceId(endpoint * 64 + run + 1);
+          wires.push_back(encode_trace(result.trace));
+        }
+      }
+    }
+    NetConfig net_config;
+    net_config.min_latency_ticks = 1;
+    net_config.max_latency_ticks = 1;
+    const auto pump_once = [&] {
+      SimNet net(net_config);
+      ShardedHiveConfig config;
+      config.pump_threads = 4;
+      ShardedHive hive(&corpus, 8, net, config);
+      const Endpoint client = net.add_endpoint();
+      for (const auto& w : wires) {
+        net.send(client, hive.ingress(), kMsgTrace, w);
+      }
+      for (int round = 0; round < 3; ++round) {
+        net.tick();
+        hive.pump(net);
+      }
+      return hive.aggregate_stats().traces_ingested;
+    };
+    struct Leg {
+      const char* name;
+      bool counters;
+      bool spans;
+    };
+    const Leg legs[] = {{"telemetry-off", false, false},
+                        {"counters-on", true, false},
+                        {"counters+spans", true, true}};
+    // Interleave the legs round-robin and keep each leg's fastest round:
+    // a single pump is ~2-3 ms, so back-to-back blocks would fold clock and
+    // allocator drift into the comparison. The minimum over interleaved
+    // rounds isolates the instrumentation cost itself.
+    const int kRounds = 12, kRepsPerRound = 5;
+    std::printf("\n# E6.3: fleet telemetry overhead on the sharded pump\n");
+    std::printf("%-16s %-12s %-12s %-10s\n", "telemetry", "millis/pump",
+                "traces/sec", "vs off");
+    std::uint64_t ingested = pump_once();  // warm-up: pools + allocator
+    double best_ms[3] = {1e30, 1e30, 1e30};
+    for (int round = 0; round < kRounds; ++round) {
+      for (int l = 0; l < 3; ++l) {
+        obs::set_enabled(legs[l].counters);
+        obs::set_spans_enabled(legs[l].spans);
+        Timer timer;
+        for (int rep = 0; rep < kRepsPerRound; ++rep) pump_once();
+        const double ms = timer.elapsed_seconds() * 1e3 / kRepsPerRound;
+        if (ms < best_ms[l]) best_ms[l] = ms;
+      }
+    }
+    for (int l = 0; l < 3; ++l) {
+      const double overhead =
+          (best_ms[l] - best_ms[0]) / best_ms[0] * 100.0;
+      std::printf("%-16s %-12.2f %-12.0f %+.2f%%\n", legs[l].name, best_ms[l],
+                  static_cast<double>(ingested) / (best_ms[l] / 1e3),
+                  overhead);
+      json.add(std::string("sharded_pump/") + legs[l].name, "millis",
+               best_ms[l]);
+      json.add(std::string("sharded_pump/") + legs[l].name, "overhead_pct",
+               overhead);
+    }
+    obs::set_enabled(true);
+    obs::set_spans_enabled(false);
+    std::printf("(acceptance bar: counters-on overhead < 2%% with exporters "
+                "idle)\n");
+  }
   return json.write() ? 0 : 1;
 }

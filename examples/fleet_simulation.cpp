@@ -8,7 +8,15 @@
 // distributed fixes, while path coverage keeps climbing. The race_counter
 // program demonstrates the repair lab: its atomicity violation is detected
 // and diagnosed but deliberately never auto-fixed.
+//
+// Usage: fleet_simulation [seed] [--days N] [--metrics-json PATH]
+//                         [--metrics-prom PATH]
+// The metrics flags enable span sampling for the run and write a final
+// snapshot of the global registry in JSON ("softborg.metrics.v1") or
+// Prometheus text exposition; PATH "-" writes to stdout.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "core/softborg.h"
 #include "hive/report.h"
@@ -22,7 +30,24 @@ int main(int argc, char** argv) {
   config.mean_runs_per_day = 5.0;
   config.guidance_per_program_per_day = 3;
   config.net.drop_prob = 0.02;
-  config.seed = argc > 1 ? static_cast<std::uint64_t>(atoll(argv[1])) : 42;
+  config.seed = 42;
+
+  const char* json_path = nullptr;
+  const char* prom_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--days") == 0 && i + 1 < argc) {
+      config.days = static_cast<std::uint64_t>(atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-prom") == 0 && i + 1 < argc) {
+      prom_path = argv[++i];
+    } else {
+      config.seed = static_cast<std::uint64_t>(atoll(argv[i]));
+    }
+  }
+  if (json_path != nullptr || prom_path != nullptr) {
+    obs::set_spans_enabled(true);  // populate the timing histograms too
+  }
 
   World world(standard_corpus(), config);
 
@@ -51,6 +76,16 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(world.hive().stats().fixes_approved),
               static_cast<unsigned long long>(world.hive().stats().repair_lab_entries));
 
-  std::printf("\n%s", hive_status_report(world.hive()).c_str());
+  std::printf("\n%s", hive_status_report(world.hive(), world.net_stats()).c_str());
+
+  if (json_path != nullptr || prom_path != nullptr) {
+    const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+    if (json_path != nullptr) {
+      obs::write_text_file(json_path, obs::to_json(snap));
+    }
+    if (prom_path != nullptr) {
+      obs::write_text_file(prom_path, obs::to_prometheus(snap));
+    }
+  }
   return 0;
 }

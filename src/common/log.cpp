@@ -1,13 +1,41 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
 #include <mutex>
 
 namespace softborg {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+// SOFTBORG_LOG=debug|info|warn|error (case-insensitive, or the numeric
+// level). Unset or unparsable keeps the compiled-in default.
+int initial_level() {
+  const char* env = std::getenv("SOFTBORG_LOG");
+  if (env == nullptr || *env == '\0') {
+    return static_cast<int>(LogLevel::kWarn);
+  }
+  if (env[0] >= '0' && env[0] <= '3' && env[1] == '\0') {
+    return env[0] - '0';
+  }
+  char word[8] = {};
+  for (std::size_t i = 0; i < sizeof(word) - 1 && env[i] != '\0'; ++i) {
+    word[i] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(env[i])));
+  }
+  if (std::strcmp(word, "debug") == 0) return static_cast<int>(LogLevel::kDebug);
+  if (std::strcmp(word, "info") == 0) return static_cast<int>(LogLevel::kInfo);
+  if (std::strcmp(word, "warn") == 0) return static_cast<int>(LogLevel::kWarn);
+  if (std::strcmp(word, "error") == 0) return static_cast<int>(LogLevel::kError);
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+std::atomic<int> g_level{initial_level()};
 std::mutex g_io_mu;
 
 const char* level_name(LogLevel level) {
@@ -23,6 +51,40 @@ const char* level_name(LogLevel level) {
   }
   return "?????";
 }
+
+// "YYYY-MM-DD HH:MM:SS.mmm" in local time.
+void format_timestamp(char* buf, std::size_t size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  localtime_r(&secs, &tm);
+  char date[32];
+  std::strftime(date, sizeof(date), "%Y-%m-%d %H:%M:%S", &tm);
+  std::snprintf(buf, size, "%s.%03d", date, static_cast<int>(ms));
+}
+
+void vlog(LogLevel level, const char* component, const char* fmt,
+          va_list args) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  char buf[2048];
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  char stamp[48];
+  format_timestamp(stamp, sizeof(stamp));
+  std::lock_guard<std::mutex> lock(g_io_mu);
+  if (component != nullptr && *component != '\0') {
+    std::fprintf(stderr, "[%s] [%s] [%s] %s\n", stamp, level_name(level),
+                 component, buf);
+  } else {
+    std::fprintf(stderr, "[%s] [%s] %s\n", stamp, level_name(level), buf);
+  }
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) {
@@ -34,16 +96,17 @@ LogLevel log_level() {
 }
 
 void log_at(LogLevel level, const char* fmt, ...) {
-  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
-    return;
-  }
-  char buf[2048];
   va_list args;
   va_start(args, fmt);
-  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  vlog(level, nullptr, fmt, args);
   va_end(args);
-  std::lock_guard<std::mutex> lock(g_io_mu);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), buf);
+}
+
+void log_tagged(LogLevel level, const char* component, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  vlog(level, component, fmt, args);
+  va_end(args);
 }
 
 }  // namespace softborg

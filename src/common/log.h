@@ -1,7 +1,14 @@
 // Minimal leveled, thread-safe logger.
 //
-// Experiments keep the default level at kWarn so bench output stays clean;
-// examples raise it to kInfo to narrate the platform's feedback loop.
+// Entries carry a wall-clock timestamp and an optional component tag:
+//
+//   [2026-08-05 14:03:12.412] [INFO ] [hive] approved fix 3 for bug 7
+//
+// The level defaults to kWarn so bench output stays clean; examples raise
+// it to kInfo to narrate the platform's feedback loop. It can also be set
+// without a rebuild via the SOFTBORG_LOG environment variable
+// (debug|info|warn|error, or the numeric level 0-3) — read once at startup;
+// set_log_level() still overrides at runtime.
 #pragma once
 
 #include <cstdarg>
@@ -18,9 +25,24 @@ LogLevel log_level();
 void log_at(LogLevel level, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));
 
+// As log_at, with a component tag rendered after the level ("hive", "net",
+// "world", ...). A null or empty component renders exactly like log_at.
+void log_tagged(LogLevel level, const char* component, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
 }  // namespace softborg
 
 #define SB_LOG_DEBUG(...) ::softborg::log_at(::softborg::LogLevel::kDebug, __VA_ARGS__)
 #define SB_LOG_INFO(...) ::softborg::log_at(::softborg::LogLevel::kInfo, __VA_ARGS__)
 #define SB_LOG_WARN(...) ::softborg::log_at(::softborg::LogLevel::kWarn, __VA_ARGS__)
 #define SB_LOG_ERROR(...) ::softborg::log_at(::softborg::LogLevel::kError, __VA_ARGS__)
+
+// Component-tagged variants: SB_CLOG_INFO("hive", "merged %zu paths", n).
+#define SB_CLOG_DEBUG(comp, ...) \
+  ::softborg::log_tagged(::softborg::LogLevel::kDebug, comp, __VA_ARGS__)
+#define SB_CLOG_INFO(comp, ...) \
+  ::softborg::log_tagged(::softborg::LogLevel::kInfo, comp, __VA_ARGS__)
+#define SB_CLOG_WARN(comp, ...) \
+  ::softborg::log_tagged(::softborg::LogLevel::kWarn, comp, __VA_ARGS__)
+#define SB_CLOG_ERROR(comp, ...) \
+  ::softborg::log_tagged(::softborg::LogLevel::kError, comp, __VA_ARGS__)

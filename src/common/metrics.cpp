@@ -52,11 +52,24 @@ double Histogram::bucket_upper(int b) {
   return std::pow(2.0, b);
 }
 
+double Histogram::bucket_lower(int b) {
+  if (b == 0) return 0.0;
+  return bucket_upper(b - 1);
+}
+
 void Histogram::add(double value) {
   if (value < 0) value = 0;
   buckets_[static_cast<std::size_t>(bucket_for(value))]++;
   ++count_;
+  sum_ += value;
   max_seen_ = std::max(max_seen_, value);
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  max_seen_ = 0.0;
 }
 
 double Histogram::percentile(double p) const {
@@ -65,10 +78,19 @@ double Histogram::percentile(double p) const {
   const double target = p / 100.0 * static_cast<double>(count_);
   std::uint64_t seen = 0;
   for (int b = 0; b < kBuckets; ++b) {
-    seen += buckets_[static_cast<std::size_t>(b)];
-    if (static_cast<double>(seen) >= target) {
-      return std::min(bucket_upper(b), max_seen_);
+    const std::uint64_t in_bucket = buckets_[static_cast<std::size_t>(b)];
+    if (in_bucket != 0 &&
+        static_cast<double>(seen + in_bucket) >= target) {
+      // Interpolate linearly within the bucket: returning the raw upper
+      // bound quantized percentiles up to 2x (the bucket width).
+      const double lo = bucket_lower(b);
+      const double hi = bucket_upper(b);
+      const double frac = std::clamp(
+          (target - static_cast<double>(seen)) / static_cast<double>(in_bucket),
+          0.0, 1.0);
+      return std::min(lo + (hi - lo) * frac, max_seen_);
     }
+    seen += in_bucket;
   }
   return max_seen_;
 }
@@ -87,6 +109,7 @@ void Histogram::merge(const Histogram& other) {
         other.buckets_[static_cast<std::size_t>(b)];
   }
   count_ += other.count_;
+  sum_ += other.sum_;
   max_seen_ = std::max(max_seen_, other.max_seen_);
 }
 

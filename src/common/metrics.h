@@ -33,21 +33,34 @@ class StatAccumulator {
 
 // Histogram with exponentially sized buckets: [0,1), [1,2), [2,4), [4,8)...
 // Good enough for latency/size distributions across many orders of magnitude.
+// percentile() interpolates linearly within the hit bucket (clamped to the
+// largest value actually seen), so exported p50/p90/p99 are not quantized up
+// to the bucket's power-of-two upper bound.
 class Histogram {
  public:
+  static constexpr int kBuckets = 64;
+
   void add(double value);
   std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double max_seen() const { return max_seen_; }
   double percentile(double p) const;  // p in [0,100]
   std::string summary() const;        // "p50=.. p90=.. p99=.. max=.."
   void merge(const Histogram& other);
+  void reset();
+
+  // Bucket b covers [bucket_lower(b), bucket_upper(b)); exporters render
+  // these as cumulative `le` bounds.
+  const std::vector<std::uint64_t>& bucket_counts() const { return buckets_; }
+  static double bucket_lower(int b);
+  static double bucket_upper(int b);
 
  private:
-  static constexpr int kBuckets = 64;
   static int bucket_for(double v);
-  static double bucket_upper(int b);
 
   std::vector<std::uint64_t> buckets_ = std::vector<std::uint64_t>(kBuckets, 0);
   std::size_t count_ = 0;
+  double sum_ = 0.0;
   double max_seen_ = 0.0;
 };
 

@@ -15,6 +15,7 @@
 //
 // Layering (see DESIGN.md):
 //   common   — RNG, bit vectors, varints, metrics, thread pool
+//   obs      — fleet telemetry: metrics registry, stage spans, exporters
 //   trace    — execution by-products and their wire codec (§3.1)
 //   minivm   — the program substrate: model, interpreter, replay, corpus
 //   sym      — symbolic expressions, constraint solver, symbolic executor,
@@ -50,6 +51,9 @@
 #include "minivm/random_program.h"
 #include "minivm/replay.h"
 #include "net/simnet.h"
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "pod/pod.h"
 #include "pod/protocol.h"
 #include "privacy/anonymize.h"

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "obs/span.h"
 #include "trace/codec.h"
 
 namespace softborg {
@@ -170,6 +171,7 @@ void World::send_guidance() {
 }
 
 void World::step_day() {
+  SB_SPAN("world.step_day");
   day_++;
   DayMetrics metrics;
   metrics.day = day_;
@@ -242,10 +244,17 @@ void World::step_day() {
     }
   }
   metrics.traces_delivered_total = net_.stats().delivered;
+  metrics.net_blocked_at_send_total = net_.stats().blocked_at_send;
+  metrics.net_dropped_in_flight_total = net_.stats().dropped_in_flight;
+  metrics.net_dropped_total = net_.stats().dropped;
   metrics.proofs_valid_total = hive_->valid_proof_count();
   metrics.proof_solver_calls_total = hive_->proof_stats().solver_calls;
   metrics.proof_solver_recycled_total = hive_->proof_stats().recycled();
   history_.push_back(metrics);
+  if (config_.record_metrics) {
+    metrics_history_.push_back(
+        obs::MetricsRegistry::global().delta_snapshot());
+  }
 
   SB_LOG_INFO(
       "day %llu: runs=%llu failures=%llu (%.2f%%) bugs=%zu fixed=%zu "

@@ -25,6 +25,7 @@
 #include "hive/hive.h"
 #include "minivm/corpus.h"
 #include "net/simnet.h"
+#include "obs/registry.h"
 #include "pod/pod.h"
 
 namespace softborg {
@@ -52,6 +53,12 @@ struct WorldConfig {
   Property proof_property = Property::kNeverCrashes;
   std::size_t ticks_per_day = 12;
   std::uint64_t seed = 1;
+  // Fleet telemetry: when true, step_day() captures a per-day delta snapshot
+  // of the global metrics registry (counter increments since the previous
+  // day) alongside DayMetrics; read the series back with metrics_history().
+  // Off by default — the registry is process-wide, so two concurrently
+  // stepping worlds would interleave their deltas.
+  bool record_metrics = false;
 };
 
 struct DayMetrics {
@@ -69,6 +76,14 @@ struct DayMetrics {
   // aggregate), so it is affordable as a daily metric.
   std::size_t open_frontiers = 0;
   std::uint64_t traces_delivered_total = 0;
+  // Network delivery loss, cumulative NetStats totals: messages refused at
+  // send() by a standing partition, eaten mid-flight by a partition that
+  // formed after send, and dropped by random loss. Next to
+  // traces_delivered_total these show how much fleet knowledge the
+  // unreliable network costs (paper §4's "potentially unreliable network").
+  std::uint64_t net_blocked_at_send_total = 0;
+  std::uint64_t net_dropped_in_flight_total = 0;
+  std::uint64_t net_dropped_total = 0;
   // Proof gap closure (when WorldConfig::proof_programs_per_day > 0):
   // cumulative totals from the hive's closure telemetry. The solver counters
   // split recycled results (cache hits + subsumptions + reused models) from
@@ -89,6 +104,11 @@ class World {
   std::uint64_t day() const { return day_; }
   Hive& hive() { return *hive_; }
   const std::vector<DayMetrics>& history() const { return history_; }
+  // One registry delta snapshot per stepped day; empty unless
+  // WorldConfig::record_metrics is set.
+  const std::vector<obs::MetricsSnapshot>& metrics_history() const {
+    return metrics_history_;
+  }
   const std::vector<CorpusEntry>& corpus() const { return corpus_; }
   std::size_t num_pods() const { return pods_.size(); }
   Pod& pod(std::size_t i) { return *pods_[i].pod; }
@@ -126,6 +146,7 @@ class World {
   std::vector<PendingRollout> pending_rollouts_;
   std::size_t rollouts_cancelled_ = 0;
   std::vector<DayMetrics> history_;
+  std::vector<obs::MetricsSnapshot> metrics_history_;
 };
 
 }  // namespace softborg

@@ -9,9 +9,80 @@
 #include "common/log.h"
 #include "common/metrics.h"
 #include "minivm/replay.h"
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "trace/codec.h"
 
 namespace softborg {
+
+namespace {
+// Hive telemetry mirroring HiveStats / IngestStats / ProofClosureStats into
+// the process-wide registry, so a sharded fleet reports one aggregate view.
+// The pipeline never touches these counters per event: publish_metrics()
+// pushes the stats-struct deltas at serial boundaries (end of a trace or
+// batch ingest, the certificate barrier, process()). The stats structs are
+// deterministic across worker counts — the differential suites pin this —
+// so the counters are too (see DESIGN.md, "Observability").
+struct HiveMetrics {
+  obs::Counter& traces_ingested = obs::MetricsRegistry::global().counter(
+      "hive.traces_ingested_total");
+  obs::Counter& duplicates_dropped = obs::MetricsRegistry::global().counter(
+      "hive.duplicates_dropped_total");
+  obs::Counter& decode_failures = obs::MetricsRegistry::global().counter(
+      "hive.decode_failures_total");
+  obs::Counter& gated_traces = obs::MetricsRegistry::global().counter(
+      "hive.gated_traces_total");
+  obs::Counter& replay_failures = obs::MetricsRegistry::global().counter(
+      "hive.replay_failures_total");
+  obs::Counter& patched_skipped = obs::MetricsRegistry::global().counter(
+      "hive.patched_traces_skipped_total");
+  obs::Counter& replay_cache_hits = obs::MetricsRegistry::global().counter(
+      "hive.replay.cache_hits_total");
+  obs::Counter& replay_cache_misses = obs::MetricsRegistry::global().counter(
+      "hive.replay.cache_misses_total");
+  obs::Counter& paths_merged = obs::MetricsRegistry::global().counter(
+      "hive.tree.paths_merged_total");
+  obs::Counter& new_paths = obs::MetricsRegistry::global().counter(
+      "hive.tree.new_paths_total");
+  obs::Counter& bugs_found =
+      obs::MetricsRegistry::global().counter("hive.bugs_found_total");
+  obs::Counter& bugs_reopened =
+      obs::MetricsRegistry::global().counter("hive.bugs_reopened_total");
+  obs::Counter& fix_recurrences = obs::MetricsRegistry::global().counter(
+      "hive.fix_recurrences_total");
+  obs::Counter& fixes_approved = obs::MetricsRegistry::global().counter(
+      "hive.fixes_approved_total");
+  obs::Counter& repair_lab_entries = obs::MetricsRegistry::global().counter(
+      "hive.repair_lab_entries_total");
+  obs::Counter& proofs_revoked = obs::MetricsRegistry::global().counter(
+      "hive.proofs_revoked_total");
+  obs::Counter& proof_attempts =
+      obs::MetricsRegistry::global().counter("proof.attempts_total");
+  obs::Counter& proof_publishable =
+      obs::MetricsRegistry::global().counter("proof.publishable_total");
+  obs::Counter& proof_refuted =
+      obs::MetricsRegistry::global().counter("proof.refuted_total");
+  obs::Counter& solver_calls =
+      obs::MetricsRegistry::global().counter("solver.calls_total");
+  obs::Counter& solver_exact_hits =
+      obs::MetricsRegistry::global().counter("solver.exact_hits_total");
+  obs::Counter& solver_unsat_subsumed = obs::MetricsRegistry::global().counter(
+      "solver.unsat_subsumed_total");
+  obs::Counter& solver_models_reused = obs::MetricsRegistry::global().counter(
+      "solver.models_reused_total");
+
+  static HiveMetrics& get() {
+    static HiveMetrics m;
+    return m;
+  }
+};
+
+// Stage timings piggyback on the IngestStats timers instead of SB_SPAN: the
+// stages share locals across one function body, so scoped blocks don't fit.
+inline void record_stage_span(obs::SpanSite& site, double seconds) {
+  if (obs::spans_enabled()) site.hist().record(seconds * 1e6);
+}
+}  // namespace
 
 Hive::Hive(const std::vector<CorpusEntry>* corpus, HiveConfig config)
     : corpus_(corpus),
@@ -45,12 +116,18 @@ void Hive::ingest_bytes(const Bytes& wire) {
   auto trace = decode_trace(wire);
   if (!trace) {
     stats_.decode_failures++;
+    publish_metrics();
     return;
   }
   ingest(std::move(*trace));
 }
 
 void Hive::ingest(Trace t) {
+  ingest_impl(std::move(t));
+  publish_metrics();
+}
+
+void Hive::ingest_impl(Trace t) {
   if (t.id.value != 0 && !seen_trace_ids_.insert(t.id.value)) {
     stats_.duplicates_dropped++;  // network duplicate
     return;
@@ -243,6 +320,7 @@ ThreadPool* Hive::ingest_pool() {
 }
 
 void Hive::ingest_batch(const std::vector<Bytes>& wires) {
+  SB_SPAN("hive.ingest.batch");
   ingest_stats_.batches++;
   ingest_stats_.batch_traces += wires.size();
   ThreadPool* pool = ingest_pool();
@@ -262,7 +340,12 @@ void Hive::ingest_batch(const std::vector<Bytes>& wires) {
       summaries[i] = summarize_trace_wire(wires[i]);
     });
   }
-  ingest_stats_.decode_seconds += timer.elapsed_seconds();
+  {
+    const double sec = timer.elapsed_seconds();
+    ingest_stats_.decode_seconds += sec;
+    static obs::SpanSite decode_site("hive.ingest.decode");
+    record_stage_span(decode_site, sec);
+  }
   timer.reset();
 
   // Serial interlude, in submission order: dedup, the k-anonymity gate, and
@@ -416,7 +499,12 @@ void Hive::ingest_batch(const std::vector<Bytes>& wires) {
     jobs.push_back(std::move(job));
   }
   summaries.clear();
-  ingest_stats_.serial_seconds += timer.elapsed_seconds();
+  {
+    const double sec = timer.elapsed_seconds();
+    ingest_stats_.serial_seconds += sec;
+    static obs::SpanSite serial_site("hive.ingest.serial");
+    record_stage_span(serial_site, sec);
+  }
 
   // Stage 2 (parallel): resolve decision streams, memoized. Per-trace work;
   // the cache is the only shared state and is mutex-guarded when fanning out.
@@ -427,7 +515,12 @@ void Hive::ingest_batch(const std::vector<Bytes>& wires) {
     job.decisions = replay_decisions(*job.entry, job.key, job.trace.get(),
                                      &wires[job.wire], synchronized);
   });
-  ingest_stats_.replay_seconds += timer.elapsed_seconds();
+  {
+    const double sec = timer.elapsed_seconds();
+    ingest_stats_.replay_seconds += sec;
+    static obs::SpanSite replay_site("hive.ingest.replay");
+    record_stage_span(replay_site, sec);
+  }
 
   // Stage 3: group by program — each tree gets exactly one writer, so the
   // merge needs no locks, and within a program the submission order is
@@ -471,7 +564,13 @@ void Hive::ingest_batch(const std::vector<Bytes>& wires) {
     stats_.paths_merged += c.merged;
     stats_.new_paths += c.fresh;
   }
-  ingest_stats_.merge_seconds += timer.elapsed_seconds();
+  {
+    const double sec = timer.elapsed_seconds();
+    ingest_stats_.merge_seconds += sec;
+    static obs::SpanSite merge_site("hive.ingest.merge");
+    record_stage_span(merge_site, sec);
+  }
+  publish_metrics();
 }
 
 void Hive::ingest_sampled(const SampledTrace& t) {
@@ -516,6 +615,7 @@ std::vector<FixCandidate> Hive::process() {
       stats_.repair_lab_entries++;
     }
   }
+  publish_metrics();
   return approved;
 }
 
@@ -531,6 +631,7 @@ std::vector<GuidanceDirective> Hive::plan_guidance(std::size_t per_program) {
 
 std::vector<GuidanceDirective> Hive::plan_guidance_for(
     const CorpusEntry& entry, std::size_t per_program) {
+  SB_SPAN("hive.guidance.plan");
   if (entry.program.num_threads() == 1) {
     ExecTree* t = tree(entry.program.id);
     if (t == nullptr) return {};
@@ -544,6 +645,7 @@ std::vector<GuidanceDirective> Hive::plan_guidance_for(
 }
 
 ProofCertificate Hive::attempt_proof(ProgramId program, Property property) {
+  SB_SPAN("hive.proof.attempt");
   const CorpusEntry* entry = entry_of(program);
   SB_CHECK(entry != nullptr);
   auto [it, inserted] = trees_.try_emplace(program.value, program);
@@ -563,6 +665,71 @@ void Hive::record_certificate(const ProofCertificate& cert) {
   proof_stats_.solver_cache_hits += cert.solver_cache_hits;
   proof_stats_.solver_unsat_subsumed += cert.solver_unsat_subsumed;
   proof_stats_.solver_models_reused += cert.solver_models_reused;
+  // Solver-tier telemetry publishes here, at the serial corpus-order
+  // barrier every proof path funnels through, never from worker threads:
+  // the certificates are deterministic, so so are these counters.
+  publish_metrics();
+}
+
+void Hive::publish_metrics() {
+  if (!obs::enabled()) {
+    // Kill switch: drop the outstanding deltas instead of deferring them.
+    obs_published_stats_ = stats_;
+    obs_published_ingest_ = ingest_stats_;
+    obs_published_proof_ = proof_stats_;
+    return;
+  }
+  auto& m = HiveMetrics::get();
+  const auto bump = [](obs::Counter& c, std::uint64_t now,
+                       std::uint64_t& base) {
+    if (now != base) {
+      c.add(now - base);
+      base = now;
+    }
+  };
+  bump(m.traces_ingested, stats_.traces_ingested,
+       obs_published_stats_.traces_ingested);
+  bump(m.duplicates_dropped, stats_.duplicates_dropped,
+       obs_published_stats_.duplicates_dropped);
+  bump(m.decode_failures, stats_.decode_failures,
+       obs_published_stats_.decode_failures);
+  bump(m.gated_traces, stats_.gated_traces,
+       obs_published_stats_.gated_traces);
+  bump(m.replay_failures, stats_.replay_failures,
+       obs_published_stats_.replay_failures);
+  bump(m.patched_skipped, stats_.patched_traces_skipped,
+       obs_published_stats_.patched_traces_skipped);
+  bump(m.paths_merged, stats_.paths_merged,
+       obs_published_stats_.paths_merged);
+  bump(m.new_paths, stats_.new_paths, obs_published_stats_.new_paths);
+  bump(m.bugs_found, stats_.bugs_found, obs_published_stats_.bugs_found);
+  bump(m.bugs_reopened, stats_.bugs_reopened,
+       obs_published_stats_.bugs_reopened);
+  bump(m.fix_recurrences, stats_.fix_recurrences,
+       obs_published_stats_.fix_recurrences);
+  bump(m.fixes_approved, stats_.fixes_approved,
+       obs_published_stats_.fixes_approved);
+  bump(m.repair_lab_entries, stats_.repair_lab_entries,
+       obs_published_stats_.repair_lab_entries);
+  bump(m.proofs_revoked, stats_.proofs_revoked,
+       obs_published_stats_.proofs_revoked);
+  bump(m.replay_cache_hits, ingest_stats_.replay_cache_hits,
+       obs_published_ingest_.replay_cache_hits);
+  bump(m.replay_cache_misses, ingest_stats_.replay_cache_misses,
+       obs_published_ingest_.replay_cache_misses);
+  bump(m.proof_attempts, proof_stats_.attempts,
+       obs_published_proof_.attempts);
+  bump(m.proof_publishable, proof_stats_.publishable,
+       obs_published_proof_.publishable);
+  bump(m.proof_refuted, proof_stats_.refuted, obs_published_proof_.refuted);
+  bump(m.solver_calls, proof_stats_.solver_calls,
+       obs_published_proof_.solver_calls);
+  bump(m.solver_exact_hits, proof_stats_.solver_cache_hits,
+       obs_published_proof_.solver_cache_hits);
+  bump(m.solver_unsat_subsumed, proof_stats_.solver_unsat_subsumed,
+       obs_published_proof_.solver_unsat_subsumed);
+  bump(m.solver_models_reused, proof_stats_.solver_models_reused,
+       obs_published_proof_.solver_models_reused);
 }
 
 ThreadPool* Hive::proof_pool() {
@@ -582,6 +749,7 @@ std::vector<ProofCertificate> Hive::attempt_proofs_all(Property property) {
 
 std::vector<ProofCertificate> Hive::attempt_proofs_for(
     const std::vector<const CorpusEntry*>& entries, Property property) {
+  SB_SPAN("hive.proof.sweep");
   // Trees are created serially so the attempts never mutate the map; the
   // map is node-based, so the references stay stable across later inserts.
   std::vector<ExecTree*> trees(entries.size());

@@ -213,6 +213,7 @@ class Hive {
 
  private:
   const CorpusEntry* entry_of(ProgramId program) const;
+  void ingest_impl(Trace t);  // ingest() minus the telemetry publication
   void ingest_released(Trace t);
   // Everything before replay: dedup-independent bug tracking, lock-order
   // analysis, and the natural-execution filters. Returns the corpus entry
@@ -243,12 +244,24 @@ class Hive {
   // Publishes `cert` if publishable and folds its telemetry into
   // proof_stats_; shared by attempt_proof and the sweep barrier.
   void record_certificate(const ProofCertificate& cert);
+  // Pushes the deltas of stats_ / ingest_stats_ / proof_stats_ accumulated
+  // since the last publication into the process-wide registry. Called at
+  // serial boundaries only (end of a trace/batch ingest, the certificate
+  // barrier, process()) so the pipeline hot paths carry no telemetry cost
+  // and the counters stay deterministic across worker counts (DESIGN.md,
+  // "Observability").
+  void publish_metrics();
 
   const std::vector<CorpusEntry>* corpus_;
   FlatU64PtrMap<const CorpusEntry> entry_index_;  // program id -> entry
   HiveConfig config_;
   HiveStats stats_;
   IngestStats ingest_stats_;
+  // publish_metrics() delta baselines: how much of each stats struct has
+  // already been pushed into the registry.
+  HiveStats obs_published_stats_;
+  IngestStats obs_published_ingest_;
+  ProofClosureStats obs_published_proof_;
 
   // Hot lookup structures are hashed, not ordered: nothing user-visible
   // iterates them (ordered outputs — proofs, guidance, exports — iterate the

@@ -3,6 +3,9 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "obs/registry.h"
+#include "obs/span.h"
+
 namespace softborg {
 
 namespace {
@@ -47,6 +50,15 @@ std::string hive_status_report(Hive& hive) {
       static_cast<unsigned long long>(s.gated_traces),
       static_cast<unsigned long long>(s.paths_merged),
       static_cast<unsigned long long>(s.new_paths));
+  const IngestStats& ing = hive.ingest_stats();
+  out += line(
+      "pipeline: %llu batches (%llu traces), replay cache %llu hit / %llu "
+      "miss (%.0f%%)",
+      static_cast<unsigned long long>(ing.batches),
+      static_cast<unsigned long long>(ing.batch_traces),
+      static_cast<unsigned long long>(ing.replay_cache_hits),
+      static_cast<unsigned long long>(ing.replay_cache_misses),
+      ing.cache_hit_rate() * 100.0);
   out += line(
       "fixing: %llu bugs found, %llu fixes approved, %llu repair-lab "
       "entries; telemetry: %llu patched traces, %llu recurrences, %llu "
@@ -57,6 +69,19 @@ std::string hive_status_report(Hive& hive) {
       static_cast<unsigned long long>(s.fixed_traces_seen),
       static_cast<unsigned long long>(s.fix_recurrences),
       static_cast<unsigned long long>(s.bugs_reopened));
+  const Hive::ProofClosureStats& ps = hive.proof_stats();
+  out += line(
+      "proof closure: %llu attempts (%llu publishable, %llu refuted), "
+      "solver calls %llu, recycled %llu (exact %llu, subsumed %llu, "
+      "models %llu)",
+      static_cast<unsigned long long>(ps.attempts),
+      static_cast<unsigned long long>(ps.publishable),
+      static_cast<unsigned long long>(ps.refuted),
+      static_cast<unsigned long long>(ps.solver_calls),
+      static_cast<unsigned long long>(ps.recycled()),
+      static_cast<unsigned long long>(ps.solver_cache_hits),
+      static_cast<unsigned long long>(ps.solver_unsat_subsumed),
+      static_cast<unsigned long long>(ps.solver_models_reused));
 
   out += "bug ledger:\n";
   if (hive.bug_tracker().all().empty()) {
@@ -81,6 +106,25 @@ std::string hive_status_report(Hive& hive) {
   }
 
   out += repair_lab_report(hive);
+  out += line("telemetry: %zu metrics registered (spans %s)",
+              obs::MetricsRegistry::global().num_metrics(),
+              obs::spans_enabled() ? "on" : "off");
+  return out;
+}
+
+std::string hive_status_report(Hive& hive, const NetStats& net) {
+  std::string out = hive_status_report(hive);
+  out += line(
+      "network: %llu sent, %llu delivered; lost: %llu blocked at send, "
+      "%llu dropped in flight, %llu dropped at random; %llu duplicated, "
+      "%llu bytes sent",
+      static_cast<unsigned long long>(net.sent),
+      static_cast<unsigned long long>(net.delivered),
+      static_cast<unsigned long long>(net.blocked_at_send),
+      static_cast<unsigned long long>(net.dropped_in_flight),
+      static_cast<unsigned long long>(net.dropped),
+      static_cast<unsigned long long>(net.duplicated),
+      static_cast<unsigned long long>(net.bytes_sent));
   return out;
 }
 

@@ -11,12 +11,20 @@
 #include <string>
 
 #include "hive/hive.h"
+#include "net/simnet.h"
 
 namespace softborg {
 
-// Multi-line report: ingestion stats, bug ledger (with fix status and
-// recurrence telemetry), proof ledger, repair-lab queue.
+// Multi-line report: ingestion stats, batch-pipeline health, bug ledger
+// (with fix status and recurrence telemetry), proof ledger with closure
+// telemetry, repair-lab queue, and a registry telemetry summary.
 std::string hive_status_report(Hive& hive);
+
+// Same report plus a network-health line rendered from `net`: delivery loss
+// (blocked at send, dropped in flight, random drops) next to what actually
+// arrived, so operators see how much fleet knowledge the unreliable network
+// is costing.
+std::string hive_status_report(Hive& hive, const NetStats& net);
 
 // One line per open repair-lab entry, ranked as the hive ranked them.
 std::string repair_lab_report(const Hive& hive);

@@ -1,11 +1,33 @@
 #include "hive/sharded.h"
 
 #include "common/check.h"
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "pod/protocol.h"
 #include "trace/codec.h"
 #include "tree/tree_codec.h"
 
 namespace softborg {
+
+namespace {
+// Router telemetry. Published once per pump() from the caller's thread
+// (routing and draining are serial; only the per-shard ingest fans out) as
+// the deltas of the routing tallies, so these counters are deterministic
+// for any pump_threads and cost nothing per message.
+struct ShardedMetrics {
+  obs::Counter& routed = obs::MetricsRegistry::global().counter(
+      "sharded.pump.routed_total");
+  obs::Counter& routing_failures = obs::MetricsRegistry::global().counter(
+      "sharded.pump.routing_failures_total");
+  obs::Counter& unroutable = obs::MetricsRegistry::global().counter(
+      "sharded.pump.unroutable_total");
+
+  static ShardedMetrics& get() {
+    static ShardedMetrics m;
+    return m;
+  }
+};
+}  // namespace
 
 ShardedHive::ShardedHive(const std::vector<CorpusEntry>* corpus,
                          std::size_t num_shards, SimNet& net,
@@ -48,10 +70,14 @@ ThreadPool* ShardedHive::pump_pool() {
 }
 
 void ShardedHive::pump(SimNet& net) {
+  SB_SPAN("sharded.pump");
   // Route ingress traffic to the owning shard. Routing only needs the
   // program id, so peek the header with the one-pass allocation-free
   // validator instead of materializing the trace's vector payloads; the
   // owning shard's ingest pipeline does the full decode exactly once.
+  const std::uint64_t routed_before = routed_;
+  const std::uint64_t failures_before = routing_failures_;
+  const std::uint64_t unroutable_before = unroutable_;
   for (auto& msg : net.drain(ingress_)) {
     if (msg.type != kMsgTrace) {
       unroutable_++;  // the router owns no other message type
@@ -77,6 +103,16 @@ void ShardedHive::pump(SimNet& net) {
     net.send(ingress_, shards_[owner].endpoint, kMsgTrace,
              std::move(msg.payload));
     routed_++;
+  }
+  if (obs::enabled()) {
+    auto& m = ShardedMetrics::get();
+    if (routed_ != routed_before) m.routed.add(routed_ - routed_before);
+    if (routing_failures_ != failures_before) {
+      m.routing_failures.add(routing_failures_ - failures_before);
+    }
+    if (unroutable_ != unroutable_before) {
+      m.unroutable.add(unroutable_ - unroutable_before);
+    }
   }
   // Drain every shard endpoint on the caller — SimNet is single-threaded
   // state — so the fan-out below touches nothing but the shards' own Hives.

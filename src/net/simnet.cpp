@@ -3,8 +3,40 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/registry.h"
 
 namespace softborg {
+
+namespace {
+// Network telemetry mirroring NetStats, but process-wide: every SimNet
+// instance feeds the same counters, so a fleet with several nets (tests,
+// nested worlds) reports aggregate traffic. Counters advance at tick
+// boundaries (publish_metrics), never per message. `net.in_flight` is a
+// gauge of messages currently queued for delivery — a depth, not a count,
+// so it is exported but excluded from the deterministic counter surface.
+struct NetMetrics {
+  obs::Counter& sent =
+      obs::MetricsRegistry::global().counter("net.sent_total");
+  obs::Counter& delivered =
+      obs::MetricsRegistry::global().counter("net.delivered_total");
+  obs::Counter& dropped =
+      obs::MetricsRegistry::global().counter("net.dropped_total");
+  obs::Counter& duplicated =
+      obs::MetricsRegistry::global().counter("net.duplicated_total");
+  obs::Counter& blocked_at_send =
+      obs::MetricsRegistry::global().counter("net.blocked_at_send_total");
+  obs::Counter& dropped_in_flight =
+      obs::MetricsRegistry::global().counter("net.dropped_in_flight_total");
+  obs::Counter& bytes_sent =
+      obs::MetricsRegistry::global().counter("net.bytes_sent_total");
+  obs::Gauge& in_flight = obs::MetricsRegistry::global().gauge("net.in_flight");
+
+  static NetMetrics& get() {
+    static NetMetrics m;
+    return m;
+  }
+};
+}  // namespace
 
 Endpoint SimNet::add_endpoint() {
   inboxes_.emplace_back();
@@ -42,6 +74,7 @@ void SimNet::send(Endpoint from, Endpoint to, std::uint32_t type,
     m.deliver_tick = now_ + config_.min_latency_ticks +
                      (span > 0 ? rng_.next_below(span + 1) : 0);
     in_flight_[m.deliver_tick].push_back(std::move(m));
+    queued_++;
   };
   if (config_.dup_prob > 0 && rng_.next_bool(config_.dup_prob)) {
     stats_.duplicated++;
@@ -54,6 +87,7 @@ void SimNet::tick() {
   now_++;
   auto end = in_flight_.upper_bound(now_);
   for (auto it = in_flight_.begin(); it != end; ++it) {
+    queued_ -= static_cast<std::int64_t>(it->second.size());
     for (Message& m : it->second) {
       if (blocked(m.from, m.to)) {
         stats_.dropped_in_flight++;
@@ -64,6 +98,38 @@ void SimNet::tick() {
     }
   }
   in_flight_.erase(in_flight_.begin(), end);
+  publish_metrics();
+}
+
+void SimNet::publish_metrics() {
+  if (!obs::enabled()) {
+    // Kill switch: drop the outstanding deltas instead of deferring them.
+    obs_published_ = stats_;
+    obs_published_depth_ = queued_;
+    return;
+  }
+  auto& m = NetMetrics::get();
+  const auto bump = [](obs::Counter& c, std::uint64_t now,
+                       std::uint64_t& base) {
+    if (now != base) {
+      c.add(now - base);
+      base = now;
+    }
+  };
+  bump(m.sent, stats_.sent, obs_published_.sent);
+  bump(m.delivered, stats_.delivered, obs_published_.delivered);
+  bump(m.dropped, stats_.dropped, obs_published_.dropped);
+  bump(m.duplicated, stats_.duplicated, obs_published_.duplicated);
+  bump(m.blocked_at_send, stats_.blocked_at_send,
+       obs_published_.blocked_at_send);
+  bump(m.dropped_in_flight, stats_.dropped_in_flight,
+       obs_published_.dropped_in_flight);
+  bump(m.bytes_sent, stats_.bytes_sent, obs_published_.bytes_sent);
+  if (queued_ != obs_published_depth_) {
+    // add() rather than set(): concurrent nets aggregate their depths.
+    m.in_flight.add(queued_ - obs_published_depth_);
+    obs_published_depth_ = queued_;
+  }
 }
 
 std::vector<Message> SimNet::drain(Endpoint ep) {

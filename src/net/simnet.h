@@ -78,6 +78,12 @@ class SimNet {
 
  private:
   bool blocked(Endpoint a, Endpoint b) const;
+  // Pushes the stats_ deltas accumulated since the last publication into
+  // the process-wide registry (the `net.*` counters and the in-flight
+  // gauge). Called once per tick() — the network only makes progress at
+  // ticks, so counters advance at tick boundaries and the per-message hot
+  // path carries no telemetry cost.
+  void publish_metrics();
 
   NetConfig config_;
   Rng rng_;
@@ -92,6 +98,9 @@ class SimNet {
   std::set<std::pair<Endpoint, Endpoint>> partitions_;
   std::set<Endpoint> isolated_;
   NetStats stats_;
+  NetStats obs_published_;          // publish_metrics() delta baseline
+  std::int64_t queued_ = 0;         // messages currently in in_flight_
+  std::int64_t obs_published_depth_ = 0;
 };
 
 }  // namespace softborg

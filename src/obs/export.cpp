@@ -1,0 +1,141 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <utility>
+
+#include "common/log.h"
+
+namespace softborg::obs {
+
+namespace {
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Registry names are
+// dot-separated lowercase paths; dots (and any other outlaw byte) become
+// underscores, and every name gets the softborg_ prefix.
+std::string prometheus_name(const std::string& name) {
+  std::string out = "softborg_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+// Shortest-round-trip-ish rendering; JSON has no NaN/Inf, clamp to 0.
+std::string number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) c = ' ';
+    out.push_back(c);
+  }
+  return out;
+}
+
+void append(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+void append(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const auto& c : snap.counters) {
+    const std::string name = prometheus_name(c.name);
+    append(out, "# TYPE %s counter\n", name.c_str());
+    append(out, "%s %llu\n", name.c_str(),
+           static_cast<unsigned long long>(c.value));
+  }
+  for (const auto& g : snap.gauges) {
+    const std::string name = prometheus_name(g.name);
+    append(out, "# TYPE %s gauge\n", name.c_str());
+    append(out, "%s %lld\n", name.c_str(), static_cast<long long>(g.value));
+  }
+  for (const auto& h : snap.histograms) {
+    const std::string name = prometheus_name(h.name);
+    append(out, "# TYPE %s summary\n", name.c_str());
+    for (const auto& [q, p] : std::initializer_list<std::pair<double, double>>{
+             {0.5, 50.0}, {0.9, 90.0}, {0.99, 99.0}}) {
+      append(out, "%s{quantile=\"%g\"} %s\n", name.c_str(), q,
+             number(h.hist.percentile(p)).c_str());
+    }
+    append(out, "%s_sum %s\n", name.c_str(), number(h.hist.sum()).c_str());
+    append(out, "%s_count %llu\n", name.c_str(),
+           static_cast<unsigned long long>(h.hist.count()));
+  }
+  return out;
+}
+
+std::string to_json(const MetricsSnapshot& snap) {
+  std::string out = "{\n  \"schema\": \"softborg.metrics.v1\",\n";
+  out += "  \"counters\": [";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    const auto& c = snap.counters[i];
+    append(out, "%s\n    {\"name\": \"%s\", \"value\": %llu}",
+           i == 0 ? "" : ",", json_escape(c.name).c_str(),
+           static_cast<unsigned long long>(c.value));
+  }
+  out += snap.counters.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"gauges\": [";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    const auto& g = snap.gauges[i];
+    append(out, "%s\n    {\"name\": \"%s\", \"value\": %lld}",
+           i == 0 ? "" : ",", json_escape(g.name).c_str(),
+           static_cast<long long>(g.value));
+  }
+  out += snap.gauges.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"histograms\": [";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& h = snap.histograms[i];
+    append(out, "%s\n    {\"name\": \"%s\", \"count\": %llu, \"sum\": %s, ",
+           i == 0 ? "" : ",", json_escape(h.name).c_str(),
+           static_cast<unsigned long long>(h.hist.count()),
+           number(h.hist.sum()).c_str());
+    append(out, "\"p50\": %s, \"p90\": %s, \"p99\": %s, \"max\": %s}",
+           number(h.hist.percentile(50)).c_str(),
+           number(h.hist.percentile(90)).c_str(),
+           number(h.hist.percentile(99)).c_str(),
+           number(h.hist.max_seen()).c_str());
+  }
+  out += snap.histograms.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  if (path == "-") {
+    std::fwrite(content.data(), 1, content.size(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    SB_CLOG_ERROR("obs", "cannot write %s", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(content.data(), 1, content.size(), f) ==
+                  content.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace softborg::obs

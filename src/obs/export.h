@@ -1,0 +1,42 @@
+// Snapshot exporters: Prometheus text exposition and JSON.
+//
+// Prometheus (exposition format 0.0.4): metric names are sanitized
+// (dots to underscores) and prefixed "softborg_"; counters render as
+// `counter`, gauges as `gauge`, histograms as `summary` with p50/p90/p99
+// quantile labels plus `_sum` and `_count` series:
+//
+//   # TYPE softborg_net_sent_total counter
+//   softborg_net_sent_total 4096
+//   # TYPE softborg_hive_ingest_replay_us summary
+//   softborg_hive_ingest_replay_us{quantile="0.5"} 123.4
+//   ...
+//   softborg_hive_ingest_replay_us_sum 5678.9
+//   softborg_hive_ingest_replay_us_count 42
+//
+// JSON (schema "softborg.metrics.v1", bench/bench_json.h style — one
+// self-describing document the CI archives next to BENCH_*.json):
+//
+//   { "schema": "softborg.metrics.v1",
+//     "counters":   [ {"name": "...", "value": 0}, ... ],
+//     "gauges":     [ {"name": "...", "value": 0}, ... ],
+//     "histograms": [ {"name": "...", "count": 0, "sum": 0.0,
+//                      "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}, ... ] }
+//
+// Arrays are name-sorted (the snapshot already is), so two exports of equal
+// snapshots are byte-identical.
+#pragma once
+
+#include <string>
+
+#include "obs/registry.h"
+
+namespace softborg::obs {
+
+std::string to_prometheus(const MetricsSnapshot& snap);
+std::string to_json(const MetricsSnapshot& snap);
+
+// Writes `content` to `path` ("-" means stdout). Returns false on I/O
+// failure (logged).
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace softborg::obs

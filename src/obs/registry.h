@@ -1,0 +1,201 @@
+// Fleet observability: a process-wide registry of named counters, gauges,
+// and histograms — the one place every layer of the pipeline reports into
+// and every exporter reads from (DESIGN.md, "Observability").
+//
+// Design rules:
+//
+//  * Counters are per-thread-sharded atomics: the shard-parallel pump and
+//    the proof pool record without contention (each thread owns a cache
+//    line; value() sums the stripes). Because a counter's value is the sum
+//    of a multiset of increments — and the differential suites pin that the
+//    work performed is identical for every worker count — counter snapshots
+//    are byte-identical across `pump_threads` and proof worker counts.
+//    Count-type metrics may therefore be asserted in tests; timing metrics
+//    (histograms fed by SB_SPAN) are exported but never asserted.
+//
+//  * Snapshots are deterministic: metrics are kept name-sorted, and
+//    counters_text() renders counters alone as stable "name value" lines —
+//    the byte-identity surface the sharded-pump differential suite compares.
+//
+//  * Delta reads: delta_snapshot() returns counter values since the
+//    previous delta_snapshot() (gauges and histograms report their current
+//    state). World::step_day uses this for the per-day metrics series.
+//
+//  * Handles are stable: counter()/gauge()/histogram() return references
+//    that live as long as the registry. reset() zeroes values in place, so
+//    cached handles (including SB_SPAN call sites) survive it.
+//
+// Naming convention: dot-separated lowercase paths, `<subsystem>.<noun>`,
+// counters suffixed `_total`, span histograms suffixed `.us` (microseconds).
+// Exporters map these to Prometheus names (softborg_ prefix, dots to
+// underscores).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace softborg::obs {
+
+// Monotonic event count, striped across cache-line-sized cells so
+// concurrent writers (pump workers, proof workers) never share a line.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    cells_[thread_stripe()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+  void reset() {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::size_t kStripes = 16;
+  static constexpr std::size_t kNoStripe = ~std::size_t{0};
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  // Each thread is assigned one stripe round-robin on first use. The TLS
+  // slot is constant-initialized, so the fast path is one plain TLS load
+  // with no init guard; the one-time assignment is the out-of-line path.
+  static std::size_t thread_stripe() {
+    const std::size_t s = tls_stripe_;
+    return s != kNoStripe ? s : assign_stripe();
+  }
+  static std::size_t assign_stripe();
+  static thread_local std::size_t tls_stripe_;
+
+  std::array<Cell, kStripes> cells_{};
+};
+
+// Last-write-wins instantaneous value (queue depths, sizes). Writers are
+// expected to be single-threaded per gauge (SimNet, the World loop).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+// A mutex-guarded log2-bucketed histogram (common/metrics.h). Spans record
+// at stage granularity — a handful of records per pump round — so a plain
+// mutex is contention-free in practice; determinism is not required here
+// (timing metrics are exported, never asserted).
+class HistogramMetric {
+ public:
+  void record(double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.add(value);
+  }
+  Histogram snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_;
+  }
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.reset();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram hist_;
+};
+
+// Point-in-time view of a registry, name-sorted within each kind.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+    bool operator==(const CounterValue&) const = default;
+  };
+  struct GaugeValue {
+    std::string name;
+    std::int64_t value = 0;
+    bool operator==(const GaugeValue&) const = default;
+  };
+  struct HistogramValue {
+    std::string name;
+    Histogram hist;
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  // Stable "name value\n" rendering of the counters alone — the surface
+  // differential tests compare byte-for-byte across worker counts.
+  std::string counters_text() const;
+};
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry every instrumentation site reports into.
+  static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Finds or registers a metric. Returned references stay valid for the
+  // registry's lifetime; call sites cache them (registration takes a lock,
+  // recording does not).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  HistogramMetric& histogram(std::string_view name);
+
+  // Cumulative snapshot, deterministically ordered.
+  MetricsSnapshot snapshot() const;
+
+  // Counters since the previous delta_snapshot() (the first call baselines
+  // against zero); gauges and histograms report their current state. The
+  // baseline advances on every call.
+  MetricsSnapshot delta_snapshot();
+
+  // Convenience: advance the delta baseline without building a snapshot.
+  void rebaseline() { (void)delta_snapshot(); }
+
+  // Zeroes every metric in place (handles stay valid) and clears the delta
+  // baseline. Test isolation only — production readers use deltas.
+  void reset();
+
+  std::size_t num_metrics() const;
+
+ private:
+  mutable std::mutex mu_;
+  // Name-sorted maps double as the deterministic snapshot order.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>, std::less<>>
+      histograms_;
+  std::map<std::string, std::uint64_t, std::less<>> counter_baseline_;
+};
+
+// Global collection switch (default on). Instrumentation sites guard their
+// counter/gauge writes with obs::enabled() so the cost of the telemetry
+// layer can be measured (bench_e6) and eliminated when unwanted; SB_SPAN
+// has its own, separate sampling switch (span.h), default off.
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on);
+
+}  // namespace softborg::obs

@@ -1,0 +1,18 @@
+#include "obs/span.h"
+
+#include <string>
+
+namespace softborg::obs {
+
+namespace detail {
+std::atomic<bool> g_spans_enabled{false};
+}
+
+void set_spans_enabled(bool on) {
+  detail::g_spans_enabled.store(on, std::memory_order_relaxed);
+}
+
+SpanSite::SpanSite(const char* name)
+    : hist_(&MetricsRegistry::global().histogram(std::string(name) + ".us")) {}
+
+}  // namespace softborg::obs

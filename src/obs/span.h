@@ -1,0 +1,82 @@
+// Stage spans: scoped wall-clock timers feeding registry histograms.
+//
+//   void Hive::ingest_batch(...) {
+//     SB_SPAN("hive.ingest.batch");
+//     ...
+//   }
+//
+// records the block's elapsed microseconds into the global registry
+// histogram "hive.ingest.batch.us" — but only while span sampling is on
+// (set_spans_enabled, default off). When sampling is off the cost is one
+// relaxed atomic load and a predictable branch: no clock reads, no
+// histogram lock. The call site's histogram handle is resolved once (magic
+// static) and reused forever, so the enabled path costs two steady_clock
+// reads plus one mutex-guarded histogram insert.
+//
+// Spans are timing metrics: exported (Prometheus summary / JSON), never
+// asserted — wall-clock is nondeterministic by nature. Counter metrics are
+// the deterministic surface (registry.h).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "obs/registry.h"
+
+namespace softborg::obs {
+
+namespace detail {
+extern std::atomic<bool> g_spans_enabled;
+}
+
+inline bool spans_enabled() {
+  return detail::g_spans_enabled.load(std::memory_order_relaxed);
+}
+void set_spans_enabled(bool on);
+
+// One per SB_SPAN call site: owns the resolved histogram handle. The
+// constructor appends the ".us" unit suffix to `name`.
+class SpanSite {
+ public:
+  explicit SpanSite(const char* name);
+  HistogramMetric& hist() { return *hist_; }
+
+ private:
+  HistogramMetric* hist_;
+};
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(SpanSite& site) {
+    if (spans_enabled()) {
+      site_ = &site;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedSpan() {
+    if (site_ != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      site_->hist().record(
+          std::chrono::duration<double, std::micro>(elapsed).count());
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanSite* site_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace softborg::obs
+
+#define SB_OBS_CONCAT_INNER(a, b) a##b
+#define SB_OBS_CONCAT(a, b) SB_OBS_CONCAT_INNER(a, b)
+
+// Times the enclosing scope under `name` (a string literal). One statement;
+// usable at most once per line.
+#define SB_SPAN(name)                                                     \
+  static ::softborg::obs::SpanSite SB_OBS_CONCAT(sb_span_site_,           \
+                                                 __LINE__){name};         \
+  ::softborg::obs::ScopedSpan SB_OBS_CONCAT(sb_span_, __LINE__)(          \
+      SB_OBS_CONCAT(sb_span_site_, __LINE__))

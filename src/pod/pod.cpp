@@ -3,8 +3,29 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/registry.h"
+#include "obs/span.h"
 
 namespace softborg {
+
+namespace {
+// Fleet-wide pod telemetry: every pod instance feeds the same counters.
+struct PodMetrics {
+  obs::Counter& runs =
+      obs::MetricsRegistry::global().counter("pod.runs_total");
+  obs::Counter& failures =
+      obs::MetricsRegistry::global().counter("pod.failures_total");
+  obs::Counter& fix_interventions =
+      obs::MetricsRegistry::global().counter("pod.fix_interventions_total");
+  obs::Counter& guided_runs =
+      obs::MetricsRegistry::global().counter("pod.guided_runs_total");
+
+  static PodMetrics& get() {
+    static PodMetrics m;
+    return m;
+  }
+};
+}  // namespace
 
 Pod::Pod(PodId id, const CorpusEntry& entry, UserProfile profile,
          PodConfig config, std::uint64_t seed)
@@ -80,6 +101,7 @@ std::vector<Value> Pod::draw_inputs() {
 }
 
 PodRun Pod::run_once(std::uint64_t day) {
+  SB_SPAN("pod.run");
   // Consume a guidance directive if one is queued.
   std::optional<GuidanceDirective> directive;
   if (!guidance_.empty()) {
@@ -137,6 +159,13 @@ PodRun Pod::run_once(std::uint64_t day) {
   if (run.trace.outcome != Outcome::kOk) stats_.failures++;
   if (exec.fix_intervened) stats_.fix_interventions++;
   if (directive) stats_.guided_runs++;
+  if (obs::enabled()) {
+    auto& m = PodMetrics::get();
+    m.runs.add();
+    if (run.trace.outcome != Outcome::kOk) m.failures.add();
+    if (exec.fix_intervened) m.fix_interventions.add();
+    if (directive) m.guided_runs.add();
+  }
   return run;
 }
 

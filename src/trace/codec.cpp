@@ -1,6 +1,7 @@
 #include "trace/codec.h"
 
 #include "common/check.h"
+#include "obs/registry.h"
 
 namespace softborg {
 
@@ -11,6 +12,27 @@ constexpr std::uint64_t kVersion = 1;
 // Hard caps so a malicious length prefix cannot balloon allocation.
 constexpr std::uint64_t kMaxBits = 1u << 26;
 constexpr std::uint64_t kMaxRecords = 1u << 22;
+
+// Codec telemetry. Handles resolve once; the per-call cost is one relaxed
+// enabled() load plus sharded fetch_adds (see obs/registry.h). Only the
+// materializing paths count themselves: summarize_trace_wire — the
+// allocation-free header peek the router and the batch pipeline run per
+// wire — deliberately carries no telemetry, so peeking stays free.
+struct CodecMetrics {
+  obs::Counter& encodes = obs::MetricsRegistry::global().counter(
+      "codec.trace.encode_total");
+  obs::Counter& encode_bytes = obs::MetricsRegistry::global().counter(
+      "codec.trace.encode_bytes_total");
+  obs::Counter& decodes = obs::MetricsRegistry::global().counter(
+      "codec.trace.decode_total");
+  obs::Counter& decode_failures = obs::MetricsRegistry::global().counter(
+      "codec.trace.decode_failures_total");
+
+  static CodecMetrics& get() {
+    static CodecMetrics m;
+    return m;
+  }
+};
 }  // namespace
 
 const char* outcome_name(Outcome o) {
@@ -87,10 +109,15 @@ Bytes encode_trace(const Trace& t) {
   put_varint(out, t.steps);
   put_varint(out, (t.patched ? 1u : 0u) | (t.guided ? 2u : 0u));
   put_varint(out, t.day);
+  if (obs::enabled()) {
+    CodecMetrics::get().encodes.add();
+    CodecMetrics::get().encode_bytes.add(out.size());
+  }
   return out;
 }
 
-bool decode_trace_into(Trace& t, const Bytes& bytes) {
+namespace {
+bool decode_trace_into_impl(Trace& t, const Bytes& bytes) {
   std::size_t pos = 0;
   auto u = [&]() -> std::optional<std::uint64_t> {
     return get_varint(bytes, pos);
@@ -201,6 +228,17 @@ bool decode_trace_into(Trace& t, const Bytes& bytes) {
   t.day = *day;
 
   return pos == bytes.size();  // reject trailing garbage
+}
+}  // namespace
+
+bool decode_trace_into(Trace& t, const Bytes& bytes) {
+  const bool ok = decode_trace_into_impl(t, bytes);
+  if (obs::enabled()) {
+    auto& m = CodecMetrics::get();
+    m.decodes.add();
+    if (!ok) m.decode_failures.add();
+  }
+  return ok;
 }
 
 std::optional<Trace> decode_trace(const Bytes& bytes) {

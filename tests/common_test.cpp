@@ -305,6 +305,58 @@ TEST(Histogram, MergeAddsCounts) {
   EXPECT_EQ(a.count(), 2u);
 }
 
+TEST(Histogram, PercentileInterpolatesWithinBucket) {
+  // Three samples land in the same log2 bucket [8,16). The p50 target is
+  // 1.5 of 3 samples, so linear interpolation reads the bucket's midpoint
+  // instead of snapping to an edge.
+  Histogram h;
+  h.add(10.0);
+  h.add(12.0);
+  h.add(14.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 12.0);
+  // The tail quantile interpolates past the samples but clamps to the
+  // largest value actually seen — never past it to the bucket edge.
+  EXPECT_DOUBLE_EQ(h.percentile(100), 14.0);
+  EXPECT_LE(h.percentile(99), 14.0);
+  // The head quantile stays at or above the bucket's lower edge.
+  EXPECT_GE(h.percentile(1), 8.0);
+}
+
+TEST(Histogram, SumTracksAdds) {
+  Histogram h;
+  h.add(1.5);
+  h.add(2.5);
+  EXPECT_DOUBLE_EQ(h.sum(), 4.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+// Property: merging histograms is equivalent to adding every sample to one
+// histogram — same counts, same buckets, same sum, same percentiles. This
+// is what lets per-shard histograms aggregate without bias.
+TEST(Histogram, MergeEquivalenceProperty) {
+  Rng r(99);
+  Histogram merged_target;
+  Histogram parts[4];
+  for (int i = 0; i < 4000; ++i) {
+    const double v = r.next_double() * 5000.0;
+    merged_target.add(v);
+    parts[i % 4].add(v);
+  }
+  Histogram merged;
+  for (const Histogram& p : parts) merged.merge(p);
+  EXPECT_EQ(merged.count(), merged_target.count());
+  // Sums accumulate in different orders; allow float reassociation slack.
+  EXPECT_NEAR(merged.sum(), merged_target.sum(), 1e-6 * merged_target.sum());
+  EXPECT_DOUBLE_EQ(merged.max_seen(), merged_target.max_seen());
+  EXPECT_EQ(merged.bucket_counts(), merged_target.bucket_counts());
+  for (double p : {1.0, 25.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(merged.percentile(p), merged_target.percentile(p)) << p;
+  }
+}
+
 // ---------------------------------------------------------- ThreadPool -----
 
 TEST(ThreadPool, RunsSubmittedTasks) {

@@ -266,6 +266,28 @@ TEST(Report, EmptyHiveRendersPlaceholders) {
   EXPECT_NE(report.find("no bugs recorded"), std::string::npos);
   EXPECT_NE(report.find("no certificates published"), std::string::npos);
   EXPECT_NE(report.find("repair lab: empty"), std::string::npos);
+  EXPECT_NE(report.find("pipeline: 0 batches"), std::string::npos);
+  EXPECT_NE(report.find("proof closure: 0 attempts"), std::string::npos);
+  EXPECT_NE(report.find("telemetry: "), std::string::npos);
+}
+
+TEST(Report, NetworkOverloadAppendsDeliveryLossLine) {
+  std::vector<CorpusEntry> corpus;
+  corpus.push_back(make_media_parser());
+  Hive hive(&corpus);
+  NetStats net;
+  net.sent = 100;
+  net.delivered = 90;
+  net.blocked_at_send = 4;
+  net.dropped_in_flight = 5;
+  net.dropped = 1;
+  net.bytes_sent = 12345;
+  const std::string report = hive_status_report(hive, net);
+  EXPECT_NE(report.find("network: 100 sent, 90 delivered"),
+            std::string::npos);
+  EXPECT_NE(report.find("4 blocked at send"), std::string::npos);
+  EXPECT_NE(report.find("5 dropped in flight"), std::string::npos);
+  EXPECT_NE(report.find("1 dropped at random"), std::string::npos);
 }
 
 TEST(Report, RepairLabEntriesListed) {

@@ -1,0 +1,290 @@
+// Tests for the fleet telemetry layer (src/obs): registry semantics,
+// counter determinism under concurrency, delta reads, exporter formats,
+// and the span sampling switch.
+//
+// Most tests build their own MetricsRegistry instance for isolation; only
+// the span tests touch the global registry (SB_SPAN sites resolve there),
+// and they use uniquely named spans plus delta reads so ordering against
+// other suites in this binary cannot matter.
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "obs/span.h"
+
+namespace softborg {
+namespace {
+
+TEST(MetricsRegistry, CounterAccumulatesAndHandlesAreStable) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("test.events_total");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name resolves to the same metric.
+  EXPECT_EQ(&reg.counter("test.events_total"), &c);
+  EXPECT_EQ(reg.num_metrics(), 1u);
+}
+
+TEST(MetricsRegistry, GaugeSetAddReset) {
+  obs::MetricsRegistry reg;
+  obs::Gauge& g = reg.gauge("test.depth");
+  g.set(7);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 4);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(MetricsRegistry, HistogramRecordsThroughSnapshot) {
+  obs::MetricsRegistry reg;
+  obs::HistogramMetric& h = reg.histogram("test.latency.us");
+  for (double v : {1.0, 2.0, 4.0, 8.0}) h.record(v);
+  const Histogram snap = h.snapshot();
+  EXPECT_EQ(snap.count(), 4u);
+  EXPECT_DOUBLE_EQ(snap.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(snap.max_seen(), 8.0);
+}
+
+TEST(MetricsRegistry, SnapshotIsNameSorted) {
+  obs::MetricsRegistry reg;
+  // Registered out of order; the snapshot must come back sorted.
+  reg.counter("zebra_total").add(1);
+  reg.counter("alpha_total").add(2);
+  reg.counter("middle_total").add(3);
+  reg.gauge("z.depth").set(1);
+  reg.gauge("a.depth").set(2);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "alpha_total");
+  EXPECT_EQ(snap.counters[1].name, "middle_total");
+  EXPECT_EQ(snap.counters[2].name, "zebra_total");
+  ASSERT_EQ(snap.gauges.size(), 2u);
+  EXPECT_EQ(snap.gauges[0].name, "a.depth");
+  EXPECT_EQ(snap.gauges[1].name, "z.depth");
+}
+
+TEST(MetricsRegistry, CountersTextIsTheStableByteSurface) {
+  obs::MetricsRegistry reg;
+  reg.counter("b_total").add(2);
+  reg.counter("a_total").add(1);
+  EXPECT_EQ(reg.snapshot().counters_text(), "a_total 1\nb_total 2\n");
+}
+
+TEST(MetricsRegistry, DeltaSnapshotReturnsIncrementsSinceLast) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("test.events_total");
+  c.add(10);
+  EXPECT_EQ(reg.delta_snapshot().counters[0].value, 10u);
+  c.add(5);
+  EXPECT_EQ(reg.delta_snapshot().counters[0].value, 5u);
+  // No increments since the last delta.
+  EXPECT_EQ(reg.delta_snapshot().counters[0].value, 0u);
+  // Cumulative snapshots are unaffected by the delta baseline.
+  EXPECT_EQ(reg.snapshot().counters[0].value, 15u);
+}
+
+TEST(MetricsRegistry, DeltaBaselinesNewMetricsAtZero) {
+  obs::MetricsRegistry reg;
+  reg.counter("early_total").add(1);
+  reg.rebaseline();
+  reg.counter("late_total").add(9);  // first registered after the baseline
+  const obs::MetricsSnapshot delta = reg.delta_snapshot();
+  ASSERT_EQ(delta.counters.size(), 2u);
+  EXPECT_EQ(delta.counters[0].name, "early_total");
+  EXPECT_EQ(delta.counters[0].value, 0u);
+  EXPECT_EQ(delta.counters[1].name, "late_total");
+  EXPECT_EQ(delta.counters[1].value, 9u);
+}
+
+TEST(MetricsRegistry, ResetZeroesInPlaceAndHandlesSurvive) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("test.events_total");
+  obs::Gauge& g = reg.gauge("test.depth");
+  obs::HistogramMetric& h = reg.histogram("test.latency.us");
+  c.add(3);
+  g.set(3);
+  h.record(3.0);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.snapshot().count(), 0u);
+  // The handles are still the registered metrics.
+  c.add(1);
+  EXPECT_EQ(reg.snapshot().counters[0].value, 1u);
+}
+
+// The determinism contract: a counter's value is the sum of a multiset of
+// increments, so however many threads hammer shared counters, the snapshot
+// equals the serial total exactly — no lost updates, no double counts.
+TEST(MetricsRegistry, ConcurrentIncrementsSumExactly) {
+  obs::MetricsRegistry reg;
+  obs::Counter& hits = reg.counter("test.hits_total");
+  obs::Counter& bytes = reg.counter("test.bytes_total");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&hits, &bytes] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        hits.add();
+        bytes.add(3);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters_text(),
+            "test.bytes_total " + std::to_string(kThreads * kPerThread * 3) +
+                "\ntest.hits_total " +
+                std::to_string(kThreads * kPerThread) + "\n");
+}
+
+// Registration itself is thread-safe: concurrent first-use of the same name
+// must converge on one metric (pump workers race to resolve handles).
+TEST(MetricsRegistry, ConcurrentRegistrationConvergesOnOneMetric) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 5'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg] {
+      obs::Counter& c = reg.counter("test.raced_total");
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(reg.num_metrics(), 1u);
+  EXPECT_EQ(reg.snapshot().counters[0].value, kThreads * kPerThread);
+}
+
+// ------------------------------------------------------------- exporters ---
+
+obs::MetricsSnapshot exporter_fixture() {
+  obs::MetricsRegistry reg;
+  reg.counter("hive.traces_ingested_total").add(128);
+  reg.counter("net.sent_total").add(42);
+  reg.gauge("net.in_flight").set(-3);  // gauges may go negative
+  obs::HistogramMetric& h = reg.histogram("hive.ingest.replay.us");
+  for (double v : {10.0, 20.0, 40.0}) h.record(v);
+  return reg.snapshot();
+}
+
+TEST(MetricsExport, PrometheusExpositionFormat) {
+  const std::string text = obs::to_prometheus(exporter_fixture());
+  // Every line is either a TYPE comment or a sample; names carry the
+  // softborg_ prefix with dots mapped to underscores.
+  const std::regex type_line(
+      R"(# TYPE softborg_[A-Za-z0-9_:]+ (counter|gauge|summary))");
+  const std::regex sample_line(
+      R"re(softborg_[A-Za-z0-9_:]+(\{quantile="0\.(5|9|99)"\})? -?[0-9][0-9eE.+-]*)re");
+  std::istringstream lines(text);
+  std::string ln;
+  std::size_t n = 0;
+  while (std::getline(lines, ln)) {
+    ++n;
+    if (ln.rfind("# ", 0) == 0) {
+      EXPECT_TRUE(std::regex_match(ln, type_line)) << ln;
+    } else {
+      EXPECT_TRUE(std::regex_match(ln, sample_line)) << ln;
+    }
+  }
+  EXPECT_GT(n, 0u);
+  // Spot-check each kind.
+  EXPECT_NE(text.find("# TYPE softborg_hive_traces_ingested_total counter\n"
+                      "softborg_hive_traces_ingested_total 128\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE softborg_net_in_flight gauge\n"
+                      "softborg_net_in_flight -3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE softborg_hive_ingest_replay_us summary\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("softborg_hive_ingest_replay_us{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("softborg_hive_ingest_replay_us_sum 70\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("softborg_hive_ingest_replay_us_count 3\n"),
+            std::string::npos);
+}
+
+TEST(MetricsExport, JsonSnapshotSchema) {
+  const std::string json = obs::to_json(exporter_fixture());
+  EXPECT_NE(json.find("\"schema\": \"softborg.metrics.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"counters\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\": ["), std::string::npos);
+  EXPECT_NE(
+      json.find("{\"name\": \"hive.traces_ingested_total\", \"value\": 128}"),
+      std::string::npos);
+  EXPECT_NE(json.find("{\"name\": \"net.in_flight\", \"value\": -3}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"count\": 3"), std::string::npos);
+  for (const char* key : {"\"sum\": ", "\"p50\": ", "\"p90\": ", "\"p99\": ",
+                          "\"max\": "}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // Structural sanity: braces and brackets balance, so the document parses.
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (char c : json) {
+    if (c == '"') in_string = !in_string;
+    if (in_string) continue;
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(MetricsExport, EmptySnapshotStillWellFormed) {
+  const obs::MetricsSnapshot empty;
+  EXPECT_NE(obs::to_json(empty).find("\"counters\": []"), std::string::npos);
+  EXPECT_EQ(obs::to_prometheus(empty), "");
+}
+
+// ----------------------------------------------------------------- spans ---
+
+TEST(MetricsRegistry, SpanRecordsOnlyWhileSamplingEnabled) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::HistogramMetric& hist = reg.histogram("obs_test.span_demo.us");
+  const std::uint64_t before = hist.snapshot().count();
+
+  ASSERT_FALSE(obs::spans_enabled());  // default off
+  {
+    SB_SPAN("obs_test.span_demo");
+  }
+  EXPECT_EQ(hist.snapshot().count(), before);  // disabled: no record
+
+  obs::set_spans_enabled(true);
+  {
+    SB_SPAN("obs_test.span_demo");
+  }
+  obs::set_spans_enabled(false);
+  EXPECT_EQ(hist.snapshot().count(), before + 1);
+  // Microsecond values are nonnegative wall-clock; never asserted beyond
+  // sanity (timing metrics are exported, not pinned).
+  EXPECT_GE(hist.snapshot().max_seen(), 0.0);
+}
+
+TEST(MetricsRegistry, CollectionKillSwitch) {
+  EXPECT_TRUE(obs::enabled());  // default on
+  obs::set_enabled(false);
+  EXPECT_FALSE(obs::enabled());
+  obs::set_enabled(true);
+  EXPECT_TRUE(obs::enabled());
+}
+
+}  // namespace
+}  // namespace softborg

@@ -14,6 +14,7 @@
 #include "hive/sharded.h"
 #include "minivm/corpus.h"
 #include "minivm/interp.h"
+#include "obs/registry.h"
 #include "trace/codec.h"
 #include "tree/tree_codec.h"
 
@@ -174,6 +175,35 @@ TEST(ShardedPump, PumpThreadCountDoesNotChangeResults) {
   }
   expect_identical(runs[0], runs[1]);
   expect_identical(runs[0], runs[2]);
+}
+
+TEST(ShardedPump, CounterSnapshotsByteIdenticalAcrossPumpThreads) {
+  // The observability acceptance bar: the global registry's counter surface
+  // — every count-type metric recorded by codec, net, hive, and router
+  // instrumentation during a fleet run — must render byte-identically for
+  // any pump_threads. Timing histograms and gauges are deliberately outside
+  // this surface (counters_text renders counters alone).
+  const auto corpus = standard_corpus();
+  const auto wires = make_workload(corpus, 256, 13);
+  NetConfig net_config;
+  net_config.dup_prob = 0.03;
+  net_config.seed = 37;
+  std::vector<std::string> counter_texts;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ShardedHiveConfig config;
+    config.pump_threads = threads;
+    config.hive.ingest_threads = threads;  // inner fan-out too
+    obs::MetricsRegistry::global().rebaseline();
+    run_fleet(corpus, wires, 8, config, net_config, false);
+    counter_texts.push_back(
+        obs::MetricsRegistry::global().delta_snapshot().counters_text());
+  }
+  ASSERT_EQ(counter_texts.size(), 3u);
+  EXPECT_FALSE(counter_texts[0].empty());
+  EXPECT_NE(counter_texts[0].find("hive.traces_ingested_total"),
+            std::string::npos);
+  EXPECT_EQ(counter_texts[0], counter_texts[1]);
+  EXPECT_EQ(counter_texts[0], counter_texts[2]);
 }
 
 TEST(ShardedPump, NestedPoolsShardAndIngestMatchSerial) {
