@@ -1,0 +1,105 @@
+// Disassembly / dispatch-stream inspector for the benchmark corpus.
+//
+//   vm_disasm                        list corpus programs
+//   vm_disasm <name>                 plain disassembly
+//   vm_disasm --decoded <name>       decoded stream with superinstructions
+//   vm_disasm --pair-counts [name]   dynamic opcode-pair frequencies (the
+//                                    data behind the fusion table), measured
+//                                    over seeded random-input runs; without
+//                                    a name, aggregated over the corpus
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/rng.h"
+#include "minivm/corpus.h"
+#include "minivm/decode.h"
+#include "minivm/disasm.h"
+#include "minivm/interp.h"
+
+using namespace softborg;
+
+namespace {
+
+// Tally fallthrough opcode pairs for one corpus entry over a spread of
+// seeded inputs and schedules, so loop bodies dominate the way they do in
+// fleet runs.
+void tally_pairs(const CorpusEntry& entry, OpPairCounts* counts) {
+  Rng rng(7);
+  for (int run = 0; run < 32; ++run) {
+    ExecConfig cfg;
+    cfg.seed = rng();
+    for (const auto& domain : entry.domains) {
+      cfg.inputs.push_back(rng.next_in(domain.lo, domain.hi));
+    }
+    cfg.pair_counts = counts;
+    execute(entry.program, cfg);
+  }
+}
+
+const CorpusEntry* find_entry(const std::vector<CorpusEntry>& corpus,
+                              const std::string& name) {
+  for (const auto& entry : corpus) {
+    if (entry.program.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool decoded = false;
+  bool pair_counts = false;
+  std::string name;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--decoded") == 0) {
+      decoded = true;
+    } else if (std::strcmp(argv[i], "--pair-counts") == 0) {
+      pair_counts = true;
+    } else {
+      name = argv[i];
+    }
+  }
+
+  const std::vector<CorpusEntry> corpus = standard_corpus();
+
+  if (pair_counts) {
+    OpPairCounts counts;
+    if (name.empty()) {
+      for (const auto& entry : corpus) tally_pairs(entry, &counts);
+      std::printf("corpus-wide ");
+    } else {
+      const CorpusEntry* entry = find_entry(corpus, name);
+      if (entry == nullptr) {
+        std::fprintf(stderr, "unknown program '%s'\n", name.c_str());
+        return 1;
+      }
+      tally_pairs(*entry, &counts);
+      std::printf("%s ", name.c_str());
+    }
+    std::printf("%s", format_pair_counts(counts).c_str());
+    return 0;
+  }
+
+  if (name.empty()) {
+    std::printf("corpus programs:\n");
+    for (const auto& entry : corpus) {
+      std::printf("  %-18s %s\n", entry.program.name.c_str(),
+                  entry.description.c_str());
+    }
+    return 0;
+  }
+
+  const CorpusEntry* entry = find_entry(corpus, name);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "unknown program '%s'\n", name.c_str());
+    return 1;
+  }
+  if (decoded) {
+    const DecodedProgram d = predecode(entry->program, nullptr);
+    std::printf("%s", disassemble_decoded(entry->program, d).c_str());
+  } else {
+    std::printf("%s", disassemble(entry->program).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,186 @@
+// Predecode: compile a Program (plus the pod's installed FixSet) into a
+// dense decoded stream the dispatch core executes directly.
+//
+// The interpreter's hot loop used to pay, per instruction: a bounds-checked
+// Program::at, a nested switch for ALU ops, and an O(#guards) linear scan
+// for crash-guard fixes. Predecode moves all of that to program-load time:
+// each pc gets a 64-byte DecodedInstr holding the resolved handler token,
+// the pre-unpacked operands, and the pre-resolved fix hooks (crash guard,
+// branch GuardPatch candidates, lock-avoidance candidates) for that pc.
+//
+// On top of the 1:1 decoded stream a peephole pass fuses hot fallthrough
+// opcode pairs into superinstructions (const+ALU, cmp+branch, mov+storeg).
+// A fused slot overlays the *first* pc of the pair; the second pc keeps its
+// own plain decode, so branches into the middle of a pair keep working and
+// pc values stay original-program pcs throughout. Fused execution debits
+// step budgets once per original instruction (interp.cpp), so traces are
+// byte-identical with fusion on or off.
+//
+// Decoded programs are cached per (Program, FixSet, fuse) content hash so
+// repeated replays of the same program/fix configuration — the fleet's
+// common case — skip decode entirely.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "minivm/fixes.h"
+#include "minivm/program.h"
+
+namespace softborg {
+
+// Handler tokens: one per Op (same order and values — predecode relies on
+// the 1:1 mapping), then one per superinstruction.
+enum class Tok : std::uint8_t {
+  kConst,
+  kMov,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kCmpLt,
+  kCmpLe,
+  kCmpEq,
+  kCmpNe,
+  kBranchIf,
+  kJump,
+  kInput,
+  kSyscall,
+  kLoadG,
+  kStoreG,
+  kLock,
+  kUnlock,
+  kAssert,
+  kAbort,
+  kOutput,
+  kYield,
+  kHalt,
+  // Superinstructions: const feeding (or preceding) a non-trapping ALU op,
+  kConstAdd,
+  kConstSub,
+  kConstMul,
+  kConstCmpLt,
+  kConstCmpLe,
+  kConstCmpEq,
+  kConstCmpNe,
+  // compare whose result is immediately branched on,
+  kCmpLtBranch,
+  kCmpLeBranch,
+  kCmpEqBranch,
+  kCmpNeBranch,
+  // and register shuffle feeding a global store.
+  kMovStoreG,
+};
+
+inline constexpr std::size_t kNumToks =
+    static_cast<std::size_t>(Tok::kMovStoreG) + 1;
+
+static_assert(static_cast<std::size_t>(Tok::kHalt) ==
+                  static_cast<std::size_t>(Op::kHalt),
+              "base tokens must mirror Op values");
+
+const char* tok_name(Tok tok);
+
+inline constexpr std::uint32_t kNoFix = 0xffffffffu;
+
+// One decoded slot: exactly one cache line. Primary operands (a, b, c, imm,
+// site) are the first instruction of the slot; a2/b2/c2/site2 are the fused
+// second instruction's, valid iff len == 2.
+struct alignas(64) DecodedInstr {
+  Tok tok = Tok::kHalt;   // handler to dispatch
+  Tok base = Tok::kHalt;  // unfused token of the first instruction: executed
+                          // instead when < len steps of budget remain
+  std::uint8_t len = 1;   // original instructions this slot covers (1 or 2)
+  std::uint8_t pad0 = 0;
+  std::uint16_t fix_count = 0;  // GuardPatch / LockAvoidanceFix candidates
+  std::uint16_t pad1 = 0;
+  Value imm = 0;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t c = 0;
+  std::uint32_t site = 0;
+  std::uint32_t a2 = 0;
+  std::uint32_t b2 = 0;
+  std::uint32_t c2 = 0;
+  std::uint32_t site2 = 0;
+  std::uint32_t guard = kNoFix;  // guard_pool index (kDiv/kMod/kAssert/kAbort)
+  std::uint32_t fix_begin = 0;   // patch_pool (kBranchIf) / lockfix_pool (kLock)
+};
+
+static_assert(sizeof(DecodedInstr) == 64);
+
+struct DecodeOptions {
+  bool fuse = true;
+};
+
+// Self-contained decoded form: fix hooks are *copies* grouped per pc, so a
+// cached DecodedProgram never dangles into a caller's FixSet.
+struct DecodedProgram {
+  std::vector<DecodedInstr> code;  // one slot per original pc
+  std::vector<CrashGuardFix> guard_pool;
+  std::vector<GuardPatch> patch_pool;
+  std::vector<LockAvoidanceFix> lockfix_pool;
+  std::uint32_t fused_slots = 0;  // static count of len==2 slots
+  bool fused = false;             // decoded with fusion enabled
+};
+
+// Decodes `p` with `fixes` (nullptr == empty FixSet) resolved into the
+// stream. Deterministic in its inputs.
+DecodedProgram predecode(const Program& p, const FixSet* fixes,
+                         const DecodeOptions& options = {});
+
+// Cached predecode, keyed by a 128-bit dual-pass content hash over the
+// program, the fixes, and the fuse flag (pointer identity is deliberately
+// not part of the key: equal content shares one entry, mutated content
+// misses). Thread-safe; generational eviction when the cache fills.
+std::shared_ptr<const DecodedProgram> predecode_cached(
+    const Program& p, const FixSet* fixes, const DecodeOptions& options = {});
+
+struct PredecodeCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t entries = 0;
+};
+
+PredecodeCacheStats predecode_cache_stats();
+void clear_predecode_cache();
+
+// Dynamic opcode-pair frequency counters: how often instruction `second`
+// executed as the fallthrough successor (pc + 1, same thread) of `first`.
+// This is exactly the population a fusion candidate draws from, so the dump
+// (disasm.h: format_pair_counts) is the data that justifies the fusion
+// table. Fill via ExecConfig::pair_counts (interp.h), which runs the
+// unfused stream so raw pairs are observable.
+struct OpPairCounts {
+  std::array<std::uint64_t, kNumOps * kNumOps> counts{};
+
+  void add(Op first, Op second) {
+    counts[static_cast<std::size_t>(first) * kNumOps +
+           static_cast<std::size_t>(second)]++;
+  }
+  std::uint64_t at(Op first, Op second) const {
+    return counts[static_cast<std::size_t>(first) * kNumOps +
+                  static_cast<std::size_t>(second)];
+  }
+  void merge(const OpPairCounts& other) {
+    for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  }
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (auto c : counts) t += c;
+    return t;
+  }
+
+  struct Pair {
+    Op first = Op::kHalt;
+    Op second = Op::kHalt;
+    std::uint64_t count = 0;
+  };
+  // Non-zero pairs, most frequent first (ties broken by opcode order).
+  std::vector<Pair> sorted() const;
+};
+
+}  // namespace softborg

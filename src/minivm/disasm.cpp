@@ -4,16 +4,15 @@
 
 namespace softborg {
 
-std::string disassemble_instr(const Instr& ins, std::uint32_t pc) {
+std::string instr_text(const Instr& ins) {
   char buf[128];
   switch (ins.op) {
     case Op::kConst:
-      std::snprintf(buf, sizeof(buf), "%4u: const r%u = %lld", pc, ins.a,
+      std::snprintf(buf, sizeof(buf), "const r%u = %lld", ins.a,
                     static_cast<long long>(ins.imm));
       break;
     case Op::kMov:
-      std::snprintf(buf, sizeof(buf), "%4u: mov   r%u = r%u", pc, ins.a,
-                    ins.b);
+      std::snprintf(buf, sizeof(buf), "mov   r%u = r%u", ins.a, ins.b);
       break;
     case Op::kAdd:
     case Op::kSub:
@@ -24,56 +23,57 @@ std::string disassemble_instr(const Instr& ins, std::uint32_t pc) {
     case Op::kCmpLe:
     case Op::kCmpEq:
     case Op::kCmpNe:
-      std::snprintf(buf, sizeof(buf), "%4u: %-5s r%u = r%u, r%u", pc,
+      std::snprintf(buf, sizeof(buf), "%-5s r%u = r%u, r%u",
                     op_name(ins.op), ins.a, ins.b, ins.c);
       break;
     case Op::kBranchIf:
-      std::snprintf(buf, sizeof(buf),
-                    "%4u: brif  r%u ? ->%u : ->%u   (site %u)", pc, ins.a,
-                    ins.b, ins.c, ins.site);
+      std::snprintf(buf, sizeof(buf), "brif  r%u ? ->%u : ->%u   (site %u)",
+                    ins.a, ins.b, ins.c, ins.site);
       break;
     case Op::kJump:
-      std::snprintf(buf, sizeof(buf), "%4u: jump  ->%u", pc, ins.a);
+      std::snprintf(buf, sizeof(buf), "jump  ->%u", ins.a);
       break;
     case Op::kInput:
-      std::snprintf(buf, sizeof(buf), "%4u: input r%u = in[%u]", pc, ins.a,
-                    ins.b);
+      std::snprintf(buf, sizeof(buf), "input r%u = in[%u]", ins.a, ins.b);
       break;
     case Op::kSyscall:
-      std::snprintf(buf, sizeof(buf), "%4u: sys   r%u = sys%u(r%u)", pc,
-                    ins.a, ins.b, ins.c);
+      std::snprintf(buf, sizeof(buf), "sys   r%u = sys%u(r%u)", ins.a, ins.b,
+                    ins.c);
       break;
     case Op::kLoadG:
-      std::snprintf(buf, sizeof(buf), "%4u: loadg r%u = g[%u]", pc, ins.a,
-                    ins.b);
+      std::snprintf(buf, sizeof(buf), "loadg r%u = g[%u]", ins.a, ins.b);
       break;
     case Op::kStoreG:
-      std::snprintf(buf, sizeof(buf), "%4u: storg g[%u] = r%u", pc, ins.a,
-                    ins.b);
+      std::snprintf(buf, sizeof(buf), "storg g[%u] = r%u", ins.a, ins.b);
       break;
     case Op::kLock:
-      std::snprintf(buf, sizeof(buf), "%4u: lock  L%u", pc, ins.a);
+      std::snprintf(buf, sizeof(buf), "lock  L%u", ins.a);
       break;
     case Op::kUnlock:
-      std::snprintf(buf, sizeof(buf), "%4u: unlck L%u", pc, ins.a);
+      std::snprintf(buf, sizeof(buf), "unlck L%u", ins.a);
       break;
     case Op::kAssert:
-      std::snprintf(buf, sizeof(buf), "%4u: asert r%u (msg %u)", pc, ins.a,
-                    ins.b);
+      std::snprintf(buf, sizeof(buf), "asert r%u (msg %u)", ins.a, ins.b);
       break;
     case Op::kAbort:
-      std::snprintf(buf, sizeof(buf), "%4u: abort (%u)", pc, ins.a);
+      std::snprintf(buf, sizeof(buf), "abort (%u)", ins.a);
       break;
     case Op::kOutput:
-      std::snprintf(buf, sizeof(buf), "%4u: out   r%u", pc, ins.a);
+      std::snprintf(buf, sizeof(buf), "out   r%u", ins.a);
       break;
     case Op::kYield:
-      std::snprintf(buf, sizeof(buf), "%4u: yield", pc);
+      std::snprintf(buf, sizeof(buf), "yield");
       break;
     case Op::kHalt:
-      std::snprintf(buf, sizeof(buf), "%4u: halt", pc);
+      std::snprintf(buf, sizeof(buf), "halt");
       break;
   }
+  return buf;
+}
+
+std::string disassemble_instr(const Instr& ins, std::uint32_t pc) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%4u: %s", pc, instr_text(ins).c_str());
   return buf;
 }
 
@@ -91,6 +91,99 @@ std::string disassemble(const Program& p) {
       }
     }
     out += disassemble_instr(p.code[pc], pc) + "\n";
+  }
+  return out;
+}
+
+std::string disassemble_decoded(const Program& p, const DecodedProgram& d) {
+  std::string out = "program '" + p.name + "' decoded: " +
+                    std::to_string(d.code.size()) + " slot(s), " +
+                    std::to_string(d.fused_slots) + " fused, fusion " +
+                    (d.fused ? "on" : "off") + "\n";
+  char buf[256];
+  for (std::uint32_t pc = 0; pc < p.code.size(); ++pc) {
+    for (std::size_t t = 0; t < p.thread_entries.size(); ++t) {
+      if (p.thread_entries[t] == pc) {
+        out += "     --- thread " + std::to_string(t) + " ---\n";
+      }
+    }
+    const DecodedInstr& slot = d.code[pc];
+    if (slot.len == 2) {
+      // The superinstruction's halves, in execution order. The second pc
+      // keeps its own plain slot below (branch targets can land there).
+      std::snprintf(buf, sizeof(buf), "%4u: [%s]  %s ; %s", pc,
+                    tok_name(slot.tok), instr_text(p.code[pc]).c_str(),
+                    instr_text(p.code[pc + 1]).c_str());
+      out += buf;
+      out += "\n";
+    } else {
+      out += disassemble_instr(p.code[pc], pc) + "\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Superinstruction the pair *can* select (decode.cpp fuse_token), ignoring
+// the program-context conditions (branch-tests-cmp-register, const+cmp
+// deferral): the pair-counts table is opcode-level, so this annotates which
+// rows the fusion table can serve at all.
+const char* fusion_candidate(Op first, Op second) {
+  switch (first) {
+    case Op::kConst:
+      switch (second) {
+        case Op::kAdd: return "const+add";
+        case Op::kSub: return "const+sub";
+        case Op::kMul: return "const+mul";
+        case Op::kCmpLt: return "const+cmplt";
+        case Op::kCmpLe: return "const+cmple";
+        case Op::kCmpEq: return "const+cmpeq";
+        case Op::kCmpNe: return "const+cmpne";
+        default: return nullptr;
+      }
+    case Op::kCmpLt:
+      return second == Op::kBranchIf ? "cmplt+brif" : nullptr;
+    case Op::kCmpLe:
+      return second == Op::kBranchIf ? "cmple+brif" : nullptr;
+    case Op::kCmpEq:
+      return second == Op::kBranchIf ? "cmpeq+brif" : nullptr;
+    case Op::kCmpNe:
+      return second == Op::kBranchIf ? "cmpne+brif" : nullptr;
+    case Op::kMov:
+      return second == Op::kStoreG ? "mov+storeg" : nullptr;
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+std::string format_pair_counts(const OpPairCounts& counts,
+                               std::size_t top_n) {
+  const auto pairs = counts.sorted();
+  const std::uint64_t total = counts.total();
+  std::string out = "opcode pairs (dynamic fallthrough successors, " +
+                    std::to_string(total) + " total):\n";
+  char buf[160];
+  std::size_t shown = 0;
+  for (const auto& pair : pairs) {
+    if (top_n != 0 && shown == top_n) break;
+    const double pct =
+        total == 0 ? 0.0 : 100.0 * static_cast<double>(pair.count) /
+                               static_cast<double>(total);
+    const char* fuse = fusion_candidate(pair.first, pair.second);
+    std::snprintf(buf, sizeof(buf), "  %-6s -> %-6s %10llu  %5.1f%%%s%s\n",
+                  op_name(pair.first), op_name(pair.second),
+                  static_cast<unsigned long long>(pair.count), pct,
+                  fuse != nullptr ? "  fuses: " : "",
+                  fuse != nullptr ? fuse : "");
+    out += buf;
+    shown++;
+  }
+  if (top_n != 0 && pairs.size() > top_n) {
+    out += "  ... " + std::to_string(pairs.size() - top_n) +
+           " more pair(s)\n";
   }
   return out;
 }

@@ -1,17 +1,34 @@
 // Human-readable disassembly of MiniVM programs (debugging, the repair
-// lab's human-facing output, and golden tests).
+// lab's human-facing output, and golden tests) — plus views of the decoded
+// dispatch stream: the superinstruction listing and the opcode-pair
+// frequency dump that justifies the fusion table.
 #pragma once
 
 #include <string>
 
+#include "minivm/decode.h"
 #include "minivm/program.h"
 
 namespace softborg {
+
+// Instruction text without the pc prefix, e.g. "brif  r3 ? ->14 : ->17   (site 2)".
+std::string instr_text(const Instr& ins);
 
 // One instruction, e.g. "  12: brif  r3 ? ->14 : ->17   (site 2)".
 std::string disassemble_instr(const Instr& ins, std::uint32_t pc);
 
 // Whole program listing with thread-entry markers.
 std::string disassemble(const Program& p);
+
+// Listing of the decoded dispatch stream for `p`: fused slots show the
+// superinstruction token plus both original halves; plain slots match the
+// normal listing. `d` must be a predecode of `p`.
+std::string disassemble_decoded(const Program& p, const DecodedProgram& d);
+
+// Table of dynamic fallthrough opcode-pair frequencies, most frequent
+// first, with the matching superinstruction (if any) annotated per pair.
+// `top_n` limits the rows; 0 means all non-zero pairs.
+std::string format_pair_counts(const OpPairCounts& counts,
+                               std::size_t top_n = 0);
 
 }  // namespace softborg

@@ -23,6 +23,8 @@
 
 namespace softborg {
 
+struct OpPairCounts;  // minivm/decode.h
+
 // A schedule steering plan: follow these (thread, steps) runs while the
 // named thread is runnable; fall back to the seeded scheduler afterwards.
 struct SchedulePlan {
@@ -54,6 +56,14 @@ struct ExecConfig {
 
   bool collect_branch_events = false;
   bool detect_deadlock = true;
+
+  // Execute the superinstruction-fused decoded stream (decode.h). Fusion is
+  // trace-invisible — fused pairs debit steps/quantum once per original
+  // instruction — so this is a performance knob, not a semantics knob.
+  bool enable_fusion = true;
+  // When set, the run tallies dynamic fallthrough opcode pairs into the
+  // pointed-to counters (and runs unfused, so raw pairs are observable).
+  OpPairCounts* pair_counts = nullptr;
 };
 
 struct ExecResult {
@@ -68,6 +78,11 @@ struct ExecResult {
 
 // Runs `program` under `config`. Thread-safe: no shared mutable state.
 ExecResult execute(const Program& program, const ExecConfig& config);
+
+// The pre-dispatch-rebuild nested-switch interpreter, kept verbatim as a
+// differential baseline (interp_ref.cpp). Semantically identical to
+// execute(); ignores enable_fusion / pair_counts. Tests and benchmarks only.
+ExecResult execute_reference(const Program& program, const ExecConfig& config);
 
 // The process-wide default environment model (immutable).
 const EnvModel& default_env();

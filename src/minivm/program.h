@@ -86,6 +86,9 @@ struct Program {
   bool validate(std::string* error = nullptr) const;
 };
 
+// Number of opcodes; Op values are dense in [0, kNumOps).
+inline constexpr std::size_t kNumOps = static_cast<std::size_t>(Op::kHalt) + 1;
+
 // True for binary ALU operations reading regs b and c into reg a.
 bool is_binary_alu(Op op);
 

@@ -115,6 +115,7 @@ PodRun Pod::run_once(std::uint64_t day) {
   cfg.seed = rng_();
   cfg.max_steps = config_.max_steps;
   cfg.granularity = config_.granularity;
+  cfg.enable_fusion = config_.enable_fusion;
   cfg.fixes = &fixes_;
   if (directive && directive->schedule) {
     cfg.schedule_plan = &*directive->schedule;

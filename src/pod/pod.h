@@ -51,6 +51,10 @@ struct PodConfig {
   // turn the knobs up and measure the utility cost (E8).
   AnonymizeConfig anonymize{.strip_pod_id = false, .quantize_day = false};
   std::uint64_t max_steps = 200'000;
+  // Superinstruction fusion in the MiniVM core. Traces are byte-identical
+  // either way (tests/dispatch_diff_test.cpp); off is only useful for
+  // dispatch-overhead experiments.
+  bool enable_fusion = true;
 };
 
 struct PodRun {
