@@ -10,13 +10,24 @@
 // and diagnosed but deliberately never auto-fixed.
 //
 // Usage: fleet_simulation [seed] [--days N] [--metrics-json PATH]
-//                         [--metrics-prom PATH]
+//                         [--metrics-prom PATH] [--snapshot-dir DIR]
+//                         [--snapshot-every N] [--resume] [--warm-start]
 // The metrics flags enable span sampling for the run and write a final
 // snapshot of the global registry in JSON ("softborg.metrics.v1") or
 // Prometheus text exposition; PATH "-" writes to stdout.
+//
+// Persistence (src/store): --snapshot-dir plus --snapshot-every N write a
+// durable generation every N days. --resume restores the newest good
+// generation from --snapshot-dir and continues the run bit-identically to
+// one that was never interrupted; if the directory holds no loadable
+// snapshot (first run, torn write, version skew) the fleet cold-starts and
+// says so. --warm-start instead begins a FRESH run but replays the stored
+// regression set each day, so previously-found bugs resurface immediately.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
+#include <string>
 
 #include "core/softborg.h"
 #include "hive/report.h"
@@ -34,6 +45,8 @@ int main(int argc, char** argv) {
 
   const char* json_path = nullptr;
   const char* prom_path = nullptr;
+  bool resume = false;
+  bool warm_start = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--days") == 0 && i + 1 < argc) {
       config.days = static_cast<std::uint64_t>(atoll(argv[++i]));
@@ -41,6 +54,15 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-prom") == 0 && i + 1 < argc) {
       prom_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--snapshot-dir") == 0 && i + 1 < argc) {
+      config.snapshot_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--snapshot-every") == 0 && i + 1 < argc) {
+      config.snapshot_every_n_days =
+          static_cast<std::size_t>(atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else if (std::strcmp(argv[i], "--warm-start") == 0) {
+      warm_start = true;
     } else {
       config.seed = static_cast<std::uint64_t>(atoll(argv[i]));
     }
@@ -48,13 +70,42 @@ int main(int argc, char** argv) {
   if (json_path != nullptr || prom_path != nullptr) {
     obs::set_spans_enabled(true);  // populate the timing histograms too
   }
+  if ((resume || warm_start) && config.snapshot_dir.empty()) {
+    std::fprintf(stderr,
+                 "--resume/--warm-start need --snapshot-dir DIR\n");
+    return 2;
+  }
+  if (warm_start) {
+    std::string err;
+    config.warm_start_regressions =
+        load_regression_inputs(config.snapshot_dir, &err);
+    std::printf("warm start: %zu regression inputs%s%s\n",
+                config.warm_start_regressions.size(),
+                err.empty() ? "" : " — ", err.c_str());
+  }
 
-  World world(standard_corpus(), config);
+  std::optional<World> world_slot;
+  world_slot.emplace(standard_corpus(), config);
+  if (resume) {
+    std::string err;
+    if (world_slot->resume_from_snapshot(config.snapshot_dir, &err)) {
+      std::printf("resumed from %s at day %llu\n", config.snapshot_dir.c_str(),
+                  static_cast<unsigned long long>(world_slot->day()));
+    } else {
+      // A bad/missing snapshot is a clean cold start, never a crash — but
+      // the failed restore may have left the World partially mutated, so
+      // rebuild from scratch.
+      std::printf("no usable snapshot in %s (%s): cold start\n",
+                  config.snapshot_dir.c_str(), err.c_str());
+      world_slot.emplace(standard_corpus(), config);
+    }
+  }
+  World& world = *world_slot;
 
   std::printf("%-5s %-8s %-9s %-7s %-9s %-6s %-6s %-8s %-8s\n", "day",
               "runs", "failures", "rate%", "averted", "bugs", "fixed",
               "paths", "traces");
-  for (std::uint64_t day = 0; day < config.days; ++day) {
+  while (world.day() < config.days) {
     world.step_day();
     const auto& d = world.history().back();
     std::printf("%-5llu %-8llu %-9llu %-7.3f %-9llu %-6zu %-6zu %-8zu %-8llu\n",

@@ -70,6 +70,18 @@ class FlatU64Set {
     if (want > slots_.size()) rehash(want);
   }
 
+  // Visits every key in slot order (unspecified, hash-dependent). The one
+  // sanctioned departure from "no iteration": the durable store must
+  // serialize the dedup set, and sorts the visited keys itself so the
+  // snapshot bytes never depend on table history.
+  template <typename F>
+  void for_each(F&& f) const {
+    if (has_zero_) f(std::uint64_t{0});
+    for (const std::uint64_t key : slots_) {
+      if (key != 0) f(key);
+    }
+  }
+
  private:
   static std::size_t slots_for(std::size_t expected) {
     return std::bit_ceil(expected * 2 + 16);  // load factor <= 50%

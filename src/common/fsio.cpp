@@ -1,0 +1,130 @@
+#include "common/fsio.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace softborg {
+
+namespace {
+
+void set_err(std::string* err, const std::string& what) {
+  if (err != nullptr) *err = what + ": " + std::strerror(errno);
+}
+
+std::string dir_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+bool fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h = (h ^ p[i]) * 0x100000001b3ULL;
+  }
+  // splitmix finalizer so short inputs still scramble every output bit
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+bool atomic_write_file(const std::string& path, const void* data,
+                       std::size_t size, std::string* err) {
+  // Same-directory temp so the rename stays within one filesystem. The pid
+  // suffix keeps concurrent writers (two processes exporting metrics to the
+  // same path) from clobbering each other's temp file.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    set_err(err, "open " + tmp);
+    return false;
+  }
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t written = 0;
+  while (written < size) {
+    const ::ssize_t n = ::write(fd, p + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      set_err(err, "write " + tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    set_err(err, "fsync " + tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    set_err(err, "close " + tmp);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    set_err(err, "rename " + tmp + " -> " + path);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Persist the rename itself. Failure here is not fatal to correctness
+  // (the data is durable, only the directory entry might be replayed), so
+  // it is deliberately not an error.
+  fsync_path(dir_of(path));
+  return true;
+}
+
+bool read_file(const std::string& path, Bytes& out, std::size_t max_size) {
+  out.clear();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  struct ::stat st {};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0 ||
+      static_cast<std::uint64_t>(st.st_size) > max_size) {
+    ::close(fd);
+    return false;
+  }
+  out.resize(static_cast<std::size_t>(st.st_size));
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const ::ssize_t n = ::read(fd, out.data() + got, out.size() - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      out.clear();
+      return false;
+    }
+    if (n == 0) break;  // truncated between fstat and read
+    got += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  if (got != out.size()) {
+    out.clear();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace softborg

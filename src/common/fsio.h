@@ -1,0 +1,34 @@
+// Crash-safe file I/O primitives shared by the obs exporters and the
+// durable corpus store (src/store).
+//
+// atomic_write_file implements the classic torn-write-proof protocol:
+// write to a same-directory temp file, fsync the file, rename() over the
+// destination (atomic on POSIX), then fsync the directory so the rename
+// itself survives a power cut. Readers therefore see either the complete
+// old file or the complete new file — never a prefix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/varint.h"
+
+namespace softborg {
+
+// FNV-1a 64-bit with a splitmix finalizer; the store's part/manifest
+// checksum. Not cryptographic — it defends against bit rot and truncation,
+// not adversaries.
+std::uint64_t fnv1a64(const void* data, std::size_t n);
+
+// Writes `size` bytes to `path` via temp-file + fsync + atomic rename +
+// directory fsync. On failure returns false, sets *err (when non-null) to a
+// description, and leaves any previous file at `path` intact.
+bool atomic_write_file(const std::string& path, const void* data,
+                       std::size_t size, std::string* err = nullptr);
+
+// Reads the whole file into `out`. False (out cleared) when the file is
+// missing, unreadable, or larger than `max_size`.
+bool read_file(const std::string& path, Bytes& out,
+               std::size_t max_size = std::size_t(1) << 32);
+
+}  // namespace softborg

@@ -82,6 +82,15 @@ class Rng {
     return Rng(splitmix64(s));
   }
 
+  // State capture for the durable store (src/store): resuming a run from a
+  // snapshot must continue every stream exactly where it left off.
+  void export_state(std::uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = state_[i];
+  }
+  void import_state(const std::uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) state_[i] = in[i];
+  }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -1,10 +1,14 @@
 #include "core/world.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/check.h"
+#include "common/fsio.h"
 #include "common/log.h"
+#include "common/state_wire.h"
 #include "obs/span.h"
+#include "store/store.h"
 #include "trace/codec.h"
 
 namespace softborg {
@@ -176,6 +180,12 @@ void World::step_day() {
   DayMetrics metrics;
   metrics.day = day_;
 
+  // 0. Warm start: replay the persisted regression set before the day's
+  //    fresh traffic (the wires carry trace id 0, so dedup never eats them).
+  if (!config_.warm_start_regressions.empty()) {
+    hive_->ingest_batch(config_.warm_start_regressions);
+  }
+
   // 1. Deliver yesterday's in-flight downstream messages.
   deliver_downstream();
 
@@ -264,10 +274,304 @@ void World::step_day() {
       static_cast<unsigned long long>(metrics.failures),
       metrics.failure_rate * 100.0, metrics.bugs_found_total,
       metrics.bugs_fixed_total, metrics.total_paths);
+
+  // 6. Durable store: persist a generation at the configured cadence. A
+  //    failed save is logged, not fatal — the run continues, and the
+  //    previous generation stays loadable.
+  if (!config_.snapshot_dir.empty() && config_.snapshot_every_n_days > 0 &&
+      day_ % config_.snapshot_every_n_days == 0) {
+    std::string err;
+    if (!save_snapshot(config_.snapshot_dir, &err)) {
+      SB_CLOG_ERROR("world", "snapshot at day %llu failed: %s",
+                    static_cast<unsigned long long>(day_), err.c_str());
+    }
+  }
 }
 
 void World::run() {
   while (day_ < config_.days) step_day();
+}
+
+// --- durable store ----------------------------------------------------------
+
+std::uint64_t World::config_fingerprint() const {
+  // Everything with behavioral effect on a run, EXCEPT `days` (a resumed run
+  // may legitimately extend the horizon) and the snapshot/warm-start knobs
+  // themselves (where state is stored must not invalidate the state).
+  Bytes b;
+  put_varint(b, config_.seed);
+  put_varint(b, config_.pods_per_program);
+  put_f64(b, config_.mean_runs_per_day);
+  put_varint(b, config_.ticks_per_day);
+  put_bool(b, config_.distribute_fixes);
+  put_f64(b, config_.canary_fraction);
+  put_varint(b, config_.canary_days);
+  put_varint(b, config_.guidance_per_program_per_day);
+  put_varint(b, config_.proof_programs_per_day);
+  put_varint(b, static_cast<std::uint64_t>(config_.proof_property));
+  // Network.
+  put_f64(b, config_.net.drop_prob);
+  put_f64(b, config_.net.dup_prob);
+  put_varint(b, config_.net.min_latency_ticks);
+  put_varint(b, config_.net.max_latency_ticks);
+  put_varint(b, config_.net.seed);
+  // Pods.
+  put_varint(b, static_cast<std::uint64_t>(config_.pod_config.granularity));
+  put_varint(b, config_.pod_config.sampling_rate);
+  put_varint(b, config_.pod_config.max_steps);
+  put_bool(b, config_.pod_config.enable_fusion);
+  put_bool(b, config_.pod_config.anonymize.strip_pod_id);
+  put_varint(b, config_.pod_config.anonymize.pod_bucket_count);
+  put_bool(b, config_.pod_config.anonymize.quantize_day);
+  put_bool(b, config_.pod_config.anonymize.coarsen_syscalls);
+  put_varint(b, config_.pod_config.anonymize.bit_suppression);
+  // Hive.
+  put_f64(b, config_.hive.auto_fix_threshold);
+  put_varint(b, config_.hive.recurrence_grace_days);
+  put_varint(b, config_.hive.k_anonymity);
+  put_varint(b, config_.hive.seed);
+  put_bool(b, config_.hive.solver_cache);
+  put_varint(b, config_.hive.next_proof_id);
+  put_varint(b, config_.hive.fixer.next_fix_id);
+  put_varint(b, config_.hive.fixer.validation_runs_region);
+  put_varint(b, config_.hive.fixer.validation_runs_domain);
+  put_varint(b, config_.hive.fixer.seed);
+  // Corpus identity.
+  put_varint(b, corpus_.size());
+  for (const auto& entry : corpus_) put_varint(b, entry.program.id.value);
+  return fnv1a64(b.data(), b.size());
+}
+
+bool World::save_snapshot(const std::string& dir, std::string* err) const {
+  std::vector<store::Part> parts;
+  {
+    Bytes meta;
+    put_varint(meta, config_fingerprint());
+    put_varint(meta, day_);
+    parts.push_back({"meta", std::move(meta)});
+  }
+  {
+    Bytes w;
+    put_varint(w, day_);
+    std::uint64_t rng_state[4];
+    rng_.export_state(rng_state);
+    for (std::uint64_t word : rng_state) put_varint(w, word);
+    put_varint(w, fixes_distributed_);
+    put_varint(w, rollouts_cancelled_);
+    put_varint(w, pending_rollouts_.size());
+    for (const auto& pr : pending_rollouts_) {
+      Bytes c;
+      encode_fix_candidate(c, pr.candidate);
+      put_blob(w, c);
+      put_varint(w, pr.full_rollout_day);
+    }
+    put_varint(w, history_.size());
+    for (const DayMetrics& m : history_) {
+      put_varint(w, m.day);
+      put_varint(w, m.runs);
+      put_varint(w, m.failures);
+      put_f64(w, m.failure_rate);
+      put_varint(w, m.fix_interventions);
+      put_varint(w, m.bugs_found_total);
+      put_varint(w, m.bugs_fixed_total);
+      put_varint(w, m.fixes_distributed_total);
+      put_varint(w, m.total_paths);
+      put_varint(w, m.open_frontiers);
+      put_varint(w, m.traces_delivered_total);
+      put_varint(w, m.net_blocked_at_send_total);
+      put_varint(w, m.net_dropped_in_flight_total);
+      put_varint(w, m.net_dropped_total);
+      put_varint(w, m.proofs_valid_total);
+      put_varint(w, m.proof_solver_calls_total);
+      put_varint(w, m.proof_solver_recycled_total);
+    }
+    parts.push_back({"world", std::move(w)});
+  }
+  {
+    // Pod order is construction order, which the ctor re-derives from the
+    // corpus + config — so per-pod state maps positionally.
+    Bytes p;
+    put_varint(p, pods_.size());
+    for (const auto& slot : pods_) {
+      Bytes one;
+      slot.pod->save_state(one);
+      put_blob(p, one);
+    }
+    parts.push_back({"pods", std::move(p)});
+  }
+  {
+    Bytes n;
+    net_.save_state(n);
+    parts.push_back({"net", std::move(n)});
+  }
+  {
+    Bytes h;
+    hive_->save_state(h);
+    parts.push_back({"hive", std::move(h)});
+  }
+  {
+    Bytes t;
+    hive_->save_trees(t);
+    parts.push_back({"trees", std::move(t)});
+  }
+  {
+    Bytes s;
+    hive_->solver_cache().save_state(s);
+    parts.push_back({"solver", std::move(s)});
+  }
+  {
+    // The regression set is re-derived (not mutable state) but persisted as
+    // its own part so load_regression_inputs() can warm-start a fresh fleet
+    // without decoding the full hive ledger.
+    Bytes reg;
+    const std::vector<Bytes> wires = hive_->regression_inputs();
+    put_varint(reg, wires.size());
+    for (const Bytes& wire : wires) put_blob(reg, wire);
+    parts.push_back({"regress", std::move(reg)});
+  }
+  return store::write_snapshot(dir, day_, parts, err);
+}
+
+bool World::resume_from_snapshot(const std::string& dir, std::string* err) {
+  const auto snapshot = store::read_snapshot(dir, err);
+  if (!snapshot.has_value()) return false;
+  auto set_err = [&](const char* what) {
+    if (err != nullptr) *err = what;
+    return false;
+  };
+  const auto part = [&](const char* name) -> const Bytes* {
+    const auto it = snapshot->parts.find(name);
+    return it == snapshot->parts.end() ? nullptr : &it->second;
+  };
+  for (const char* name :
+       {"meta", "world", "pods", "net", "hive", "trees", "solver"}) {
+    if (part(name) == nullptr) return set_err("snapshot missing a part");
+  }
+
+  {
+    StateReader r(*part("meta"));
+    const std::uint64_t fingerprint = r.u64();
+    const std::uint64_t day = r.u64();
+    if (!r.done()) return set_err("meta part malformed");
+    if (fingerprint != config_fingerprint()) {
+      return set_err("config/corpus fingerprint mismatch");
+    }
+    if (day != snapshot->seq) return set_err("meta day != generation seq");
+  }
+  {
+    StateReader r(*part("world"));
+    day_ = r.u64();
+    std::uint64_t rng_state[4];
+    for (std::uint64_t& word : rng_state) word = r.u64();
+    if (!r.ok()) return set_err("world part malformed");
+    rng_.import_state(rng_state);
+    fixes_distributed_ = r.u64();
+    rollouts_cancelled_ = r.u64();
+    pending_rollouts_.clear();
+    const std::uint64_t n_rollouts = r.count(2);
+    for (std::uint64_t i = 0; i < n_rollouts && r.ok(); ++i) {
+      Bytes c;
+      r.blob(c);
+      PendingRollout pr;
+      StateReader cr(c);
+      if (!decode_fix_candidate(cr, pr.candidate) || !cr.done()) {
+        return set_err("pending rollout malformed");
+      }
+      pr.full_rollout_day = r.u64();
+      pending_rollouts_.push_back(std::move(pr));
+    }
+    history_.clear();
+    const std::uint64_t n_days = r.count(17);
+    history_.reserve(n_days);
+    for (std::uint64_t i = 0; i < n_days && r.ok(); ++i) {
+      DayMetrics m;
+      m.day = r.u64();
+      m.runs = r.u64();
+      m.failures = r.u64();
+      m.failure_rate = r.f64();
+      m.fix_interventions = r.u64();
+      m.bugs_found_total = r.u64();
+      m.bugs_fixed_total = r.u64();
+      m.fixes_distributed_total = r.u64();
+      m.total_paths = r.u64();
+      m.open_frontiers = r.u64();
+      m.traces_delivered_total = r.u64();
+      m.net_blocked_at_send_total = r.u64();
+      m.net_dropped_in_flight_total = r.u64();
+      m.net_dropped_total = r.u64();
+      m.proofs_valid_total = r.u64();
+      m.proof_solver_calls_total = r.u64();
+      m.proof_solver_recycled_total = r.u64();
+      history_.push_back(m);
+    }
+    if (!r.done()) return set_err("world part malformed");
+    if (day_ != snapshot->seq) return set_err("world day != generation seq");
+    if (history_.size() != day_) return set_err("history length != day");
+  }
+  {
+    StateReader r(*part("pods"));
+    if (r.u64() != pods_.size()) return set_err("pod count mismatch");
+    for (auto& slot : pods_) {
+      Bytes one;
+      r.blob(one);
+      if (!r.ok()) return set_err("pods part malformed");
+      StateReader pr(one);
+      if (!slot.pod->load_state(pr) || !pr.done()) {
+        return set_err("pod state malformed");
+      }
+    }
+    if (!r.done()) return set_err("pods part malformed");
+  }
+  {
+    StateReader r(*part("net"));
+    if (!net_.load_state(r) || !r.done()) {
+      return set_err("net part malformed");
+    }
+  }
+  {
+    StateReader r(*part("hive"));
+    if (!hive_->load_state(r) || !r.done()) {
+      return set_err("hive part malformed");
+    }
+  }
+  {
+    StateReader r(*part("trees"));
+    if (!hive_->load_trees(r) || !r.done()) {
+      return set_err("trees part malformed");
+    }
+  }
+  {
+    StateReader r(*part("solver"));
+    if (!hive_->solver_cache().load_state(r) || !r.done()) {
+      return set_err("solver part malformed");
+    }
+  }
+  return true;
+}
+
+std::vector<Bytes> load_regression_inputs(const std::string& dir,
+                                          std::string* err) {
+  const auto snapshot = store::read_snapshot(dir, err);
+  if (!snapshot.has_value()) return {};
+  const auto it = snapshot->parts.find("regress");
+  if (it == snapshot->parts.end()) {
+    if (err != nullptr) *err = "snapshot has no regress part";
+    return {};
+  }
+  StateReader r(it->second);
+  std::vector<Bytes> wires;
+  const std::uint64_t n = r.count();
+  wires.reserve(n);
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    Bytes wire;
+    r.blob(wire);
+    wires.push_back(std::move(wire));
+  }
+  if (!r.done()) {
+    if (err != nullptr) *err = "regress part malformed";
+    return {};
+  }
+  return wires;
 }
 
 }  // namespace softborg

@@ -53,6 +53,19 @@ struct WorldConfig {
   Property proof_property = Property::kNeverCrashes;
   std::size_t ticks_per_day = 12;
   std::uint64_t seed = 1;
+  // Durable corpus store (src/store). When snapshot_dir is non-empty and
+  // snapshot_every_n_days > 0, step_day() writes a full-state snapshot
+  // generation at the end of every n-th day; resume_from_snapshot() restores
+  // one, and the restored run continues bit-identically to a run that was
+  // never interrupted (tests/resume_test.cpp pins this).
+  std::string snapshot_dir;
+  std::size_t snapshot_every_n_days = 0;  // 0 = explicit save_snapshot only
+  // Warm start: encoded trace wires (a previous run's persisted
+  // crashing/regression set, see Hive::regression_inputs) ingested at the
+  // start of every day, before the day's fresh traffic — fuzzer-style
+  // replay of yesterday's crashers so known bugs resurface immediately in a
+  // fresh fleet.
+  std::vector<Bytes> warm_start_regressions;
   // Fleet telemetry: when true, step_day() captures a per-day delta snapshot
   // of the global metrics registry (counter increments since the previous
   // day) alongside DayMetrics; read the series back with metrics_history().
@@ -92,6 +105,8 @@ struct DayMetrics {
   std::size_t proofs_valid_total = 0;
   std::uint64_t proof_solver_calls_total = 0;
   std::uint64_t proof_solver_recycled_total = 0;
+
+  bool operator==(const DayMetrics&) const = default;
 };
 
 class World {
@@ -103,6 +118,7 @@ class World {
 
   std::uint64_t day() const { return day_; }
   Hive& hive() { return *hive_; }
+  const Hive& hive() const { return *hive_; }
   const std::vector<DayMetrics>& history() const { return history_; }
   // One registry delta snapshot per stepped day; empty unless
   // WorldConfig::record_metrics is set.
@@ -116,6 +132,21 @@ class World {
   std::size_t pending_rollouts() const { return pending_rollouts_.size(); }
   std::size_t rollouts_cancelled() const { return rollouts_cancelled_; }
 
+  // --- durable store ----------------------------------------------------------
+  // Writes a snapshot generation (seq = current day) of the entire mutable
+  // world state — hive ledgers, trees, solver cache, every pod, the network,
+  // day metrics, all rng streams — under `dir`, crash-safely (src/store).
+  // False on I/O failure; the previous generation stays loadable.
+  bool save_snapshot(const std::string& dir, std::string* err = nullptr) const;
+
+  // Restores the newest good generation under `dir` into this
+  // freshly-constructed World. Requires the same corpus and config as the
+  // saving run (a config/corpus fingerprint in the snapshot is checked).
+  // On false the World is in an unspecified state: discard it and construct
+  // a fresh one (clean cold start). On success, continuing with step_day()
+  // reproduces the uninterrupted run bit for bit.
+  bool resume_from_snapshot(const std::string& dir, std::string* err = nullptr);
+
  private:
   struct PodSlot {
     std::unique_ptr<Pod> pod;
@@ -124,6 +155,11 @@ class World {
   };
 
   UserProfile random_profile(const CorpusEntry& entry);
+  // Hash of everything that determines a run: config knobs with behavioral
+  // effect plus the corpus program ids. Stored in every snapshot's "meta"
+  // part; resume refuses a snapshot whose fingerprint differs (a snapshot
+  // from a differently-configured run would silently diverge, not resume).
+  std::uint64_t config_fingerprint() const;
   void deliver_downstream();
   void broadcast_fixes(const std::vector<FixCandidate>& fixes);
   void send_fix_to(const FixCandidate& candidate, const PodSlot& slot);
@@ -148,5 +184,12 @@ class World {
   std::vector<DayMetrics> history_;
   std::vector<obs::MetricsSnapshot> metrics_history_;
 };
+
+// Reads only the persisted crashing/regression set ("regress" part) from the
+// newest good snapshot under `dir` — the warm-start payload for a fresh
+// World (WorldConfig::warm_start_regressions). Empty when the directory has
+// no valid snapshot.
+std::vector<Bytes> load_regression_inputs(const std::string& dir,
+                                          std::string* err = nullptr);
 
 }  // namespace softborg

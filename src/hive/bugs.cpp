@@ -255,4 +255,127 @@ std::size_t BugTracker::count(BugKind kind) const {
   return n;
 }
 
+void LockOrderAnalyzer::save_state(Bytes& out) const {
+  put_varint(out, edges_.size());
+  for (const auto& [from, targets] : edges_) {
+    put_varint(out, from);
+    put_varint(out, targets.size());
+    for (const std::uint16_t to : targets) put_varint(out, to);
+  }
+}
+
+bool LockOrderAnalyzer::load_state(StateReader& r) {
+  edges_.clear();
+  const std::uint64_t n = r.count(2);
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    const std::uint64_t from = r.u64_max(0xffff);
+    if (i > 0 && from <= prev) r.fail();  // map keys strictly ascend
+    prev = from;
+    auto& targets = edges_[static_cast<std::uint16_t>(from)];
+    const std::uint64_t n_targets = r.count();
+    targets.reserve(n_targets);
+    for (std::uint64_t t = 0; t < n_targets && r.ok(); ++t) {
+      targets.push_back(static_cast<std::uint16_t>(r.u64_max(0xffff)));
+    }
+  }
+  return r.ok();
+}
+
+void BugTracker::save_state(Bytes& out) const {
+  put_varint(out, bugs_.size());
+  for (const Bug& bug : bugs_) {
+    put_varint(out, bug.id.value);
+    put_varint(out, bug.program.value);
+    put_varint(out, static_cast<std::uint64_t>(bug.kind));
+    put_bool(out, bug.crash.has_value());
+    if (bug.crash) {
+      put_varint(out, static_cast<std::uint64_t>(bug.crash->kind));
+      put_varint(out, bug.crash->pc);
+      put_varint_signed(out, bug.crash->detail);
+    }
+    put_varint(out, bug.cycle_locks.size());
+    for (const std::uint16_t lock : bug.cycle_locks) put_varint(out, lock);
+    put_varint(out, bug.occurrences);
+    put_varint(out, bug.first_day);
+    put_varint(out, bug.last_day);
+    put_blob(out, encode_trace(bug.exemplar));
+    put_bool(out, bug.fixed);
+    put_varint(out, bug.fix.value);
+    put_varint(out, bug.fixed_day);
+  }
+  // The signature index, sorted by key for deterministic bytes.
+  std::vector<std::pair<std::uint64_t, std::size_t>> index(index_.begin(),
+                                                           index_.end());
+  std::sort(index.begin(), index.end());
+  put_varint(out, index.size());
+  for (const auto& [key, idx] : index) {
+    put_varint(out, key);
+    put_varint(out, idx);
+  }
+  put_varint(out, next_id_);
+}
+
+bool BugTracker::load_state(StateReader& r) {
+  bugs_.clear();
+  index_.clear();
+  const std::uint64_t n_bugs = r.count(8);
+  bugs_.reserve(n_bugs);
+  for (std::uint64_t i = 0; i < n_bugs && r.ok(); ++i) {
+    Bug bug;
+    bug.id = BugId(r.u64());
+    bug.program = ProgramId(r.u64());
+    bug.kind = static_cast<BugKind>(r.u64_max(3));
+    if (r.boolean()) {
+      CrashInfo crash;
+      crash.kind = static_cast<CrashKind>(r.u64_max(3));
+      crash.pc = r.u32();
+      crash.detail = r.i64();
+      bug.crash = crash;
+    }
+    const std::uint64_t n_locks = r.count();
+    bug.cycle_locks.reserve(n_locks);
+    for (std::uint64_t l = 0; l < n_locks && r.ok(); ++l) {
+      bug.cycle_locks.push_back(static_cast<std::uint16_t>(r.u64_max(0xffff)));
+    }
+    bug.occurrences = r.u64();
+    bug.first_day = r.u64();
+    bug.last_day = r.u64();
+    Bytes wire;
+    r.blob(wire);
+    if (r.ok()) {
+      // A default exemplar (occurrences recorded via scalar sightings before
+      // the first decode) encodes and decodes like any other trace.
+      auto exemplar = decode_trace(wire);
+      if (!exemplar) {
+        r.fail();
+        return false;
+      }
+      bug.exemplar = std::move(*exemplar);
+    }
+    bug.fixed = r.boolean();
+    bug.fix = FixId(r.u64());
+    bug.fixed_day = r.u64();
+    if (r.ok() && bug.id.value == 0) r.fail();  // ids start at 1
+    bugs_.push_back(std::move(bug));
+  }
+  const std::uint64_t n_index = r.count(2);
+  index_.reserve(n_index);
+  std::uint64_t prev_key = 0;
+  for (std::uint64_t i = 0; i < n_index && r.ok(); ++i) {
+    const std::uint64_t key = r.u64();
+    if (i > 0 && key <= prev_key) r.fail();  // sorted, unique
+    prev_key = key;
+    const std::uint64_t idx = r.u64();
+    if (r.ok() && idx >= bugs_.size()) {
+      r.fail();  // index points past the database
+      return false;
+    }
+    index_.emplace(key, static_cast<std::size_t>(idx));
+  }
+  next_id_ = r.u64();
+  if (r.ok() && next_id_ <= bugs_.size()) r.fail();  // ids are 1-based, dense
+  return r.ok();
+}
+
 }  // namespace softborg

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/state_wire.h"
 #include "trace/trace.h"
 
 namespace softborg {
@@ -49,6 +50,8 @@ struct Bug {
   std::uint64_t fixed_day = 0;  // virtual day the fix was approved
 
   std::string describe() const;
+
+  bool operator==(const Bug&) const = default;
 };
 
 // Lock-order graph built from traces' lock events.
@@ -62,6 +65,15 @@ class LockOrderAnalyzer {
   std::vector<std::vector<std::uint16_t>> cycles() const;
 
   std::size_t num_edges() const;
+
+  // Durable-store serialization; the edge multimap round-trips exactly
+  // (duplicate targets included — they are what add_trace accumulates).
+  void save_state(Bytes& out) const;
+  bool load_state(StateReader& r);
+
+  bool operator==(const LockOrderAnalyzer& o) const {
+    return edges_ == o.edges_;
+  }
 
  private:
   std::map<std::uint16_t, std::vector<std::uint16_t>> edges_;
@@ -101,6 +113,18 @@ class BugTracker {
   void mark_schedule_dependent(BugId id);
 
   std::size_t count(BugKind kind) const;
+
+  // Durable-store serialization. Bugs round-trip in database order (ids,
+  // signatures, exemplars, fix state); the signature index is rebuilt from
+  // sorted keys so the bytes never depend on hash-map iteration order.
+  // load_state validates every index entry, id, enum tag, and exemplar wire
+  // record; false means corrupt — discard the tracker.
+  void save_state(Bytes& out) const;
+  bool load_state(StateReader& r);
+
+  bool operator==(const BugTracker& o) const {
+    return bugs_ == o.bugs_ && next_id_ == o.next_id_;
+  }
 
  private:
   std::uint64_t key_of(const Trace& t) const;

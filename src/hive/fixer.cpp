@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "minivm/interp.h"
 #include "minivm/replay.h"
+#include "pod/protocol.h"
 
 namespace softborg {
 
@@ -276,6 +277,79 @@ std::vector<FixCandidate> FixSynthesizer::synthesize(
                      return a.score() > b.score();
                    });
   return candidates;
+}
+
+void encode_fix_candidate(Bytes& out, const FixCandidate& c) {
+  put_varint(out, c.fix.index());
+  if (const auto* g = std::get_if<GuardPatch>(&c.fix)) {
+    put_blob(out, encode_guard_patch(*g));
+  } else if (const auto* cg = std::get_if<CrashGuardFix>(&c.fix)) {
+    put_blob(out, encode_crash_guard(*cg));
+  } else {
+    put_blob(out, encode_lock_fix(std::get<LockAvoidanceFix>(c.fix)));
+  }
+  put_varint(out, c.bug.value);
+  put_varint(out, c.program.value);
+  put_varint(out, c.region_hint.size());
+  for (const InputBound& b : c.region_hint) {
+    put_varint(out, b.input);
+    put_varint_signed(out, b.lo);
+    put_varint_signed(out, b.hi);
+  }
+  put_f64(out, c.averted_fraction);
+  put_f64(out, c.preserved_fraction);
+  put_varint(out, c.validation_runs);
+  put_str(out, c.rationale);
+}
+
+bool decode_fix_candidate(StateReader& r, FixCandidate& c) {
+  const std::uint64_t tag = r.u64_max(2);
+  Bytes wire;
+  r.blob(wire);
+  if (!r.ok()) return false;
+  bool decoded = false;
+  switch (tag) {
+    case 0:
+      if (auto g = decode_guard_patch(wire)) {
+        c.fix = std::move(*g);
+        decoded = true;
+      }
+      break;
+    case 1:
+      if (auto cg = decode_crash_guard(wire)) {
+        c.fix = std::move(*cg);
+        decoded = true;
+      }
+      break;
+    default:
+      if (auto lf = decode_lock_fix(wire)) {
+        c.fix = std::move(*lf);
+        decoded = true;
+      }
+      break;
+  }
+  if (!decoded) {
+    r.fail();  // the embedded wire record failed its protocol decoder
+    return false;
+  }
+  c.bug = BugId(r.u64());
+  c.program = ProgramId(r.u64());
+  const std::uint64_t n_bounds = r.count(3);
+  c.region_hint.clear();
+  c.region_hint.reserve(n_bounds);
+  for (std::uint64_t i = 0; i < n_bounds && r.ok(); ++i) {
+    InputBound b;
+    b.input = static_cast<std::uint16_t>(r.u64_max(0xffff));
+    b.lo = r.i64();
+    b.hi = r.i64();
+    if (b.lo > b.hi) r.fail();
+    c.region_hint.push_back(b);
+  }
+  c.averted_fraction = r.f64();
+  c.preserved_fraction = r.f64();
+  c.validation_runs = r.u64();
+  r.str(c.rationale);
+  return r.ok();
 }
 
 }  // namespace softborg

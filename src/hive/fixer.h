@@ -23,6 +23,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/state_wire.h"
 #include "hive/bugs.h"
 #include "minivm/corpus.h"
 #include "minivm/fixes.h"
@@ -46,7 +47,15 @@ struct FixCandidate {
   std::string rationale;
 
   double score() const { return averted_fraction * preserved_fraction; }
+
+  bool operator==(const FixCandidate&) const = default;
 };
+
+// Durable-store codec for fix candidates (pending rollouts, the repair
+// lab). The embedded fix rides as a validated protocol wire record; decode
+// returns false (reader failed) on any malformed field.
+void encode_fix_candidate(Bytes& out, const FixCandidate& c);
+bool decode_fix_candidate(StateReader& r, FixCandidate& c);
 
 struct FixerConfig {
   std::uint64_t next_fix_id = 1;
@@ -62,6 +71,11 @@ class FixSynthesizer {
   // Generates and validates candidates for `bug`, best score first.
   std::vector<FixCandidate> synthesize(const Bug& bug,
                                        const CorpusEntry& entry);
+
+  // Fix-id counter persistence: a resumed hive must keep issuing ids where
+  // the saved run stopped, or new fixes would collide with installed ones.
+  std::uint64_t next_fix_id() const { return config_.next_fix_id; }
+  void set_next_fix_id(std::uint64_t id) { config_.next_fix_id = id; }
 
  private:
   FixId next_id() { return FixId(config_.next_fix_id++); }

@@ -108,6 +108,11 @@ ExecTree* Hive::tree(ProgramId program) {
   return it == trees_.end() ? nullptr : &it->second;
 }
 
+const ExecTree* Hive::tree(ProgramId program) const {
+  auto it = trees_.find(program.value);
+  return it == trees_.end() ? nullptr : &it->second;
+}
+
 const SiteStats& Hive::site_stats(ProgramId program) {
   return sites_[program.value];
 }
@@ -810,6 +815,304 @@ std::size_t Hive::valid_proof_count() const {
     if (!published.revoked) n++;
   }
   return n;
+}
+
+namespace {
+
+// unordered containers serialize through sorted key lists so equal hives
+// always produce equal snapshot bytes, whatever their insertion history.
+template <typename Map>
+std::vector<std::uint64_t> sorted_map_keys(const Map& m) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(m.size());
+  for (const auto& [key, value] : m) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace
+
+void Hive::save_state(Bytes& out) const {
+  put_varint(out, stats_.traces_ingested);
+  put_varint(out, stats_.duplicates_dropped);
+  put_varint(out, stats_.decode_failures);
+  put_varint(out, stats_.replay_failures);
+  put_varint(out, stats_.patched_traces_skipped);
+  put_varint(out, stats_.gated_traces);
+  put_varint(out, stats_.paths_merged);
+  put_varint(out, stats_.new_paths);
+  put_varint(out, stats_.bugs_found);
+  put_varint(out, stats_.fixes_approved);
+  put_varint(out, stats_.repair_lab_entries);
+  put_varint(out, stats_.proofs_revoked);
+  put_varint(out, stats_.fixed_traces_seen);
+  put_varint(out, stats_.fix_recurrences);
+  put_varint(out, stats_.bugs_reopened);
+  put_varint(out, ingest_stats_.batches);
+  put_varint(out, ingest_stats_.batch_traces);
+  put_varint(out, ingest_stats_.replay_cache_hits);
+  put_varint(out, ingest_stats_.replay_cache_misses);
+  put_f64(out, ingest_stats_.decode_seconds);
+  put_f64(out, ingest_stats_.serial_seconds);
+  put_f64(out, ingest_stats_.replay_seconds);
+  put_f64(out, ingest_stats_.merge_seconds);
+  put_varint(out, proof_stats_.attempts);
+  put_varint(out, proof_stats_.publishable);
+  put_varint(out, proof_stats_.refuted);
+  put_varint(out, proof_stats_.solver_calls);
+  put_varint(out, proof_stats_.solver_cache_hits);
+  put_varint(out, proof_stats_.solver_unsat_subsumed);
+  put_varint(out, proof_stats_.solver_models_reused);
+
+  const auto lock_keys = sorted_map_keys(locks_);
+  put_varint(out, lock_keys.size());
+  for (const std::uint64_t key : lock_keys) {
+    put_varint(out, key);
+    locks_.at(key).save_state(out);
+  }
+  const auto site_keys = sorted_map_keys(sites_);
+  put_varint(out, site_keys.size());
+  for (const std::uint64_t key : site_keys) {
+    put_varint(out, key);
+    sites_.at(key).save_state(out);
+  }
+
+  std::vector<std::uint64_t> seen;
+  seen.reserve(seen_trace_ids_.size());
+  seen_trace_ids_.for_each([&](std::uint64_t id) { seen.push_back(id); });
+  std::sort(seen.begin(), seen.end());
+  put_varint(out, seen.size());
+  for (const std::uint64_t id : seen) put_varint(out, id);
+
+  put_bool(out, gate_ != nullptr);
+  if (gate_ != nullptr) gate_->save_state(out);
+
+  bugs_.save_state(out);
+  put_varint(out, fixer_.next_fix_id());
+  put_varint(out, prover_.next_id());
+  std::uint64_t rng_state[4];
+  rng_.export_state(rng_state);
+  for (const std::uint64_t word : rng_state) put_varint(out, word);
+  put_varint(out, latest_day_seen_);
+
+  std::vector<std::uint64_t> attempted(fix_attempted_bugs_.begin(),
+                                       fix_attempted_bugs_.end());
+  std::sort(attempted.begin(), attempted.end());
+  put_varint(out, attempted.size());
+  for (const std::uint64_t id : attempted) put_varint(out, id);
+
+  const auto recurrence_keys = sorted_map_keys(recurrences_);
+  put_varint(out, recurrence_keys.size());
+  for (const std::uint64_t key : recurrence_keys) {
+    put_varint(out, key);
+    put_varint(out, recurrences_.at(key));
+  }
+
+  put_varint(out, repair_lab_.size());
+  for (const RepairLabEntry& entry : repair_lab_) {
+    encode_fix_candidate(out, entry.candidate);
+    put_str(out, entry.why_not_auto);
+  }
+  put_varint(out, proofs_.size());
+  for (const PublishedProof& published : proofs_) {
+    encode_certificate(out, published.certificate);
+    put_bool(out, published.revoked);
+  }
+}
+
+bool Hive::load_state(StateReader& r) {
+  stats_.traces_ingested = r.u64();
+  stats_.duplicates_dropped = r.u64();
+  stats_.decode_failures = r.u64();
+  stats_.replay_failures = r.u64();
+  stats_.patched_traces_skipped = r.u64();
+  stats_.gated_traces = r.u64();
+  stats_.paths_merged = r.u64();
+  stats_.new_paths = r.u64();
+  stats_.bugs_found = r.u64();
+  stats_.fixes_approved = r.u64();
+  stats_.repair_lab_entries = r.u64();
+  stats_.proofs_revoked = r.u64();
+  stats_.fixed_traces_seen = r.u64();
+  stats_.fix_recurrences = r.u64();
+  stats_.bugs_reopened = r.u64();
+  ingest_stats_.batches = r.u64();
+  ingest_stats_.batch_traces = r.u64();
+  ingest_stats_.replay_cache_hits = r.u64();
+  ingest_stats_.replay_cache_misses = r.u64();
+  ingest_stats_.decode_seconds = r.f64();
+  ingest_stats_.serial_seconds = r.f64();
+  ingest_stats_.replay_seconds = r.f64();
+  ingest_stats_.merge_seconds = r.f64();
+  proof_stats_.attempts = r.u64();
+  proof_stats_.publishable = r.u64();
+  proof_stats_.refuted = r.u64();
+  proof_stats_.solver_calls = r.u64();
+  proof_stats_.solver_cache_hits = r.u64();
+  proof_stats_.solver_unsat_subsumed = r.u64();
+  proof_stats_.solver_models_reused = r.u64();
+
+  locks_.clear();
+  const std::uint64_t n_locks = r.count(2);
+  std::uint64_t prev_key = 0;
+  for (std::uint64_t i = 0; i < n_locks && r.ok(); ++i) {
+    const std::uint64_t key = r.u64();
+    if ((i > 0 && key <= prev_key) || entry_of(ProgramId(key)) == nullptr) {
+      r.fail();
+      return false;
+    }
+    prev_key = key;
+    if (!locks_[key].load_state(r)) return false;
+  }
+  sites_.clear();
+  const std::uint64_t n_sites = r.count(2);
+  prev_key = 0;
+  for (std::uint64_t i = 0; i < n_sites && r.ok(); ++i) {
+    const std::uint64_t key = r.u64();
+    if ((i > 0 && key <= prev_key) || entry_of(ProgramId(key)) == nullptr) {
+      r.fail();
+      return false;
+    }
+    prev_key = key;
+    if (!sites_[key].load_state(r)) return false;
+  }
+
+  seen_trace_ids_ = FlatU64Set{};
+  const std::uint64_t n_seen = r.count();
+  seen_trace_ids_.reserve(n_seen);
+  std::uint64_t prev_id = 0;
+  for (std::uint64_t i = 0; i < n_seen && r.ok(); ++i) {
+    const std::uint64_t id = r.u64();
+    if (i > 0 && id <= prev_id) r.fail();  // sorted, unique
+    prev_id = id;
+    seen_trace_ids_.insert(id);
+  }
+
+  const bool has_gate = r.boolean();
+  if (r.ok() && has_gate != (gate_ != nullptr)) {
+    r.fail();  // k-anonymity config mismatch
+    return false;
+  }
+  if (has_gate && !gate_->load_state(r)) return false;
+
+  if (!bugs_.load_state(r)) return false;
+  fixer_.set_next_fix_id(r.u64());
+  prover_.set_next_id(r.u64());
+  std::uint64_t rng_state[4];
+  for (std::uint64_t& word : rng_state) word = r.u64();
+  rng_.import_state(rng_state);
+  latest_day_seen_ = r.u64();
+
+  fix_attempted_bugs_.clear();
+  const std::uint64_t n_attempted = r.count();
+  prev_id = 0;
+  for (std::uint64_t i = 0; i < n_attempted && r.ok(); ++i) {
+    const std::uint64_t id = r.u64();
+    if (i > 0 && id <= prev_id) r.fail();
+    prev_id = id;
+    fix_attempted_bugs_.insert(id);
+  }
+  recurrences_.clear();
+  const std::uint64_t n_recurrences = r.count(2);
+  prev_key = 0;
+  for (std::uint64_t i = 0; i < n_recurrences && r.ok(); ++i) {
+    const std::uint64_t key = r.u64();
+    if (i > 0 && key <= prev_key) r.fail();
+    prev_key = key;
+    recurrences_[key] = r.u64();
+  }
+
+  repair_lab_.clear();
+  const std::uint64_t n_lab = r.count(4);
+  repair_lab_.reserve(n_lab);
+  for (std::uint64_t i = 0; i < n_lab && r.ok(); ++i) {
+    RepairLabEntry entry;
+    if (!decode_fix_candidate(r, entry.candidate)) return false;
+    r.str(entry.why_not_auto);
+    repair_lab_.push_back(std::move(entry));
+  }
+  proofs_.clear();
+  const std::uint64_t n_proofs = r.count(8);
+  proofs_.reserve(n_proofs);
+  for (std::uint64_t i = 0; i < n_proofs && r.ok(); ++i) {
+    PublishedProof published;
+    if (!decode_certificate(r, published.certificate)) return false;
+    if (entry_of(published.certificate.program) == nullptr) {
+      r.fail();
+      return false;
+    }
+    published.revoked = r.boolean();
+    proofs_.push_back(std::move(published));
+  }
+  if (!r.ok()) return false;
+
+  // The run that saved this state already published its counter totals into
+  // the process-global registry; baseline so they are not re-published.
+  obs_published_stats_ = stats_;
+  obs_published_ingest_ = ingest_stats_;
+  obs_published_proof_ = proof_stats_;
+  return true;
+}
+
+void Hive::save_trees(Bytes& out) const {
+  // Corpus order, not map order: deterministic bytes.
+  std::uint64_t n = 0;
+  for (const auto& entry : *corpus_) {
+    if (trees_.count(entry.program.id.value) != 0) n++;
+  }
+  put_varint(out, n);
+  for (const auto& entry : *corpus_) {
+    auto it = trees_.find(entry.program.id.value);
+    if (it == trees_.end()) continue;
+    put_varint(out, entry.program.id.value);
+    put_blob(out, it->second.encode());
+  }
+}
+
+bool Hive::load_trees(StateReader& r) {
+  trees_.clear();
+  const std::uint64_t n = r.count(2);
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    const std::uint64_t program = r.u64();
+    Bytes wire;
+    r.blob(wire);
+    if (!r.ok()) return false;
+    if (entry_of(ProgramId(program)) == nullptr) {
+      r.fail();  // tree for a program outside this corpus
+      return false;
+    }
+    // The hardened v2 tree decoder validates structure; a torn or
+    // bit-flipped tree comes back nullopt, never a malformed tree.
+    auto tree = ExecTree::decode(wire);
+    if (!tree || tree->program().value != program) {
+      r.fail();
+      return false;
+    }
+    if (!trees_.emplace(program, std::move(*tree)).second) {
+      r.fail();  // duplicate program
+      return false;
+    }
+  }
+  return r.ok();
+}
+
+std::vector<Bytes> Hive::regression_inputs() const {
+  std::vector<Bytes> wires;
+  for (const Bug& bug : bugs_.all()) {
+    // Scalar-only sightings leave the exemplar default (outcome kOk);
+    // nothing to replay for those.
+    if (bug.exemplar.outcome == Outcome::kOk) continue;
+    Trace t = bug.exemplar;
+    // Sanitize identity: trace id 0 skips the dedup set (so a warm-started
+    // hive re-ingests it), and pod/day/guided are the saving run's context,
+    // meaningless — and misleading — in the importing run.
+    t.id = TraceId(0);
+    t.pod = PodId(0);
+    t.day = 0;
+    t.guided = false;
+    wires.push_back(encode_trace(t));
+  }
+  return wires;
 }
 
 }  // namespace softborg

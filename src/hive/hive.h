@@ -168,7 +168,9 @@ class Hive {
 
   // --- introspection ----------------------------------------------------------
   ExecTree* tree(ProgramId program);
+  const ExecTree* tree(ProgramId program) const;
   BugTracker& bug_tracker() { return bugs_; }
+  const BugTracker& bug_tracker() const { return bugs_; }
   const std::vector<RepairLabEntry>& repair_lab() const { return repair_lab_; }
   const HiveStats& stats() const { return stats_; }
   const IngestStats& ingest_stats() const { return ingest_stats_; }
@@ -210,6 +212,32 @@ class Hive {
     bool operator==(const ProofClosureStats&) const = default;
   };
   const ProofClosureStats& proof_stats() const { return proof_stats_; }
+
+  // --- durable store (src/store) ---------------------------------------------
+  // save_state/load_state cover every accumulated ledger except the trees
+  // and the solver cache (separate parts below, so warm starts can import
+  // them without the run-specific state) and the replay memoization cache
+  // (pure derived perf state: replay is deterministic, so it re-fills
+  // identically — only IngestStats timing telemetry could notice).
+  // load_state expects a hive constructed over the same corpus with the
+  // same config; it validates every embedded record against the corpus and
+  // re-baselines metric publication at the restored stats. False means the
+  // snapshot is corrupt — discard the hive and cold-start.
+  void save_state(Bytes& out) const;
+  bool load_state(StateReader& r);
+
+  // Per-program execution trees, serialized in corpus order on the v2 tree
+  // wire (tree/tree_codec). load_trees validates each tree through the
+  // hardened decoder and rejects programs outside the corpus.
+  void save_trees(Bytes& out) const;
+  bool load_trees(StateReader& r);
+
+  // The persisted crashing/regression set: one sanitized trace wire per
+  // recorded bug exemplar (failing outcomes only), in bug-database order.
+  // Identity fields are zeroed (trace id 0 skips dedup) so a warm-started
+  // fleet can replay yesterday's crashers before today's fresh traffic —
+  // fuzzer-style corpus replay across process lifetimes.
+  std::vector<Bytes> regression_inputs() const;
 
  private:
   const CorpusEntry* entry_of(ProgramId program) const;

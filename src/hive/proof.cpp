@@ -228,4 +228,72 @@ bool check_certificate(const CorpusEntry& entry, const ProofCertificate& cert,
   return true;
 }
 
+void encode_certificate(Bytes& out, const ProofCertificate& cert) {
+  put_varint(out, cert.id.value);
+  put_varint(out, cert.program.value);
+  put_varint(out, static_cast<std::uint64_t>(cert.property));
+  put_varint(out, cert.input_domain.size());
+  for (const VarDomain& d : cert.input_domain) {
+    put_varint_signed(out, d.lo);
+    put_varint_signed(out, d.hi);
+  }
+  put_varint(out, cert.paths_total);
+  put_varint(out, cert.paths_from_executions);
+  put_varint(out, cert.paths_from_symbolic);
+  put_varint(out, cert.gaps_closed_infeasible);
+  put_bool(out, cert.complete);
+  put_bool(out, cert.holds);
+  put_varint(out, cert.frontier_clips);
+  put_varint(out, cert.counterexample.size());
+  for (const SymDecision& d : cert.counterexample) {
+    put_varint(out, d.site);
+    put_bool(out, d.taken);
+  }
+  put_varint(out, static_cast<std::uint64_t>(cert.counterexample_outcome));
+  put_varint(out, cert.solver_calls);
+  put_varint(out, cert.solver_cache_hits);
+  put_varint(out, cert.solver_unsat_subsumed);
+  put_varint(out, cert.solver_models_reused);
+  put_varint(out, cert.day_issued);
+}
+
+bool decode_certificate(StateReader& r, ProofCertificate& cert) {
+  cert.id = ProofId(r.u64());
+  cert.program = ProgramId(r.u64());
+  cert.property = static_cast<Property>(r.u64_max(2));
+  const std::uint64_t n_domains = r.count(2);
+  cert.input_domain.clear();
+  cert.input_domain.reserve(n_domains);
+  for (std::uint64_t i = 0; i < n_domains && r.ok(); ++i) {
+    VarDomain d;
+    d.lo = r.i64();
+    d.hi = r.i64();
+    if (d.lo > d.hi) r.fail();
+    cert.input_domain.push_back(d);
+  }
+  cert.paths_total = r.u64();
+  cert.paths_from_executions = r.u64();
+  cert.paths_from_symbolic = r.u64();
+  cert.gaps_closed_infeasible = r.u64();
+  cert.complete = r.boolean();
+  cert.holds = r.boolean();
+  cert.frontier_clips = r.u64();
+  const std::uint64_t n_cex = r.count(2);
+  cert.counterexample.clear();
+  cert.counterexample.reserve(n_cex);
+  for (std::uint64_t i = 0; i < n_cex && r.ok(); ++i) {
+    SymDecision d;
+    d.site = r.u32();
+    d.taken = r.boolean();
+    cert.counterexample.push_back(d);
+  }
+  cert.counterexample_outcome = static_cast<Outcome>(r.u64_max(4));
+  cert.solver_calls = r.u64();
+  cert.solver_cache_hits = r.u64();
+  cert.solver_unsat_subsumed = r.u64();
+  cert.solver_models_reused = r.u64();
+  cert.day_issued = r.u64();
+  return r.ok();
+}
+
 }  // namespace softborg

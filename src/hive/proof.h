@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/state_wire.h"
 #include "minivm/corpus.h"
 #include "sym/executor.h"
 #include "tree/exec_tree.h"
@@ -114,6 +115,8 @@ class ProofEngine {
   // so ids match what a serial loop over the same programs would issue.
   std::uint64_t next_id() const { return next_id_; }
   void advance_ids(std::uint64_t n) { next_id_ += n; }
+  // Durable-store restore: a resumed hive continues the saved id sequence.
+  void set_next_id(std::uint64_t id) { next_id_ = id; }
 
  private:
   std::uint64_t next_id_;
@@ -126,5 +129,11 @@ class ProofEngine {
 // false with a reason on any discrepancy.
 bool check_certificate(const CorpusEntry& entry, const ProofCertificate& cert,
                        std::uint64_t max_checks, std::string* reason);
+
+// Durable-store codec: a resumed run's published-proof ledger round-trips
+// exactly (operator== above), solver-cache counters included. decode
+// validates every enum tag and domain bound; false = reader failed.
+void encode_certificate(Bytes& out, const ProofCertificate& cert);
+bool decode_certificate(StateReader& r, ProofCertificate& cert);
 
 }  // namespace softborg

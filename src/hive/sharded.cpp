@@ -257,4 +257,53 @@ std::map<std::uint64_t, Bytes> ShardedHive::export_trees(std::size_t index) {
   return out;
 }
 
+void ShardedHive::save_state(Bytes& out) const {
+  put_varint(out, shards_.size());
+  for (const Shard& shard : shards_) {
+    Bytes state, trees, solver;
+    shard.hive->save_state(state);
+    shard.hive->save_trees(trees);
+    shard.hive->solver_cache().save_state(solver);
+    put_blob(out, state);
+    put_blob(out, trees);
+    put_blob(out, solver);
+  }
+  put_varint(out, routed_);
+  put_varint(out, routing_failures_);
+  put_varint(out, unroutable_);
+}
+
+bool ShardedHive::load_state(StateReader& r) {
+  if (r.u64() != shards_.size()) {
+    r.fail();  // different shard count: hash routing would misdeliver
+    return false;
+  }
+  for (Shard& shard : shards_) {
+    Bytes state, trees, solver;
+    r.blob(state);
+    r.blob(trees);
+    r.blob(solver);
+    if (!r.ok()) return false;
+    StateReader sr(state);
+    if (!shard.hive->load_state(sr) || !sr.done()) {
+      r.fail();
+      return false;
+    }
+    StateReader tr(trees);
+    if (!shard.hive->load_trees(tr) || !tr.done()) {
+      r.fail();
+      return false;
+    }
+    StateReader cr(solver);
+    if (!shard.hive->solver_cache().load_state(cr) || !cr.done()) {
+      r.fail();
+      return false;
+    }
+  }
+  routed_ = r.u64();
+  routing_failures_ = r.u64();
+  unroutable_ = r.u64();
+  return r.ok();
+}
+
 }  // namespace softborg

@@ -115,6 +115,14 @@ class ShardedHive {
   std::uint64_t routing_failures() const { return routing_failures_; }
   std::uint64_t unroutable() const { return unroutable_; }
 
+  // Durable-store serialization: per-shard hive state + trees + solver
+  // cache (in shard order) plus the router tallies. load_state expects a
+  // ShardedHive constructed with the same corpus, shard count, and config;
+  // a snapshot with a different shard count is rejected (hash routing would
+  // send restored programs to the wrong shards). False = corrupt; discard.
+  void save_state(Bytes& out) const;
+  bool load_state(StateReader& r);
+
  private:
   struct Shard {
     std::unique_ptr<Hive> hive;

@@ -132,6 +132,122 @@ void SimNet::publish_metrics() {
   }
 }
 
+namespace {
+
+void put_message(Bytes& out, const Message& m) {
+  put_varint(out, m.from);
+  put_varint(out, m.to);
+  put_varint(out, m.type);
+  put_blob(out, m.payload);
+  put_varint(out, m.sent_tick);
+  put_varint(out, m.deliver_tick);
+}
+
+bool get_message(StateReader& r, std::size_t n_endpoints, Message& m) {
+  if (n_endpoints == 0) {  // a message with no endpoints cannot be valid
+    r.fail();
+    return false;
+  }
+  m.from = r.u64_max(n_endpoints - 1);
+  m.to = r.u64_max(n_endpoints - 1);
+  m.type = r.u32();
+  r.blob(m.payload);
+  m.sent_tick = r.u64();
+  m.deliver_tick = r.u64();
+  return r.ok();
+}
+
+}  // namespace
+
+void SimNet::save_state(Bytes& out) const {
+  std::uint64_t rng_state[4];
+  rng_.export_state(rng_state);
+  for (const std::uint64_t word : rng_state) put_varint(out, word);
+  put_varint(out, now_);
+  put_varint(out, inboxes_.size());
+  for (const auto& inbox : inboxes_) {
+    put_varint(out, inbox.size());
+    for (const Message& m : inbox) put_message(out, m);
+  }
+  put_varint(out, in_flight_.size());
+  for (const auto& [tick, msgs] : in_flight_) {
+    put_varint(out, tick);
+    put_varint(out, msgs.size());
+    for (const Message& m : msgs) put_message(out, m);
+  }
+  put_varint(out, partitions_.size());
+  for (const auto& [a, b] : partitions_) {
+    put_varint(out, a);
+    put_varint(out, b);
+  }
+  put_varint(out, isolated_.size());
+  for (const Endpoint ep : isolated_) put_varint(out, ep);
+  put_varint(out, stats_.sent);
+  put_varint(out, stats_.delivered);
+  put_varint(out, stats_.dropped);
+  put_varint(out, stats_.duplicated);
+  put_varint(out, stats_.blocked_at_send);
+  put_varint(out, stats_.dropped_in_flight);
+  put_varint(out, stats_.bytes_sent);
+}
+
+bool SimNet::load_state(StateReader& r) {
+  std::uint64_t rng_state[4];
+  for (std::uint64_t& word : rng_state) word = r.u64();
+  rng_.import_state(rng_state);
+  now_ = r.u64();
+  const std::uint64_t n_endpoints = r.count();
+  inboxes_.assign(n_endpoints, {});
+  for (auto& inbox : inboxes_) {
+    const std::uint64_t n = r.count(6);
+    inbox.resize(n);
+    for (Message& m : inbox) {
+      if (!get_message(r, n_endpoints, m)) return false;
+    }
+  }
+  in_flight_.clear();
+  queued_ = 0;
+  const std::uint64_t n_buckets = r.count(2);
+  std::uint64_t prev_tick = 0;
+  for (std::uint64_t i = 0; i < n_buckets && r.ok(); ++i) {
+    const std::uint64_t tick = r.u64();
+    if (i > 0 && tick <= prev_tick) r.fail();  // map keys strictly ascend
+    prev_tick = tick;
+    const std::uint64_t n = r.count(6);
+    auto& bucket = in_flight_[tick];
+    bucket.resize(n);
+    for (Message& m : bucket) {
+      if (!get_message(r, n_endpoints, m)) return false;
+    }
+    queued_ += static_cast<std::int64_t>(n);
+  }
+  partitions_.clear();
+  const std::uint64_t n_partitions = r.count(2);
+  for (std::uint64_t i = 0; i < n_partitions && r.ok(); ++i) {
+    const Endpoint a = r.u64();
+    const Endpoint b = r.u64();
+    if (a >= b || !partitions_.emplace(a, b).second) r.fail();
+  }
+  isolated_.clear();
+  const std::uint64_t n_isolated = r.count();
+  for (std::uint64_t i = 0; i < n_isolated && r.ok(); ++i) {
+    if (!isolated_.insert(r.u64()).second) r.fail();
+  }
+  stats_.sent = r.u64();
+  stats_.delivered = r.u64();
+  stats_.dropped = r.u64();
+  stats_.duplicated = r.u64();
+  stats_.blocked_at_send = r.u64();
+  stats_.dropped_in_flight = r.u64();
+  stats_.bytes_sent = r.u64();
+  if (!r.ok()) return false;
+  // The saving run already published these totals into the process-global
+  // registry; baseline here so the restored deltas are not re-published.
+  obs_published_ = stats_;
+  obs_published_depth_ = queued_;
+  return true;
+}
+
 std::vector<Message> SimNet::drain(Endpoint ep) {
   SB_CHECK(ep < inboxes_.size());
   // Move the inbox out wholesale — draining used to copy every payload.

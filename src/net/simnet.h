@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/state_wire.h"
 #include "common/varint.h"
 
 namespace softborg {
@@ -49,6 +50,8 @@ struct NetStats {
   std::uint64_t blocked_at_send = 0;
   std::uint64_t dropped_in_flight = 0;
   std::uint64_t bytes_sent = 0;
+
+  bool operator==(const NetStats&) const = default;
 };
 
 class SimNet {
@@ -75,6 +78,16 @@ class SimNet {
   void set_isolated(Endpoint ep, bool isolated);
 
   const NetStats& stats() const { return stats_; }
+
+  // Durable-store serialization of all mutable state (endpoints, clock, rng,
+  // inboxes, in-flight queues, partitions, stats). Config is not persisted —
+  // the resuming World reconstructs the net with the same NetConfig, then
+  // overwrites its state. load_state replaces this net's state wholesale and
+  // re-baselines metric publication at the restored stats (the deltas were
+  // already published by the run that saved); on false the net is
+  // unspecified — discard it.
+  void save_state(Bytes& out) const;
+  bool load_state(StateReader& r);
 
  private:
   bool blocked(Endpoint a, Endpoint b) const;

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "common/fsio.h"
 #include "common/log.h"
 
 namespace softborg::obs {
@@ -127,15 +128,14 @@ bool write_text_file(const std::string& path, const std::string& content) {
     std::fwrite(content.data(), 1, content.size(), stdout);
     return true;
   }
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    SB_CLOG_ERROR("obs", "cannot write %s", path.c_str());
+  // Atomic temp+fsync+rename: CI artifact consumers parse these files, and
+  // a crash mid-write used to leave a torn (half-parseable) snapshot behind.
+  std::string err;
+  if (!atomic_write_file(path, content.data(), content.size(), &err)) {
+    SB_CLOG_ERROR("obs", "cannot write %s (%s)", path.c_str(), err.c_str());
     return false;
   }
-  const bool ok = std::fwrite(content.data(), 1, content.size(), f) ==
-                  content.size();
-  std::fclose(f);
-  return ok;
+  return true;
 }
 
 }  // namespace softborg::obs

@@ -170,4 +170,103 @@ PodRun Pod::run_once(std::uint64_t day) {
   return run;
 }
 
+void Pod::save_state(Bytes& out) const {
+  std::uint64_t rng_state[4];
+  rng_.export_state(rng_state);
+  for (const std::uint64_t word : rng_state) put_varint(out, word);
+  put_varint(out, fixes_.guards.size());
+  for (const GuardPatch& p : fixes_.guards) put_blob(out, encode_guard_patch(p));
+  put_varint(out, fixes_.crash_guards.size());
+  for (const CrashGuardFix& f : fixes_.crash_guards)
+    put_blob(out, encode_crash_guard(f));
+  put_varint(out, fixes_.lock_fixes.size());
+  for (const LockAvoidanceFix& f : fixes_.lock_fixes)
+    put_blob(out, encode_lock_fix(f));
+  put_varint(out, installed_fix_ids_.size());
+  for (const std::uint64_t id : installed_fix_ids_) put_varint(out, id);
+  put_varint(out, guidance_.size());
+  for (const GuidanceDirective& g : guidance_) put_blob(out, encode_guidance(g));
+  put_varint(out, stats_.runs);
+  put_varint(out, stats_.failures);
+  put_varint(out, stats_.fix_interventions);
+  put_varint(out, stats_.guided_runs);
+  put_varint(out, next_trace_seq_);
+}
+
+bool Pod::load_state(StateReader& r) {
+  std::uint64_t rng_state[4];
+  for (std::uint64_t& word : rng_state) word = r.u64();
+  rng_.import_state(rng_state);
+
+  // Each fix/guidance record round-trips through its validated protocol
+  // decoder, so a bit-flipped snapshot fails here rather than installing a
+  // malformed fix into the interpreter.
+  fixes_ = FixSet{};
+  const std::uint64_t n_guards = r.count();
+  fixes_.guards.reserve(n_guards);
+  for (std::uint64_t i = 0; i < n_guards && r.ok(); ++i) {
+    Bytes wire;
+    r.blob(wire);
+    auto p = r.ok() ? decode_guard_patch(wire) : std::nullopt;
+    if (!p || p->program != program()) {
+      r.fail();
+      return false;
+    }
+    fixes_.guards.push_back(std::move(*p));
+  }
+  const std::uint64_t n_crash = r.count();
+  fixes_.crash_guards.reserve(n_crash);
+  for (std::uint64_t i = 0; i < n_crash && r.ok(); ++i) {
+    Bytes wire;
+    r.blob(wire);
+    auto f = r.ok() ? decode_crash_guard(wire) : std::nullopt;
+    if (!f || f->program != program()) {
+      r.fail();
+      return false;
+    }
+    fixes_.crash_guards.push_back(std::move(*f));
+  }
+  const std::uint64_t n_lock = r.count();
+  fixes_.lock_fixes.reserve(n_lock);
+  for (std::uint64_t i = 0; i < n_lock && r.ok(); ++i) {
+    Bytes wire;
+    r.blob(wire);
+    auto f = r.ok() ? decode_lock_fix(wire) : std::nullopt;
+    if (!f || f->program != program()) {
+      r.fail();
+      return false;
+    }
+    fixes_.lock_fixes.push_back(std::move(*f));
+  }
+  installed_fix_ids_.clear();
+  const std::uint64_t n_ids = r.count();
+  installed_fix_ids_.reserve(n_ids);
+  for (std::uint64_t i = 0; i < n_ids && r.ok(); ++i) {
+    installed_fix_ids_.push_back(r.u64());
+  }
+  if (r.ok() && installed_fix_ids_.size() != fixes_.size()) {
+    r.fail();  // the id ledger and the fix set must agree
+    return false;
+  }
+  guidance_.clear();
+  const std::uint64_t n_guidance = r.count();
+  for (std::uint64_t i = 0; i < n_guidance && r.ok(); ++i) {
+    Bytes wire;
+    r.blob(wire);
+    auto g = r.ok() ? decode_guidance(wire) : std::nullopt;
+    if (!g || g->program != program()) {
+      r.fail();
+      return false;
+    }
+    guidance_.push_back(std::move(*g));
+  }
+  stats_.runs = r.u64();
+  stats_.failures = r.u64();
+  stats_.fix_interventions = r.u64();
+  stats_.guided_runs = r.u64();
+  next_trace_seq_ = r.u64();
+  if (r.ok() && next_trace_seq_ == 0) r.fail();  // seq starts at 1
+  return r.ok();
+}
+
 }  // namespace softborg

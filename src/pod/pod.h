@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/state_wire.h"
 #include "minivm/corpus.h"
 #include "minivm/fixes.h"
 #include "minivm/interp.h"
@@ -69,6 +70,8 @@ struct PodStats {
   std::uint64_t failures = 0;       // crash/deadlock/hang/user-killed
   std::uint64_t fix_interventions = 0;
   std::uint64_t guided_runs = 0;
+
+  bool operator==(const PodStats&) const = default;
 };
 
 class Pod {
@@ -97,6 +100,15 @@ class Pod {
   PodRun run_once(std::uint64_t day);
 
   const PodStats& stats() const { return stats_; }
+
+  // Durable-store serialization of the pod's mutable state (rng, installed
+  // fixes, queued guidance, stats, trace-sequence counter). Identity and
+  // config are not persisted: the resuming World reconstructs the pod with
+  // the same (id, entry, profile, config) and then overwrites its state.
+  // load_state validates every embedded fix/guidance wire record and that it
+  // targets this pod's program; false means corrupt — discard the pod.
+  void save_state(Bytes& out) const;
+  bool load_state(StateReader& r);
 
  private:
   std::vector<Value> draw_inputs();

@@ -1,5 +1,9 @@
 #include "privacy/anonymize.h"
 
+#include <algorithm>
+
+#include "trace/codec.h"
+
 namespace softborg {
 
 Trace anonymize(const Trace& t, const AnonymizeConfig& config) {
@@ -45,6 +49,91 @@ std::size_t KAnonymityGate::buffered() const {
   std::size_t n = 0;
   for (const auto& [key, bucket] : buckets_) n += bucket.pending.size();
   return n;
+}
+
+namespace {
+template <typename Set>
+std::vector<std::uint64_t> sorted_keys(const Set& s) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(s.size());
+  for (const auto& entry : s) {
+    if constexpr (requires { entry.first; }) {
+      keys.push_back(entry.first);
+    } else {
+      keys.push_back(entry);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+}  // namespace
+
+void KAnonymityGate::save_state(Bytes& out) const {
+  put_varint(out, k_);
+  const auto bucket_keys = sorted_keys(buckets_);
+  put_varint(out, bucket_keys.size());
+  for (const std::uint64_t key : bucket_keys) {
+    const Bucket& bucket = buckets_.at(key);
+    put_varint(out, key);
+    const auto pods = sorted_keys(bucket.pods);
+    put_varint(out, pods.size());
+    for (const std::uint64_t pod : pods) put_varint(out, pod);
+    put_varint(out, bucket.pending.size());
+    for (const Trace& t : bucket.pending) put_blob(out, encode_trace(t));
+  }
+  const auto released = sorted_keys(released_);
+  put_varint(out, released.size());
+  for (const std::uint64_t key : released) put_varint(out, key);
+}
+
+bool KAnonymityGate::load_state(StateReader& r) {
+  if (r.u64() != k_) {
+    r.fail();
+    return false;
+  }
+  buckets_.clear();
+  released_.clear();
+  const std::uint64_t n_buckets = r.count(3);
+  for (std::uint64_t i = 0; i < n_buckets && r.ok(); ++i) {
+    const std::uint64_t key = r.u64();
+    Bucket bucket;
+    const std::uint64_t n_pods = r.count();
+    for (std::uint64_t p = 0; p < n_pods && r.ok(); ++p) {
+      if (!bucket.pods.insert(r.u64()).second) r.fail();
+    }
+    const std::uint64_t n_pending = r.count();
+    bucket.pending.reserve(n_pending);
+    for (std::uint64_t p = 0; p < n_pending && r.ok(); ++p) {
+      Bytes wire;
+      r.blob(wire);
+      if (!r.ok()) break;
+      auto t = decode_trace(wire);
+      if (!t) {
+        r.fail();
+        break;
+      }
+      // Each buffered trace's path must hash to its bucket key, or a bit
+      // flip has rebucketed it; and a released path has no bucket.
+      if (t->branch_bits.hash() != key) {
+        r.fail();
+        break;
+      }
+      bucket.pending.push_back(std::move(*t));
+    }
+    // A bucket at or past k pods would already have been released.
+    if (r.ok() && bucket.pods.size() >= k_ && k_ > 0) r.fail();
+    if (!r.ok()) return false;
+    if (!buckets_.emplace(key, std::move(bucket)).second) {
+      r.fail();
+      return false;
+    }
+  }
+  const std::uint64_t n_released = r.count();
+  for (std::uint64_t i = 0; i < n_released && r.ok(); ++i) {
+    const std::uint64_t key = r.u64();
+    if (buckets_.count(key) != 0 || !released_.insert(key).second) r.fail();
+  }
+  return r.ok();
 }
 
 }  // namespace softborg

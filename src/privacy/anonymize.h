@@ -21,6 +21,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/state_wire.h"
 #include "trace/trace.h"
 
 namespace softborg {
@@ -55,6 +56,13 @@ class KAnonymityGate {
   std::size_t buffered() const;
   std::size_t released_paths() const { return released_.size(); }
   std::size_t k() const { return k_; }
+
+  // Durable-store serialization (sorted keys, so equal gates give equal
+  // bytes). k itself is config, not state — the loader must have built the
+  // gate with the same k; load_state rejects a mismatch so a snapshot from a
+  // differently-configured run cannot silently change release semantics.
+  void save_state(Bytes& out) const;
+  bool load_state(StateReader& r);
 
  private:
   struct Bucket {

@@ -509,4 +509,215 @@ void SolverCache::merge_from(const SolverCache& other) {
   }
 }
 
+namespace {
+
+void put_values(Bytes& out, const std::vector<Value>& vs) {
+  put_varint(out, vs.size());
+  for (const Value v : vs) put_varint_signed(out, v);
+}
+
+bool get_values(StateReader& r, std::vector<Value>& vs) {
+  const std::uint64_t n = r.count();
+  vs.clear();
+  vs.reserve(n);
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) vs.push_back(r.i64());
+  return r.ok();
+}
+
+}  // namespace
+
+void SolverCache::save_state(Bytes& out) const {
+  put_varint(out, config_.max_entries);
+  put_varint(out, config_.max_unsat_cores);
+  put_varint(out, config_.max_models);
+  put_varint(out, config_.model_probe_limit);
+  put_varint(out, stats_.lookups);
+  put_varint(out, stats_.exact_hits);
+  put_varint(out, stats_.unsat_subsumed);
+  put_varint(out, stats_.models_reused);
+  put_varint(out, stats_.insertions);
+  put_varint(out, stats_.resets);
+  // Slot-for-slot dump of the occupied exact entries: reinserting by hash
+  // would not reproduce wraparound probe sequences, so indices are explicit.
+  put_varint(out, exact_.size());
+  put_varint(out, exact_count_);
+  for (std::size_t i = 0; i < exact_.size(); ++i) {
+    const ExactSlot& slot = exact_[i];
+    if (slot.key == 0) continue;
+    put_varint(out, i);
+    put_varint(out, slot.key);
+    put_varint(out, slot.check);
+    put_varint(out, static_cast<std::uint64_t>(slot.status));
+    put_varint(out, slot.model);
+  }
+  put_varint(out, canon_models_.size());
+  for (const CanonModel& cm : canon_models_) {
+    put_values(out, cm.inputs);
+    put_values(out, cm.unknowns);
+  }
+  put_varint(out, unsat_cores_.size());
+  for (const UnsatCore& core : unsat_cores_) {
+    put_varint(out, core.lits.size());
+    for (const Hash128& h : core.lits) {
+      put_varint(out, h.a);
+      put_varint(out, h.b);
+    }
+    put_varint(out, core.vars.size());
+    for (const VarBox& v : core.vars) {
+      put_varint(out, v.kind);
+      put_varint(out, v.index);
+      put_varint_signed(out, v.lo);
+      put_varint_signed(out, v.hi);
+    }
+  }
+  put_varint(out, models_.size());
+  for (const Assignment& m : models_) {
+    put_values(out, m.inputs);
+    put_values(out, m.unknowns);
+  }
+}
+
+bool SolverCache::load_state(StateReader& r) {
+  SolverCacheConfig cfg;
+  cfg.max_entries = r.u64();
+  cfg.max_unsat_cores = r.u64();
+  cfg.max_models = r.u64();
+  cfg.model_probe_limit = r.u64();
+  if (!r.ok() || cfg.max_entries != config_.max_entries ||
+      cfg.max_unsat_cores != config_.max_unsat_cores ||
+      cfg.max_models != config_.max_models ||
+      cfg.model_probe_limit != config_.model_probe_limit) {
+    r.fail();  // differently-configured cache: eviction semantics diverge
+    return false;
+  }
+  stats_.lookups = r.u64();
+  stats_.exact_hits = r.u64();
+  stats_.unsat_subsumed = r.u64();
+  stats_.models_reused = r.u64();
+  stats_.insertions = r.u64();
+  stats_.resets = r.u64();
+
+  const std::uint64_t table_size = r.u64();
+  const std::uint64_t stored_count = r.u64();
+  if (!r.ok() || table_size < 64 ||            // ctor floor, growth doubles
+      (table_size & (table_size - 1)) != 0 ||  // power of two
+      stored_count * 2 > table_size ||         // <= 50% load invariant
+      stored_count > r.remaining() / 4) {
+    r.fail();
+    return false;
+  }
+  exact_.assign(table_size, ExactSlot{});
+  exact_count_ = static_cast<std::size_t>(stored_count);
+
+  // canon_models_ is decoded after the slots that reference it, so model
+  // indices are range-checked in a second pass below.
+  std::uint64_t max_model_ref = 0;
+  std::uint64_t prev_index = 0;
+  for (std::uint64_t i = 0; i < stored_count && r.ok(); ++i) {
+    const std::uint64_t index = r.u64_max(table_size - 1);
+    if (i > 0 && index <= prev_index) r.fail();  // strictly ascending
+    prev_index = index;
+    ExactSlot slot;
+    slot.key = r.u64();
+    slot.check = r.u64();
+    // kUnknown (2) is never cached; only decided results are legal.
+    slot.status = static_cast<SolveStatus>(r.u64_max(1));
+    slot.model = r.u32();
+    if (!r.ok() || slot.key == 0) {
+      r.fail();
+      return false;
+    }
+    if (slot.status == SolveStatus::kUnsat && slot.model != kNoModel) {
+      r.fail();  // UNSAT entries carry no witness
+      return false;
+    }
+    if (slot.model != kNoModel && slot.model + 1 > max_model_ref) {
+      max_model_ref = slot.model + std::uint64_t{1};
+    }
+    exact_[index] = slot;
+  }
+
+  const std::uint64_t n_canon = r.count(2);
+  if (r.ok() && max_model_ref > n_canon) {
+    r.fail();  // a slot references a model that does not exist
+    return false;
+  }
+  canon_models_.clear();
+  canon_models_.reserve(n_canon);
+  for (std::uint64_t i = 0; i < n_canon && r.ok(); ++i) {
+    CanonModel cm;
+    get_values(r, cm.inputs);
+    get_values(r, cm.unknowns);
+    canon_models_.push_back(std::move(cm));
+  }
+
+  unsat_cores_.clear();
+  const std::uint64_t n_cores = r.count(2);
+  if (n_cores > config_.max_unsat_cores) {
+    r.fail();
+    return false;
+  }
+  for (std::uint64_t i = 0; i < n_cores && r.ok(); ++i) {
+    UnsatCore core;
+    const std::uint64_t n_lits = r.count(2);
+    core.lits.reserve(n_lits);
+    Hash128 prev{};
+    for (std::uint64_t l = 0; l < n_lits && r.ok(); ++l) {
+      Hash128 h;
+      h.a = r.u64();
+      h.b = r.u64();
+      if (l > 0 && h <= prev) r.fail();  // lits are sorted and deduped
+      prev = h;
+      // lit_mask is derived state; recompute rather than trust the wire.
+      core.lit_mask |= 1ULL << (h.a & 63);
+      core.lits.push_back(h);
+    }
+    const std::uint64_t n_vars = r.count(4);
+    core.vars.reserve(n_vars);
+    VarBox prev_var{};
+    for (std::uint64_t v = 0; v < n_vars && r.ok(); ++v) {
+      VarBox box;
+      box.kind = static_cast<std::uint8_t>(r.u64_max(1));
+      box.index = r.u32();
+      box.lo = r.i64();
+      box.hi = r.i64();
+      if (v > 0 && box <= prev_var) r.fail();  // sorted by (kind, index)
+      if (box.lo > box.hi) r.fail();
+      prev_var = box;
+      core.vars.push_back(box);
+    }
+    unsat_cores_.push_back(std::move(core));
+  }
+
+  models_.clear();
+  const std::uint64_t n_models = r.count(2);
+  if (n_models > config_.max_models) {
+    r.fail();
+    return false;
+  }
+  for (std::uint64_t i = 0; i < n_models && r.ok(); ++i) {
+    Assignment m;
+    get_values(r, m.inputs);
+    get_values(r, m.unknowns);
+    models_.push_back(std::move(m));
+  }
+  return r.ok();
+}
+
+bool SolverCache::state_equals(const SolverCache& other) const {
+  return config_.max_entries == other.config_.max_entries &&
+         config_.max_unsat_cores == other.config_.max_unsat_cores &&
+         config_.max_models == other.config_.max_models &&
+         config_.model_probe_limit == other.config_.model_probe_limit &&
+         stats_.lookups == other.stats_.lookups &&
+         stats_.exact_hits == other.stats_.exact_hits &&
+         stats_.unsat_subsumed == other.stats_.unsat_subsumed &&
+         stats_.models_reused == other.stats_.models_reused &&
+         stats_.insertions == other.stats_.insertions &&
+         stats_.resets == other.stats_.resets &&
+         exact_count_ == other.exact_count_ && exact_ == other.exact_ &&
+         canon_models_ == other.canon_models_ &&
+         unsat_cores_ == other.unsat_cores_ && models_ == other.models_;
+}
+
 }  // namespace softborg

@@ -46,6 +46,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/state_wire.h"
 #include "common/varint.h"
 #include "sym/csolver.h"
 #include "sym/expr.h"
@@ -117,6 +118,21 @@ class SolverCache {
   const SolverCacheStats& stats() const { return stats_; }
   const SolverCacheConfig& config() const { return config_; }
 
+  // Durable-store serialization. The exact table is dumped slot-for-slot
+  // (occupied slots with their indices) so the restored probe layout — and
+  // therefore every future lookup/insert path — is byte-identical to the
+  // saved cache's, across generational resets included. Counters (`resets`,
+  // hits, insertions) round-trip exactly: ProofCertificates embed them.
+  // load_state requires the receiving cache to be configured identically
+  // (the snapshot records the config and rejects a mismatch) and validates
+  // every index, status tag, and model reference; false means corrupt.
+  void save_state(Bytes& out) const;
+  bool load_state(StateReader& r);
+
+  // Exact structural equality of config, stats, and all four stores —
+  // the round-trip pin for the serializer (ISSUE 7 satellite).
+  bool state_equals(const SolverCache& other) const;
+
  private:
   struct Hash128 {
     std::uint64_t a = 0;
@@ -157,6 +173,8 @@ class SolverCache {
     std::uint64_t check = 0;  // Hash128::b
     SolveStatus status = SolveStatus::kUnknown;
     std::uint32_t model = kNoModel;  // into canon_models_ iff kSat
+
+    bool operator==(const ExactSlot&) const = default;
   };
 
   struct UnsatCore {

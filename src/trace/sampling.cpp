@@ -49,6 +49,41 @@ double SiteStats::failure_score(std::uint32_t site, bool taken) const {
   return p_with - p_without;
 }
 
+void SiteStats::save_state(Bytes& out) const {
+  std::vector<std::uint32_t> sites;
+  sites.reserve(cells_.size());
+  for (const auto& [site, cell] : cells_) sites.push_back(site);
+  std::sort(sites.begin(), sites.end());
+  put_varint(out, sites.size());
+  for (const std::uint32_t site : sites) {
+    const Cell& c = cells_.at(site);
+    put_varint(out, site);
+    put_varint(out, c.taken_ok);
+    put_varint(out, c.taken_fail);
+    put_varint(out, c.nottaken_ok);
+    put_varint(out, c.nottaken_fail);
+  }
+}
+
+bool SiteStats::load_state(StateReader& r) {
+  cells_.clear();
+  const std::uint64_t n = r.count(5);
+  cells_.reserve(n);
+  for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+    const std::uint32_t site = r.u32();
+    Cell c;
+    c.taken_ok = r.u64();
+    c.taken_fail = r.u64();
+    c.nottaken_ok = r.u64();
+    c.nottaken_fail = r.u64();
+    if (!r.ok() || !cells_.emplace(site, c).second) {
+      r.fail();  // duplicate site = corrupt snapshot
+      return false;
+    }
+  }
+  return r.ok();
+}
+
 std::vector<std::uint32_t> SiteStats::ranked_sites() const {
   std::vector<std::uint32_t> sites;
   sites.reserve(cells_.size());

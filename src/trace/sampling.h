@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/state_wire.h"
 #include "trace/trace.h"
 
 namespace softborg {
@@ -48,6 +49,8 @@ class SiteStats {
   struct Cell {
     std::uint64_t taken_ok = 0, taken_fail = 0;
     std::uint64_t nottaken_ok = 0, nottaken_fail = 0;
+
+    bool operator==(const Cell&) const = default;
   };
 
   const Cell* cell(std::uint32_t site) const;
@@ -59,6 +62,14 @@ class SiteStats {
   std::vector<std::uint32_t> ranked_sites() const;
 
   std::size_t num_sites() const { return cells_.size(); }
+
+  // Durable-store serialization: cells sorted by site id, so equal stats
+  // always produce equal bytes. load_state replaces the current contents;
+  // false leaves them unspecified (discard the object).
+  void save_state(Bytes& out) const;
+  bool load_state(StateReader& r);
+
+  bool operator==(const SiteStats& o) const { return cells_ == o.cells_; }
 
  private:
   std::unordered_map<std::uint32_t, Cell> cells_;

@@ -1,0 +1,236 @@
+// Kill-and-resume differential (ISSUE 7 headline): a cold N-day run and a
+// run snapshotted at day k, torn down, and resumed into a fresh World must
+// be indistinguishable — byte-identical trees, identical day metrics and
+// stats, identical proof certificates. Plus: version/config-skew refusal,
+// partial-write fallback to cold start, and the warm-start head start.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "core/softborg.h"
+#include "store/store.h"
+
+namespace softborg {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("sb_resume_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+WorldConfig resume_config() {
+  WorldConfig config;
+  config.pods_per_program = 15;
+  config.days = 6;
+  config.mean_runs_per_day = 5.0;
+  config.seed = 21;
+  config.guidance_per_program_per_day = 2;
+  config.proof_programs_per_day = 2;
+  config.canary_fraction = 0.5;  // exercise pending-rollout persistence
+  config.net.drop_prob = 0.03;
+  return config;
+}
+
+// Full-state equivalence between two worlds, checked at every layer the
+// snapshot covers.
+void expect_worlds_equal(const World& a, const World& b) {
+  EXPECT_EQ(a.day(), b.day());
+  ASSERT_EQ(a.history().size(), b.history().size());
+  for (std::size_t i = 0; i < a.history().size(); ++i) {
+    EXPECT_EQ(a.history()[i], b.history()[i]) << "day index " << i;
+  }
+  EXPECT_EQ(a.hive().stats(), b.hive().stats());
+  EXPECT_EQ(a.hive().proof_stats(), b.hive().proof_stats());
+  EXPECT_EQ(a.hive().bug_tracker(), b.hive().bug_tracker());
+  EXPECT_EQ(a.net_stats(), b.net_stats());
+  EXPECT_EQ(a.pending_rollouts(), b.pending_rollouts());
+  ASSERT_EQ(a.hive().published_proofs().size(),
+            b.hive().published_proofs().size());
+  for (std::size_t i = 0; i < a.hive().published_proofs().size(); ++i) {
+    const auto& pa = a.hive().published_proofs()[i];
+    const auto& pb = b.hive().published_proofs()[i];
+    EXPECT_EQ(pa.revoked, pb.revoked);
+    EXPECT_EQ(pa.certificate.id, pb.certificate.id);
+    EXPECT_EQ(pa.certificate.program, pb.certificate.program);
+    EXPECT_EQ(pa.certificate.complete, pb.certificate.complete);
+    EXPECT_EQ(pa.certificate.holds, pb.certificate.holds);
+    EXPECT_EQ(pa.certificate.paths_total, pb.certificate.paths_total);
+    EXPECT_EQ(pa.certificate.solver_calls, pb.certificate.solver_calls);
+  }
+  for (const auto& entry : a.corpus()) {
+    const ExecTree* ta = a.hive().tree(entry.program.id);
+    const ExecTree* tb = b.hive().tree(entry.program.id);
+    ASSERT_EQ(ta == nullptr, tb == nullptr) << entry.program.id.value;
+    if (ta != nullptr) {
+      EXPECT_TRUE(*ta == *tb) << "tree " << entry.program.id.value;
+    }
+  }
+  EXPECT_TRUE(a.hive().solver_cache().state_equals(b.hive().solver_cache()));
+}
+
+// The core differential, parameterized on the interruption day.
+void run_kill_and_resume(const std::string& dir, std::uint64_t kill_day) {
+  const WorldConfig config = resume_config();
+
+  // Cold reference: N uninterrupted days.
+  World cold(standard_corpus(), config);
+  for (std::uint64_t d = 0; d < config.days; ++d) cold.step_day();
+
+  // Interrupted run: step to kill_day, snapshot, and drop the World (the
+  // simulated kill — nothing of the process state survives but the store).
+  {
+    World doomed(standard_corpus(), config);
+    for (std::uint64_t d = 0; d < kill_day; ++d) doomed.step_day();
+    std::string err;
+    ASSERT_TRUE(doomed.save_snapshot(dir, &err)) << err;
+  }
+
+  // Resume into a fresh World and finish the horizon.
+  World resumed(standard_corpus(), config);
+  std::string err;
+  ASSERT_TRUE(resumed.resume_from_snapshot(dir, &err)) << err;
+  EXPECT_EQ(resumed.day(), kill_day);
+  while (resumed.day() < config.days) resumed.step_day();
+
+  expect_worlds_equal(cold, resumed);
+}
+
+TEST_F(ResumeTest, KillAfterFirstDay) { run_kill_and_resume(dir_, 1); }
+TEST_F(ResumeTest, KillMidRun) { run_kill_and_resume(dir_, 3); }
+TEST_F(ResumeTest, KillOnLastDay) {
+  run_kill_and_resume(dir_, resume_config().days);
+}
+
+TEST_F(ResumeTest, PeriodicSnapshotsResumeFromNewest) {
+  WorldConfig config = resume_config();
+  config.snapshot_dir = dir_;
+  config.snapshot_every_n_days = 2;
+
+  World cold(standard_corpus(), config);
+  for (std::uint64_t d = 0; d < 5; ++d) cold.step_day();
+  // Days 2 and 4 snapshotted; prune keeps both generations.
+  const auto snap = store::read_snapshot(dir_);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->seq, 4u);
+
+  World resumed(standard_corpus(), config);
+  ASSERT_TRUE(resumed.resume_from_snapshot(dir_));
+  EXPECT_EQ(resumed.day(), 4u);
+  resumed.step_day();
+  ASSERT_EQ(resumed.history().size(), 5u);
+  EXPECT_EQ(resumed.history().back(), cold.history().back());
+}
+
+TEST_F(ResumeTest, ConfigSkewRefused) {
+  World saver(standard_corpus(), resume_config());
+  saver.step_day();
+  ASSERT_TRUE(saver.save_snapshot(dir_));
+
+  WorldConfig other = resume_config();
+  other.seed = 99;  // behavioral knob changed: fingerprint must differ
+  World victim(standard_corpus(), other);
+  std::string err;
+  EXPECT_FALSE(victim.resume_from_snapshot(dir_, &err));
+  EXPECT_NE(err.find("fingerprint"), std::string::npos) << err;
+
+  // `days` is exempt: extending the horizon is a legitimate resume.
+  WorldConfig longer = resume_config();
+  longer.days = 40;
+  World extender(standard_corpus(), longer);
+  EXPECT_TRUE(extender.resume_from_snapshot(dir_, &err)) << err;
+}
+
+TEST_F(ResumeTest, CorpusSkewRefused) {
+  World saver(standard_corpus(), resume_config());
+  saver.step_day();
+  ASSERT_TRUE(saver.save_snapshot(dir_));
+
+  std::vector<CorpusEntry> smaller = {standard_corpus().front()};
+  WorldConfig config = resume_config();
+  World victim(std::move(smaller), config);
+  EXPECT_FALSE(victim.resume_from_snapshot(dir_));
+}
+
+TEST_F(ResumeTest, PartialWriteFallsBackToCleanColdStart) {
+  World saver(standard_corpus(), resume_config());
+  saver.step_day();
+  saver.step_day();
+  ASSERT_TRUE(saver.save_snapshot(dir_));
+
+  // Tear the snapshot: truncate the hive part to half its size. The loader
+  // must reject (checksum), and a World that failed to resume must be
+  // discardable for a cold start that behaves exactly like day zero.
+  std::string hive_part;
+  for (const auto& e : fs::directory_iterator(dir_)) {
+    if (e.is_directory()) hive_part = e.path().string() + "/hive";
+  }
+  ASSERT_FALSE(hive_part.empty());
+  fs::resize_file(hive_part, fs::file_size(hive_part) / 2);
+
+  World victim(standard_corpus(), resume_config());
+  EXPECT_FALSE(victim.resume_from_snapshot(dir_));
+
+  // Cold start after the failed resume: fresh World, identical to a never-
+  // resumed one.
+  World fresh(standard_corpus(), resume_config());
+  World reference(standard_corpus(), resume_config());
+  fresh.step_day();
+  reference.step_day();
+  EXPECT_EQ(fresh.history().back(), reference.history().back());
+}
+
+TEST_F(ResumeTest, WarmStartReplaysRegressionsOnDayOne) {
+  // A first fleet accumulates bugs, persists; a second, fresh fleet warm-
+  // starts from the stored regression set and rediscovers the first fleet's
+  // bugs on day one — before its own users ever hit the crash regions.
+  WorldConfig config = resume_config();
+  config.days = 6;
+  World first(standard_corpus(), config);
+  for (std::uint64_t d = 0; d < config.days; ++d) first.step_day();
+  const std::size_t bugs_found = first.history().back().bugs_found_total;
+  ASSERT_GT(bugs_found, 0u);
+  ASSERT_TRUE(first.save_snapshot(dir_));
+
+  std::string err;
+  const auto regressions = load_regression_inputs(dir_, &err);
+  ASSERT_GT(regressions.size(), 0u) << err;
+
+  WorldConfig warm = resume_config();
+  warm.seed = 77;  // a different fleet entirely
+  warm.warm_start_regressions = regressions;
+  World second(standard_corpus(), warm);
+  second.step_day();
+  EXPECT_GE(second.history().back().bugs_found_total, bugs_found);
+
+  // And the control without warm start knows strictly less on day one.
+  WorldConfig cold = resume_config();
+  cold.seed = 77;
+  World control(standard_corpus(), cold);
+  control.step_day();
+  EXPECT_GE(second.history().back().bugs_found_total,
+            control.history().back().bugs_found_total);
+}
+
+TEST_F(ResumeTest, LoadRegressionInputsOnEmptyDirIsEmpty) {
+  std::string err;
+  EXPECT_TRUE(load_regression_inputs(dir_, &err).empty());
+  EXPECT_FALSE(err.empty());
+}
+
+}  // namespace
+}  // namespace softborg
