@@ -12,6 +12,7 @@
 // Usage: fleet_simulation [seed] [--days N] [--metrics-json PATH]
 //                         [--metrics-prom PATH] [--snapshot-dir DIR]
 //                         [--snapshot-every N] [--resume] [--warm-start]
+//                         [--adaptive]
 // The metrics flags enable span sampling for the run and write a final
 // snapshot of the global registry in JSON ("softborg.metrics.v1") or
 // Prometheus text exposition; PATH "-" writes to stdout.
@@ -23,6 +24,13 @@
 // snapshot (first run, torn write, version skew) the fleet cold-starts and
 // says so. --warm-start instead begins a FRESH run but replays the stored
 // regression set each day, so previously-found bugs resurface immediately.
+//
+// --adaptive turns on the telemetry-driven control plane (hive/adapt.h):
+// guidance budgets, the daily proof slice, and a daily cooperative
+// exploration run are all rebalanced from measured yield instead of the
+// static uniform schedule. Composes with the persistence flags — the yield
+// ledger is part of every snapshot, so a resumed adaptive run keeps its
+// learned allocation and stays bit-identical to an uninterrupted one.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -63,6 +71,11 @@ int main(int argc, char** argv) {
       resume = true;
     } else if (std::strcmp(argv[i], "--warm-start") == 0) {
       warm_start = true;
+    } else if (std::strcmp(argv[i], "--adaptive") == 0) {
+      config.adapt.static_plan = false;
+      config.proof_programs_per_day = 2;
+      config.coop_programs_per_day = 1;
+      config.coop.num_workers = 3;
     } else {
       config.seed = static_cast<std::uint64_t>(atoll(argv[i]));
     }

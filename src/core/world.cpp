@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 #include "common/check.h"
 #include "common/fsio.h"
@@ -15,6 +16,7 @@ namespace softborg {
 
 World::World(std::vector<CorpusEntry> corpus, WorldConfig config)
     : corpus_(std::move(corpus)), config_(config), rng_(config.seed),
+      ledger_(config.adapt), adapt_planner_(config.adapt),
       net_(config.net) {
   SB_CHECK(!corpus_.empty());
   hive_endpoint_ = net_.add_endpoint();
@@ -159,8 +161,61 @@ void World::advance_rollouts() {
 
 void World::send_guidance() {
   if (config_.guidance_per_program_per_day == 0) return;
-  const auto directives =
-      hive_->plan_guidance(config_.guidance_per_program_per_day);
+  std::vector<GuidanceDirective> directives;
+  if (config_.adapt.static_plan) {
+    // Historical schedule: every program gets the same per-program budget.
+    // This branch must not touch the ledger-driven path — the differential
+    // suites pin it byte-identical to the pre-adaptive pipeline.
+    directives = hive_->plan_guidance(config_.guidance_per_program_per_day);
+  } else {
+    // Adaptive schedule: the same total directive pool, split across
+    // programs by risk-adjusted yield instead of uniformly.
+    std::vector<ProgramId> targets;
+    targets.reserve(corpus_.size());
+    for (const auto& entry : corpus_) targets.push_back(entry.program.id);
+    auto shares = adapt_planner_.allocate(
+        config_.guidance_per_program_per_day * corpus_.size(), targets,
+        ledger_);
+    // Cap each share at the program's fleet absorption capacity: a pod
+    // consumes at most one queued directive per run, so anything beyond
+    // pods × mean daily runs only builds a backlog of stale directives
+    // (frontiers long since closed by the time a pod executes them).
+    // Freed units are re-spread to unsaturated programs in score order;
+    // whatever exceeds the whole fleet's capacity is dropped.
+    std::vector<std::size_t> pod_count(corpus_.size(), 0);
+    for (const auto& slot : pods_) pod_count[slot.corpus_index]++;
+    const auto capacity = [&](std::size_t i) {
+      return pod_count[i] *
+             static_cast<std::size_t>(
+                 std::ceil(std::max(config_.mean_runs_per_day, 1.0)));
+    };
+    std::size_t freed = 0;
+    for (std::size_t i = 0; i < corpus_.size(); ++i) {
+      const std::size_t cap = capacity(i);
+      if (shares[i] > cap) {
+        freed += shares[i] - cap;
+        shares[i] = cap;
+      }
+    }
+    for (const std::size_t i : adapt_planner_.rank(targets, ledger_)) {
+      if (freed == 0) break;
+      if (adapt_planner_.score(ledger_, targets[i]) <= 0.0) break;
+      const std::size_t room = capacity(i) - std::min(capacity(i), shares[i]);
+      const std::size_t grant = std::min(room, freed);
+      shares[i] += grant;
+      freed -= grant;
+    }
+    for (std::size_t i = 0; i < corpus_.size(); ++i) {
+      if (shares[i] == 0) continue;
+      auto planned = hive_->plan_guidance_for(corpus_[i], shares[i]);
+      directives.insert(directives.end(),
+                        std::make_move_iterator(planned.begin()),
+                        std::make_move_iterator(planned.end()));
+    }
+  }
+  // Charge the invested directives to the ledger (in both modes, so static
+  // runs accumulate warm estimates for a later flip to adaptive).
+  for (const auto& d : directives) ledger_.note_work(d.program, 1);
   for (const auto& d : directives) {
     // Pick a random pod of the right program.
     std::vector<const PodSlot*> eligible;
@@ -171,6 +226,99 @@ void World::send_guidance() {
     const PodSlot* target = eligible[rng_.next_below(eligible.size())];
     net_.send(hive_endpoint_, target->endpoint, kMsgGuidance,
               encode_guidance(d));
+  }
+}
+
+void World::attempt_daily_proofs() {
+  if (config_.proof_programs_per_day == 0 || corpus_.empty()) return;
+  const std::size_t n =
+      std::min(config_.proof_programs_per_day, corpus_.size());
+  std::vector<const CorpusEntry*> slice;
+  slice.reserve(n);
+  if (config_.adapt.static_plan) {
+    // Historical schedule: a rotating corpus slice, the whole fleet swept
+    // every ceil(corpus / n) days regardless of where proofs might land.
+    const std::size_t start = ((day_ - 1) * n) % corpus_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      slice.push_back(&corpus_[(start + i) % corpus_.size()]);
+    }
+  } else {
+    // Adaptive schedule: spend the day's proof slots on the highest-scoring
+    // programs. Saturated programs (complete tree + standing certificate)
+    // score 0 and sink to the bottom, so slots migrate to open work.
+    std::vector<ProgramId> targets;
+    targets.reserve(corpus_.size());
+    for (const auto& entry : corpus_) targets.push_back(entry.program.id);
+    const auto order = adapt_planner_.rank(targets, ledger_);
+    for (std::size_t i = 0; i < n; ++i) slice.push_back(&corpus_[order[i]]);
+  }
+  for (const CorpusEntry* entry : slice) {
+    ledger_.note_work(entry->program.id, 1);
+  }
+  hive_->attempt_proofs_for(slice, config_.proof_property);
+}
+
+void World::run_daily_coop(DayMetrics& metrics) {
+  if (config_.coop_programs_per_day == 0 || corpus_.empty()) return;
+  // Cooperative exploration runs the symbolic engine, which (like guidance
+  // planning and proof attempts) only handles single-threaded programs.
+  std::vector<std::size_t> candidates;
+  candidates.reserve(corpus_.size());
+  for (std::size_t i = 0; i < corpus_.size(); ++i) {
+    if (corpus_[i].program.num_threads() == 1) candidates.push_back(i);
+  }
+  if (candidates.empty()) return;
+  const std::size_t n =
+      std::min(config_.coop_programs_per_day, candidates.size());
+  std::vector<std::size_t> picks;
+  picks.reserve(n);
+  std::vector<std::size_t> workers(n, config_.coop.num_workers);
+  if (config_.adapt.static_plan) {
+    // Rotating slice, uniform worker investment — mirrors the proof slice.
+    const std::size_t start = ((day_ - 1) * n) % candidates.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      picks.push_back(candidates[(start + i) % candidates.size()]);
+    }
+  } else {
+    // Top-ranked programs, with the day's total worker pool allocated
+    // across them by yield (every pick keeps at least one worker).
+    std::vector<ProgramId> targets;
+    targets.reserve(candidates.size());
+    for (const std::size_t c : candidates) {
+      targets.push_back(corpus_[c].program.id);
+    }
+    const auto order = adapt_planner_.rank(targets, ledger_);
+    picks.clear();
+    for (std::size_t i = 0; i < n; ++i) picks.push_back(candidates[order[i]]);
+    std::vector<ProgramId> pick_ids;
+    pick_ids.reserve(n);
+    for (const std::size_t p : picks) pick_ids.push_back(corpus_[p].program.id);
+    const auto shares = adapt_planner_.allocate(
+        n * config_.coop.num_workers, pick_ids, ledger_);
+    for (std::size_t i = 0; i < n; ++i) {
+      workers[i] = std::max<std::size_t>(shares[i], 1);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const CorpusEntry& entry = corpus_[picks[i]];
+    CoopConfig cc = config_.coop;
+    cc.num_workers = workers[i];
+    // Per-(day, program) seed so repeated runs of one program differ but the
+    // whole schedule stays a pure function of (config, day).
+    cc.seed = config_.coop.seed ^ (day_ << 20) ^ entry.program.id.value;
+    if (config_.hive.solver_cache) cc.solver_cache = &hive_->solver_cache();
+    // The ledger seeds portfolio equities with cross-run priors only on the
+    // adaptive path; the static path keeps the historical cold start.
+    cc.yield = config_.adapt.static_plan ? nullptr : &ledger_;
+    ledger_.note_work(entry.program.id, cc.num_workers);
+    const CoopResult result = run_cooperative_exploration(entry, cc);
+    hive_->record_coop_outcome(result);
+    metrics.coop_runs++;
+    metrics.coop_ticks += result.ticks;
+    metrics.coop_useful_steps += result.useful_steps;
+    metrics.coop_wasted_steps += result.wasted_steps;
+    metrics.coop_idle_ticks += result.idle_ticks;
+    metrics.coop_runs_by_strategy[static_cast<std::size_t>(result.strategy)]++;
   }
 }
 
@@ -224,17 +372,8 @@ void World::step_day() {
     broadcast_fixes(fixes);
   }
   send_guidance();
-  if (config_.proof_programs_per_day > 0 && !corpus_.empty()) {
-    const std::size_t n =
-        std::min(config_.proof_programs_per_day, corpus_.size());
-    const std::size_t start = ((day_ - 1) * n) % corpus_.size();
-    std::vector<const CorpusEntry*> slice;
-    slice.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      slice.push_back(&corpus_[(start + i) % corpus_.size()]);
-    }
-    hive_->attempt_proofs_for(slice, config_.proof_property);
-  }
+  attempt_daily_proofs();
+  run_daily_coop(metrics);
   for (std::size_t t = 0; t < config_.ticks_per_day; ++t) net_.tick();
 
   // 5. Metrics.
@@ -260,6 +399,19 @@ void World::step_day() {
   metrics.proofs_valid_total = hive_->valid_proof_count();
   metrics.proof_solver_calls_total = hive_->proof_stats().solver_calls;
   metrics.proof_solver_recycled_total = hive_->proof_stats().recycled();
+  // Feed the yield ledger at this serial barrier, in both planning modes
+  // (static runs keep warm estimates for a later flip to adaptive). Inputs
+  // are the deterministic stats structs and tree aggregates — never the
+  // process-wide registry — so ledger state is byte-identical across worker
+  // counts and across cold vs resumed runs.
+  for (const auto& entry : corpus_) {
+    const ExecTree* tree = hive_->tree(entry.program.id);
+    ledger_.observe_program(entry.program.id,
+                            tree != nullptr ? tree->num_paths() : 0,
+                            tree != nullptr ? tree->open_frontiers() : 0,
+                            hive_->has_valid_proof(entry.program.id));
+  }
+  ledger_.observe_hive(hive_->ingest_stats(), hive_->proof_stats());
   history_.push_back(metrics);
   if (config_.record_metrics) {
     metrics_history_.push_back(
@@ -309,6 +461,21 @@ std::uint64_t World::config_fingerprint() const {
   put_varint(b, config_.guidance_per_program_per_day);
   put_varint(b, config_.proof_programs_per_day);
   put_varint(b, static_cast<std::uint64_t>(config_.proof_property));
+  // Adaptive control plane + cooperative exploration.
+  put_bool(b, config_.adapt.static_plan);
+  put_f64(b, config_.adapt.ewma_alpha);
+  put_f64(b, config_.adapt.optimism);
+  put_f64(b, config_.adapt.risk_aversion);
+  put_varint(b, config_.coop_programs_per_day);
+  put_varint(b, config_.coop.num_workers);
+  put_varint(b, static_cast<std::uint64_t>(config_.coop.strategy));
+  put_varint(b, config_.coop.steps_per_tick);
+  put_f64(b, config_.coop.churn_prob);
+  put_varint(b, config_.coop.respawn_ticks);
+  put_varint(b, config_.coop.death_detect_ticks);
+  put_varint(b, config_.coop.split_depth);
+  put_varint(b, config_.coop.seed);
+  put_varint(b, config_.coop.max_ticks);
   // Network.
   put_f64(b, config_.net.drop_prob);
   put_f64(b, config_.net.dup_prob);
@@ -384,6 +551,14 @@ bool World::save_snapshot(const std::string& dir, std::string* err) const {
       put_varint(w, m.proofs_valid_total);
       put_varint(w, m.proof_solver_calls_total);
       put_varint(w, m.proof_solver_recycled_total);
+      put_varint(w, m.coop_runs);
+      put_varint(w, m.coop_ticks);
+      put_varint(w, m.coop_useful_steps);
+      put_varint(w, m.coop_wasted_steps);
+      put_varint(w, m.coop_idle_ticks);
+      for (const std::uint64_t runs : m.coop_runs_by_strategy) {
+        put_varint(w, runs);
+      }
     }
     parts.push_back({"world", std::move(w)});
   }
@@ -429,6 +604,11 @@ bool World::save_snapshot(const std::string& dir, std::string* err) const {
     for (const Bytes& wire : wires) put_blob(reg, wire);
     parts.push_back({"regress", std::move(reg)});
   }
+  {
+    Bytes a;
+    ledger_.save_state(a);
+    parts.push_back({"adapt", std::move(a)});
+  }
   return store::write_snapshot(dir, day_, parts, err);
 }
 
@@ -443,8 +623,8 @@ bool World::resume_from_snapshot(const std::string& dir, std::string* err) {
     const auto it = snapshot->parts.find(name);
     return it == snapshot->parts.end() ? nullptr : &it->second;
   };
-  for (const char* name :
-       {"meta", "world", "pods", "net", "hive", "trees", "solver"}) {
+  for (const char* name : {"meta", "world", "pods", "net", "hive", "trees",
+                           "solver", "adapt"}) {
     if (part(name) == nullptr) return set_err("snapshot missing a part");
   }
 
@@ -481,7 +661,7 @@ bool World::resume_from_snapshot(const std::string& dir, std::string* err) {
       pending_rollouts_.push_back(std::move(pr));
     }
     history_.clear();
-    const std::uint64_t n_days = r.count(17);
+    const std::uint64_t n_days = r.count(25);
     history_.reserve(n_days);
     for (std::uint64_t i = 0; i < n_days && r.ok(); ++i) {
       DayMetrics m;
@@ -502,6 +682,12 @@ bool World::resume_from_snapshot(const std::string& dir, std::string* err) {
       m.proofs_valid_total = r.u64();
       m.proof_solver_calls_total = r.u64();
       m.proof_solver_recycled_total = r.u64();
+      m.coop_runs = r.u64();
+      m.coop_ticks = r.u64();
+      m.coop_useful_steps = r.u64();
+      m.coop_wasted_steps = r.u64();
+      m.coop_idle_ticks = r.u64();
+      for (std::uint64_t& runs : m.coop_runs_by_strategy) runs = r.u64();
       history_.push_back(m);
     }
     if (!r.done()) return set_err("world part malformed");
@@ -544,6 +730,12 @@ bool World::resume_from_snapshot(const std::string& dir, std::string* err) {
     StateReader r(*part("solver"));
     if (!hive_->solver_cache().load_state(r) || !r.done()) {
       return set_err("solver part malformed");
+    }
+  }
+  {
+    StateReader r(*part("adapt"));
+    if (!ledger_.load_state(r) || !r.done()) {
+      return set_err("adapt part malformed");
     }
   }
   return true;

@@ -18,10 +18,13 @@
 // Everything is seeded: a World run is exactly reproducible.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "hive/adapt.h"
+#include "hive/coop.h"
 #include "hive/hive.h"
 #include "minivm/corpus.h"
 #include "net/simnet.h"
@@ -51,6 +54,21 @@ struct WorldConfig {
   // HiveConfig::solver_cache is on.
   std::size_t proof_programs_per_day = 0;
   Property proof_property = Property::kNeverCrashes;
+  // Adaptive control plane (hive/adapt.h). With the default
+  // static_plan=true every schedule below is the historical static one and
+  // runs are byte-identical to the pre-adaptive pipeline; the yield ledger
+  // still observes, so flipping adaptation on later starts from warm
+  // estimates. With static_plan=false, step_day() rebalances the guidance
+  // pool (guidance_per_program_per_day × corpus as one budget), the daily
+  // proof slice (highest-scoring programs instead of rotation), and coop
+  // worker investment from measured per-program yield.
+  AdaptConfig adapt;
+  // Cooperative-exploration investment: programs explored cooperatively per
+  // day (0 disables). Statically a rotating corpus slice with
+  // coop.num_workers each; adaptively the top-ranked programs with worker
+  // counts allocated by yield.
+  std::size_t coop_programs_per_day = 0;
+  CoopConfig coop;
   std::size_t ticks_per_day = 12;
   std::uint64_t seed = 1;
   // Durable corpus store (src/store). When snapshot_dir is non-empty and
@@ -105,6 +123,16 @@ struct DayMetrics {
   std::size_t proofs_valid_total = 0;
   std::uint64_t proof_solver_calls_total = 0;
   std::uint64_t proof_solver_recycled_total = 0;
+  // Cooperative exploration (when WorldConfig::coop_programs_per_day > 0):
+  // the day's run outcomes, including the efficiency signals that were
+  // previously invisible to the obs layer (idle worker-ticks and work lost
+  // to churn), attributed per partition strategy.
+  std::uint64_t coop_runs = 0;
+  std::uint64_t coop_ticks = 0;
+  std::uint64_t coop_useful_steps = 0;
+  std::uint64_t coop_wasted_steps = 0;
+  std::uint64_t coop_idle_ticks = 0;
+  std::array<std::uint64_t, 3> coop_runs_by_strategy{};  // by PartitionStrategy
 
   bool operator==(const DayMetrics&) const = default;
 };
@@ -126,6 +154,8 @@ class World {
     return metrics_history_;
   }
   const std::vector<CorpusEntry>& corpus() const { return corpus_; }
+  // The adaptive control plane's memory (read-only; step_day feeds it).
+  const YieldLedger& yield_ledger() const { return ledger_; }
   std::size_t num_pods() const { return pods_.size(); }
   Pod& pod(std::size_t i) { return *pods_[i].pod; }
   const NetStats& net_stats() const { return net_.stats(); }
@@ -165,10 +195,14 @@ class World {
   void send_fix_to(const FixCandidate& candidate, const PodSlot& slot);
   void advance_rollouts();
   void send_guidance();
+  void attempt_daily_proofs();
+  void run_daily_coop(DayMetrics& metrics);
 
   std::vector<CorpusEntry> corpus_;
   WorldConfig config_;
   Rng rng_;
+  YieldLedger ledger_;
+  AdaptivePlanner adapt_planner_;
   SimNet net_;
   Endpoint hive_endpoint_ = 0;
   std::unique_ptr<Hive> hive_;

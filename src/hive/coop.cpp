@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "hive/adapt.h"
 #include "pod/protocol.h"
 #include "sym/executor.h"
 #include "tree/exec_tree.h"
@@ -56,6 +57,9 @@ struct Equity {
   StatAccumulator unit_cost;    // observed per-unit total costs
   std::size_t units_open = 0;   // unfinished units in this equity
   std::size_t exposure = 0;     // in-flight assignments ("capital invested")
+  // Cross-run prior from the yield ledger (negative mean = no prior).
+  double prior_mean = -1.0;
+  double prior_dev = 0.0;
 };
 
 class Coordinator {
@@ -155,7 +159,13 @@ class Coordinator {
       if (eq.units_open == 0) continue;
       double mean_cost;
       if (eq.unit_cost.count() == 0) {
-        mean_cost = 4.0 * global_mean;  // speculation: optimistic unknown
+        if (eq.prior_mean >= 0.0) {
+          // A past run (via the yield ledger) already priced this subtree:
+          // start from its risk-inflated estimate instead of speculating.
+          mean_cost = eq.prior_mean + eq.prior_dev;
+        } else {
+          mean_cost = 4.0 * global_mean;  // speculation: optimistic unknown
+        }
       } else {
         // Risk premium: one observed-stddev of upside per unit.
         mean_cost = eq.unit_cost.mean() + eq.unit_cost.stddev();
@@ -222,6 +232,12 @@ class Coordinator {
   const WorkUnit& unit(std::size_t id) const { return units_[id]; }
   std::size_t num_units() const { return units_.size(); }
 
+  void set_equity_prior(std::size_t e, double mean, double dev) {
+    equities_[e].prior_mean = mean;
+    equities_[e].prior_dev = dev;
+  }
+  const std::vector<Equity>& equities() const { return equities_; }
+
  private:
   std::vector<WorkUnit> units_;
   PartitionStrategy strategy_;
@@ -274,6 +290,9 @@ CoopResult run_cooperative_exploration(const CorpusEntry& entry,
     auto [it, inserted] = equity_ids.try_emplace(top, equity_ids.size());
     u.equity = it->second;
   }
+  // Equity id -> its defining top decision (for ledger keys).
+  std::vector<SymDecision> equity_top(equity_ids.size());
+  for (const auto& [top, id] : equity_ids) equity_top[id] = top;
   // Flatten in lexicographic prefix order — reconstructed on demand from
   // the tree's parent links — so unit numbering (and thus the static
   // partition and every strategy's deterministic outcome) is identical to
@@ -297,6 +316,16 @@ CoopResult run_cooperative_exploration(const CorpusEntry& entry,
   Coordinator coord(std::move(units), config.strategy, config.num_workers,
                     num_equities);
   coord.set_remaining(num_units);
+  if (config.yield != nullptr) {
+    for (std::size_t e = 0; e < equity_top.size(); ++e) {
+      const auto* prior = config.yield->equity(
+          entry.program.id,
+          YieldLedger::equity_key(equity_top[e].site, equity_top[e].taken));
+      if (prior != nullptr && prior->units > 0) {
+        coord.set_equity_prior(e, prior->mean_cost, prior->dev);
+      }
+    }
+  }
 
   SimNet net(config.net);
   const Endpoint coord_ep = net.add_endpoint();
@@ -444,6 +473,19 @@ CoopResult run_cooperative_exploration(const CorpusEntry& entry,
   result.ticks = tick;
   result.messages = net.stats().sent;
   result.complete = result.complete && coord.all_done();
+  result.strategy = config.strategy;
+  if (config.yield != nullptr) {
+    // Epilogue write-back: this run's observed subtree costs become the
+    // next run's priors.
+    const auto& eqs = coord.equities();
+    for (std::size_t e = 0; e < eqs.size() && e < equity_top.size(); ++e) {
+      if (eqs[e].unit_cost.count() == 0) continue;
+      config.yield->observe_equity(
+          entry.program.id,
+          YieldLedger::equity_key(equity_top[e].site, equity_top[e].taken),
+          eqs[e].unit_cost.mean(), eqs[e].unit_cost.count());
+    }
+  }
   return result;
 }
 

@@ -30,6 +30,7 @@
 namespace softborg {
 
 class SolverCache;
+class YieldLedger;
 
 enum class PartitionStrategy : std::uint8_t {
   kStatic = 0,
@@ -54,6 +55,14 @@ struct CoopConfig {
   // (sym/solver_cache.h). Not owned; the caller serializes access — the
   // simulation itself runs on one thread.
   SolverCache* solver_cache = nullptr;
+  // Optional adaptive ledger (hive/adapt.h). When set, kPortfolio seeds its
+  // per-equity cost estimates from the ledger's cross-run priors instead of
+  // starting cold, and the run writes the observed per-equity mean unit
+  // costs back at the epilogue — the paper's collective recycling applied
+  // to the allocator itself. Not owned; null keeps the historical cold
+  // start. Deterministic: allocation becomes a pure function of
+  // (entry, config, ledger state).
+  YieldLedger* yield = nullptr;
 };
 
 struct CoopResult {
@@ -65,6 +74,9 @@ struct CoopResult {
   std::uint64_t wasted_steps = 0;   // work lost to churn and redone
   std::uint64_t useful_steps = 0;
   std::uint64_t idle_ticks = 0;     // worker-ticks spent waiting for work
+  // Which strategy produced this result — carried so downstream consumers
+  // (DayMetrics, hive_status_report) can attribute outcomes per strategy.
+  PartitionStrategy strategy = PartitionStrategy::kDynamic;
 };
 
 // Explores `entry`'s full execution tree cooperatively and reports how the

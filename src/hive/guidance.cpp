@@ -8,9 +8,8 @@ std::vector<GuidanceDirective> GuidancePlanner::plan_frontier(
   std::vector<GuidanceDirective> out;
   if (entry.program.num_threads() != 1) return out;
 
-  const std::size_t budget = config_.frontier_budget != 0
-                                 ? config_.frontier_budget
-                                 : max_directives * 2;
+  const std::size_t budget =
+      config_.effective_frontier_budget(max_directives);
   const auto frontiers = tree.frontier(budget);
   for (const auto& f : frontiers) {
     if (out.size() >= max_directives) break;

@@ -33,6 +33,14 @@ struct GuidancePlannerConfig {
   // O(answer), but each witness still costs a solver call, so the budget
   // is worth keeping configurable per deployment.
   std::size_t frontier_budget = 0;
+
+  // The single resolution point for the 0-means-default rule above. Every
+  // consumer — plan_frontier itself and the adaptive planner's work-unit
+  // accounting — must go through this so per-day budgets can never diverge
+  // from the historical default.
+  std::size_t effective_frontier_budget(std::size_t max_directives) const {
+    return frontier_budget != 0 ? frontier_budget : max_directives * 2;
+  }
 };
 
 class GuidancePlanner {

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/log.h"
 #include "common/metrics.h"
+#include "hive/coop.h"
 #include "minivm/replay.h"
 #include "obs/registry.h"
 #include "obs/span.h"
@@ -682,6 +683,7 @@ void Hive::publish_metrics() {
     obs_published_stats_ = stats_;
     obs_published_ingest_ = ingest_stats_;
     obs_published_proof_ = proof_stats_;
+    obs_published_coop_ = coop_stats_;
     return;
   }
   auto& m = HiveMetrics::get();
@@ -735,6 +737,30 @@ void Hive::publish_metrics() {
        obs_published_proof_.solver_unsat_subsumed);
   bump(m.solver_models_reused, proof_stats_.solver_models_reused,
        obs_published_proof_.solver_models_reused);
+  // Coop counters are named per strategy and registered lazily — coop runs
+  // are rare (at most a handful per day), so the registry lookup at this
+  // serial barrier is irrelevant next to the run itself.
+  for (std::size_t s = 0; s < coop_stats_.size(); ++s) {
+    const CoopStrategyStats& cur = coop_stats_[s];
+    CoopStrategyStats& base = obs_published_coop_[s];
+    if (cur == base) continue;
+    auto& reg = obs::MetricsRegistry::global();
+    const std::string prefix =
+        std::string("coop.") +
+        strategy_name(static_cast<PartitionStrategy>(s)) + ".";
+    bump(reg.counter(prefix + "runs_total"), cur.runs, base.runs);
+    bump(reg.counter(prefix + "completed_total"), cur.completed,
+         base.completed);
+    bump(reg.counter(prefix + "ticks_total"), cur.ticks, base.ticks);
+    bump(reg.counter(prefix + "useful_steps_total"), cur.useful_steps,
+         base.useful_steps);
+    bump(reg.counter(prefix + "wasted_steps_total"), cur.wasted_steps,
+         base.wasted_steps);
+    bump(reg.counter(prefix + "idle_ticks_total"), cur.idle_ticks,
+         base.idle_ticks);
+    bump(reg.counter(prefix + "worker_deaths_total"), cur.worker_deaths,
+         base.worker_deaths);
+  }
 }
 
 ThreadPool* Hive::proof_pool() {
@@ -815,6 +841,29 @@ std::size_t Hive::valid_proof_count() const {
     if (!published.revoked) n++;
   }
   return n;
+}
+
+bool Hive::has_valid_proof(ProgramId program) const {
+  for (const auto& published : proofs_) {
+    if (!published.revoked && published.certificate.program == program) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Hive::record_coop_outcome(const CoopResult& result) {
+  const std::size_t s = static_cast<std::size_t>(result.strategy);
+  SB_CHECK(s < coop_stats_.size());
+  CoopStrategyStats& cs = coop_stats_[s];
+  cs.runs++;
+  if (result.complete) cs.completed++;
+  cs.ticks += result.ticks;
+  cs.useful_steps += result.useful_steps;
+  cs.wasted_steps += result.wasted_steps;
+  cs.idle_ticks += result.idle_ticks;
+  cs.worker_deaths += result.worker_deaths;
+  publish_metrics();
 }
 
 namespace {
@@ -917,6 +966,16 @@ void Hive::save_state(Bytes& out) const {
   for (const PublishedProof& published : proofs_) {
     encode_certificate(out, published.certificate);
     put_bool(out, published.revoked);
+  }
+
+  for (const CoopStrategyStats& cs : coop_stats_) {
+    put_varint(out, cs.runs);
+    put_varint(out, cs.completed);
+    put_varint(out, cs.ticks);
+    put_varint(out, cs.useful_steps);
+    put_varint(out, cs.wasted_steps);
+    put_varint(out, cs.idle_ticks);
+    put_varint(out, cs.worker_deaths);
   }
 }
 
@@ -1044,6 +1103,16 @@ bool Hive::load_state(StateReader& r) {
     published.revoked = r.boolean();
     proofs_.push_back(std::move(published));
   }
+
+  for (CoopStrategyStats& cs : coop_stats_) {
+    cs.runs = r.u64();
+    cs.completed = r.u64();
+    cs.ticks = r.u64();
+    cs.useful_steps = r.u64();
+    cs.wasted_steps = r.u64();
+    cs.idle_ticks = r.u64();
+    cs.worker_deaths = r.u64();
+  }
   if (!r.ok()) return false;
 
   // The run that saved this state already published its counter totals into
@@ -1051,6 +1120,7 @@ bool Hive::load_state(StateReader& r) {
   obs_published_stats_ = stats_;
   obs_published_ingest_ = ingest_stats_;
   obs_published_proof_ = proof_stats_;
+  obs_published_coop_ = coop_stats_;
   return true;
 }
 

@@ -25,6 +25,7 @@
 // same stats — regardless of thread count (see tests/ingest_batch_test.cpp).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -46,6 +47,8 @@
 #include "tree/exec_tree.h"
 
 namespace softborg {
+
+struct CoopResult;
 
 struct HiveConfig {
   double auto_fix_threshold = 0.9;
@@ -213,6 +216,32 @@ class Hive {
   };
   const ProofClosureStats& proof_stats() const { return proof_stats_; }
 
+  // True when this hive currently holds an unrevoked certificate for
+  // `program` (the per-program slice of valid_proof_count).
+  bool has_valid_proof(ProgramId program) const;
+
+  // Cooperative-exploration outcomes, accumulated per partition strategy
+  // (hive/coop.h) so the adaptive loop and operators can see coop
+  // efficiency — idle ticks and churn-wasted work were previously invisible
+  // to the obs layer. Indexed by PartitionStrategy.
+  struct CoopStrategyStats {
+    std::uint64_t runs = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t ticks = 0;
+    std::uint64_t useful_steps = 0;
+    std::uint64_t wasted_steps = 0;
+    std::uint64_t idle_ticks = 0;
+    std::uint64_t worker_deaths = 0;
+
+    bool operator==(const CoopStrategyStats&) const = default;
+  };
+  // Folds one finished coop run into the per-strategy ledger and publishes
+  // the deltas (a serial barrier: coop runs are single-threaded).
+  void record_coop_outcome(const CoopResult& result);
+  const std::array<CoopStrategyStats, 3>& coop_stats() const {
+    return coop_stats_;
+  }
+
   // --- durable store (src/store) ---------------------------------------------
   // save_state/load_state cover every accumulated ledger except the trees
   // and the solver cache (separate parts below, so warm starts can import
@@ -290,6 +319,8 @@ class Hive {
   HiveStats obs_published_stats_;
   IngestStats obs_published_ingest_;
   ProofClosureStats obs_published_proof_;
+  std::array<CoopStrategyStats, 3> coop_stats_{};
+  std::array<CoopStrategyStats, 3> obs_published_coop_{};
 
   // Hot lookup structures are hashed, not ordered: nothing user-visible
   // iterates them (ordered outputs — proofs, guidance, exports — iterate the

@@ -3,6 +3,7 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "hive/coop.h"
 #include "obs/registry.h"
 #include "obs/span.h"
 
@@ -82,6 +83,28 @@ std::string hive_status_report(Hive& hive) {
       static_cast<unsigned long long>(ps.solver_cache_hits),
       static_cast<unsigned long long>(ps.solver_unsat_subsumed),
       static_cast<unsigned long long>(ps.solver_models_reused));
+  bool any_coop = false;
+  for (std::size_t strat = 0; strat < hive.coop_stats().size(); ++strat) {
+    const Hive::CoopStrategyStats& cs = hive.coop_stats()[strat];
+    if (cs.runs == 0) continue;
+    any_coop = true;
+    const std::uint64_t total_steps = cs.useful_steps + cs.wasted_steps;
+    out += line(
+        "coop[%s]: %llu runs (%llu complete), %llu ticks, %llu useful / "
+        "%llu wasted steps (%.0f%% waste), %llu idle ticks, %llu deaths",
+        strategy_name(static_cast<PartitionStrategy>(strat)),
+        static_cast<unsigned long long>(cs.runs),
+        static_cast<unsigned long long>(cs.completed),
+        static_cast<unsigned long long>(cs.ticks),
+        static_cast<unsigned long long>(cs.useful_steps),
+        static_cast<unsigned long long>(cs.wasted_steps),
+        total_steps == 0 ? 0.0
+                         : 100.0 * static_cast<double>(cs.wasted_steps) /
+                               static_cast<double>(total_steps),
+        static_cast<unsigned long long>(cs.idle_ticks),
+        static_cast<unsigned long long>(cs.worker_deaths));
+  }
+  if (!any_coop) out += "coop: no cooperative runs\n";
 
   out += "bug ledger:\n";
   if (hive.bug_tracker().all().empty()) {

@@ -1,6 +1,8 @@
 #include "hive/sharded.h"
 
 #include "common/check.h"
+#include "common/metrics.h"
+#include "hive/adapt.h"
 #include "obs/registry.h"
 #include "obs/span.h"
 #include "pod/protocol.h"
@@ -127,7 +129,11 @@ void ShardedHive::pump(SimNet& net) {
   if (config_.serial_pump) {
     // Baseline flavor: the per-trace serial pipeline, message by message.
     for (std::size_t i = 0; i < shards_.size(); ++i) {
+      Timer t;
       for (const Bytes& wire : batches[i]) shards_[i].hive->ingest_bytes(wire);
+      if (yield_ != nullptr && !batches[i].empty()) {
+        yield_->observe_shard_pump(i, t.elapsed_seconds());
+      }
     }
     return;
   }
@@ -135,9 +141,20 @@ void ShardedHive::pump(SimNet& net) {
   // through the staged pipeline. Shards own disjoint Hive state (trees,
   // caches, stats), so no locking is needed; within a shard the batch keeps
   // network-delivery order, so results are independent of pump_threads.
+  std::vector<double> shard_seconds(shards_.size(), 0.0);
   parallel_for(pump_pool(), shards_.size(), [&](std::size_t i) {
-    if (!batches[i].empty()) shards_[i].hive->ingest_batch(batches[i]);
+    if (batches[i].empty()) return;
+    Timer t;
+    shards_[i].hive->ingest_batch(batches[i]);
+    shard_seconds[i] = t.elapsed_seconds();
   });
+  // Ledger writes happen on the caller after the barrier: the ledger is not
+  // thread-safe, and the latencies are load telemetry, not ingest results.
+  if (yield_ != nullptr) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (!batches[i].empty()) yield_->observe_shard_pump(i, shard_seconds[i]);
+    }
+  }
 }
 
 std::vector<FixCandidate> ShardedHive::process_all() {
@@ -159,6 +176,26 @@ std::vector<GuidanceDirective> ShardedHive::plan_guidance_all(
   for (const auto& entry : *corpus_) {
     auto directives = shards_[shard_index(entry.program.id)]
                           .hive->plan_guidance_for(entry, per_program);
+    all.insert(all.end(), std::make_move_iterator(directives.begin()),
+               std::make_move_iterator(directives.end()));
+  }
+  return all;
+}
+
+std::vector<GuidanceDirective> ShardedHive::plan_guidance_all(
+    std::size_t per_program, const AdaptivePlanner& planner) {
+  if (yield_ == nullptr) return plan_guidance_all(per_program);
+  std::vector<GuidanceDirective> all;
+  for (const auto& entry : *corpus_) {
+    const std::size_t owner = shard_index(entry.program.id);
+    // Scale the per-program budget by the owning shard's load factor
+    // (mean pump latency / own latency, clamped to [0.5, 2]): a shard
+    // pumping twice as slowly as the mean plans half the directives.
+    const double scale = planner.shard_scale(*yield_, owner);
+    const std::size_t budget = static_cast<std::size_t>(
+        static_cast<double>(per_program) * scale + 0.5);
+    auto directives =
+        shards_[owner].hive->plan_guidance_for(entry, budget);
     all.insert(all.end(), std::make_move_iterator(directives.begin()),
                std::make_move_iterator(directives.end()));
   }

@@ -36,6 +36,9 @@
 
 namespace softborg {
 
+class YieldLedger;
+class AdaptivePlanner;
+
 struct ShardedHiveConfig {
   HiveConfig hive;
   // Worker threads for the shard-parallel pump; <= 1 pumps shards inline on
@@ -87,6 +90,15 @@ class ShardedHive {
   // shard that owns it, so the result carries no duplicate directives and
   // covers the same programs as a single unsharded hive with equal trees.
   std::vector<GuidanceDirective> plan_guidance_all(std::size_t per_program);
+  // Load-shedding variant: each program's budget is `per_program` scaled by
+  // its owning shard's AdaptivePlanner::shard_scale — hot shards (by the
+  // pump latencies the attached ledger has observed) shed planning work to
+  // cold ones, clamped so no shard doubles or goes dark. Falls back to the
+  // uniform overload when no ledger is attached. Wall-clock latencies are
+  // nondeterministic telemetry, so this overload is for deployments, not
+  // differential tests.
+  std::vector<GuidanceDirective> plan_guidance_all(
+      std::size_t per_program, const AdaptivePlanner& planner);
   // Proof gap closure for the whole corpus, shard-parallel on the pump pool:
   // each shard runs Hive::attempt_proofs_for over the slice of the corpus it
   // owns (corpus order within the slice), then the certificates reassemble
@@ -123,6 +135,13 @@ class ShardedHive {
   void save_state(Bytes& out) const;
   bool load_state(StateReader& r);
 
+  // Attaches a yield ledger (hive/adapt.h, not owned; null detaches). Each
+  // pump() then feeds the ledger one wall-clock ingest latency per shard,
+  // recorded after the shard-parallel barrier on the caller's thread — the
+  // ingest results themselves stay byte-identical, the ledger only gains
+  // the load signal plan_guidance_all(…, planner) sheds by.
+  void set_yield_ledger(YieldLedger* ledger) { yield_ = ledger; }
+
  private:
   struct Shard {
     std::unique_ptr<Hive> hive;
@@ -137,6 +156,7 @@ class ShardedHive {
   std::vector<Shard> shards_;
   std::unique_ptr<ThreadPool> pump_pool_;
   Endpoint ingress_ = 0;
+  YieldLedger* yield_ = nullptr;
   std::uint64_t routed_ = 0;
   std::uint64_t routing_failures_ = 0;
   std::uint64_t unroutable_ = 0;

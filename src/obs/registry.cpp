@@ -1,5 +1,6 @@
 #include "obs/registry.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace softborg::obs {
@@ -118,6 +119,15 @@ std::string MetricsSnapshot::counters_text() const {
     out += buf;
   }
   return out;
+}
+
+std::optional<std::uint64_t> MetricsSnapshot::counter_value(
+    std::string_view name) const {
+  const auto it = std::lower_bound(
+      counters.begin(), counters.end(), name,
+      [](const CounterValue& c, std::string_view n) { return c.name < n; });
+  if (it == counters.end() || it->name != name) return std::nullopt;
+  return it->value;
 }
 
 }  // namespace softborg::obs

@@ -37,6 +37,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -141,6 +142,10 @@ struct MetricsSnapshot {
   // Stable "name value\n" rendering of the counters alone — the surface
   // differential tests compare byte-for-byte across worker counts.
   std::string counters_text() const;
+
+  // Value of one counter by exact name (binary search over the name-sorted
+  // vector); nullopt when the counter is absent from this snapshot.
+  std::optional<std::uint64_t> counter_value(std::string_view name) const;
 };
 
 class MetricsRegistry {
