@@ -1,0 +1,271 @@
+// E13 — Sustained ingest throughput of the multi-process distributed hive
+// (ISSUE 9 tentpole; paper §3: the hive "may be physically centralized …
+// entirely distributed, or hybrid").
+//
+// Claim under test: splitting the hive across shard worker processes behind
+// the trace router (src/dist) scales sustained traces/sec with shard count,
+// and the bounded-ingress + credit-window machinery keeps memory bounded —
+// shedding, not queue growth — when ingress runs 2x hotter than the fleet
+// can drain.
+//
+// Setup, throughput legs: for N in {1, 2, 4, 8}, fork N shard worker
+// processes (spawn_worker_process — forked before the driver owns any
+// threads), connect them to a TraceRouter over a Unix-domain socket, route a
+// pre-generated multi-program workload, and time ingress → quiescent (every
+// queue empty, every credit acked). Queues are sized to the workload so the
+// throughput legs never shed: every wire is ingested exactly once, and the
+// closing reports are cross-checked against the workload size.
+//
+// Overload leg: 2 shards, a 2x workload, and deliberately tiny queues
+// (capacity 64, credit window 16). The router admits everything instantly,
+// the queues fill, the lowest-priority traffic is shed, and the run still
+// drains to quiescent — the bounded-memory claim is the measured fleet-total
+// queue peak (≤ shards × capacity) plus completion, and forwarded + shed
+// must equal received.
+//
+// Honesty note: shard workers are real processes, so the speedup ceiling is
+// the host's core count. On a 1-core container every leg time-slices on the
+// same core and traces/sec stays roughly flat across N (the bench prints
+// the hardware thread count next to the numbers); the ≥2.5x-at-4-shards
+// acceptance figure is a multi-core (CI) expectation. Measured numbers and
+// methodology: EXPERIMENTS.md ("E13").
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/softborg.h"
+
+using namespace softborg;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kWorkloadTraces = 8192;
+constexpr std::size_t kShardCounts[] = {1, 2, 4, 8};
+
+// The hand-written corpus has only 7 programs, and the ring routes whole
+// programs — with so few keys one shard ends up owning ~5/6 of the traffic
+// and key skew, not the transport, caps the speedup. Widen the population
+// with generated programs so the consistent hash has enough keys to spread
+// (the real fleet shape: many programs, none dominant).
+std::vector<CorpusEntry> bench_corpus() {
+  std::vector<CorpusEntry> corpus = standard_corpus();
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    corpus.push_back(make_random_program(9000 + seed));
+  }
+  return corpus;
+}
+
+// A day of fleet traffic: corpus programs re-executed with fresh inputs and
+// seeds, every wire carrying a unique trace id so dedup passes all of them
+// (the recycling happens in the shards' replay-coalescing stage).
+std::vector<Bytes> make_workload(const std::vector<CorpusEntry>& corpus,
+                                 std::size_t n, std::uint64_t seed,
+                                 std::uint64_t id_base) {
+  Rng rng(seed);
+  std::vector<Bytes> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const CorpusEntry& entry = corpus[rng.next_below(corpus.size())];
+    ExecConfig cfg;
+    for (const auto& d : entry.domains) {
+      cfg.inputs.push_back(rng.next_in(d.lo, d.hi));
+    }
+    cfg.seed = seed * 1000003 + i;
+    auto result = execute(entry.program, cfg);
+    result.trace.id = TraceId(id_base + i + 1);
+    result.trace.day = static_cast<std::uint32_t>(i % 7);
+    out.push_back(encode_trace(result.trace));
+  }
+  return out;
+}
+
+struct LegResult {
+  double seconds = 0.0;  // ingress → quiescent wall time
+  std::uint64_t ingested = 0;
+  std::size_t reports = 0;
+  dist::RouterStats router;
+  bool completed = false;
+};
+
+LegResult run_leg(const std::vector<CorpusEntry>& corpus,
+                  const std::vector<Bytes>& wires, std::size_t num_shards,
+                  std::size_t queue_capacity, std::uint32_t credit_window) {
+  const std::string addr = "unix:/tmp/softborg-bench-e13-" +
+                           std::to_string(::getpid()) + "-" +
+                           std::to_string(num_shards) + "-" +
+                           std::to_string(queue_capacity) + ".sock";
+  dist::Listener listener(addr);
+
+  // Fork the fleet before anything in this process owns a thread (the shard
+  // hives spin up pools in the children only).
+  dist::WorkerConfig wconfig;
+  wconfig.queue_capacity = queue_capacity;
+  wconfig.credit_window = credit_window;
+  std::vector<int> pids;
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    const int pid = dist::spawn_worker_process(i, &corpus, wconfig,
+                                               listener.bound_addr());
+    if (pid < 0) {
+      std::fprintf(stderr, "e13: fork failed for shard %zu\n", i);
+      break;
+    }
+    pids.push_back(pid);
+  }
+
+  dist::RouterConfig rconfig;
+  rconfig.queue_capacity = queue_capacity;
+  dist::TraceRouter router(num_shards, rconfig);
+
+  const auto round = [&] {
+    while (auto ch = listener.accept()) router.add_unidentified(std::move(ch));
+    router.pump();
+  };
+  const auto wait_until = [&](auto done, int timeout_ms) {
+    const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (!done()) {
+      if (Clock::now() > deadline) return false;
+      const std::uint64_t before =
+          router.stats().forwarded + router.stats().credits_granted;
+      round();
+      // Yield the core only on no-progress rounds: a spinning router starves
+      // the very workers it is timing, but a fixed per-round sleep would put
+      // a floor under the measured drain time.
+      if (router.stats().forwarded + router.stats().credits_granted ==
+          before) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+    return true;
+  };
+
+  LegResult out;
+  const bool up = pids.size() == num_shards &&
+                  wait_until(
+                      [&] {
+                        for (std::size_t i = 0; i < num_shards; ++i) {
+                          if (!router.shard_alive(i)) return false;
+                        }
+                        return true;
+                      },
+                      30'000);
+  if (up) {
+    const auto start = Clock::now();
+    for (const auto& w : wires) router.route_wire(w);
+    out.completed = wait_until([&] { return router.quiescent(); }, 180'000);
+    out.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  }
+
+  router.broadcast_shutdown();
+  wait_until([&] { return router.all_reports_in(); }, 30'000);
+  for (const auto& r : router.reports()) {
+    if (!r.closed) continue;
+    ++out.reports;
+    if (const auto stats = dist::decode_worker_stats(r.stats_wire)) {
+      out.ingested += stats->ingested;
+    }
+  }
+  out.router = router.stats();
+  for (const int pid : pids) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchJsonWriter json("e13_throughput", argc, argv);
+  const std::vector<CorpusEntry> corpus = bench_corpus();
+  const std::vector<Bytes> wires =
+      make_workload(corpus, kWorkloadTraces, 29, 0);
+  const std::vector<Bytes> overload_wires =
+      make_workload(corpus, 2 * kWorkloadTraces, 31, 1'000'000);
+
+  std::printf("E13: distributed hive sustained throughput\n");
+  std::printf("  workload: %zu traces, %zu programs; host threads: %u\n",
+              wires.size(), corpus.size(),
+              std::thread::hardware_concurrency());
+  std::printf(
+      "  (shards are processes — expect flat scaling on a 1-core host)\n\n");
+  std::printf("  %-8s %10s %12s %10s %8s %8s\n", "shards", "seconds",
+              "traces/sec", "ingested", "shed", "stalls");
+
+  bool ok = true;
+  double base_tps = 0.0;
+  for (const std::size_t n : kShardCounts) {
+    // Queues sized to the workload: throughput legs measure drain speed, not
+    // shed policy, so nothing may be dropped.
+    const LegResult leg = run_leg(corpus, wires, n, wires.size(), 256);
+    const double tps = leg.seconds > 0.0
+                           ? static_cast<double>(wires.size()) / leg.seconds
+                           : 0.0;
+    if (n == 1) base_tps = tps;
+    std::printf("  %-8zu %10.3f %12.0f %10llu %8llu %8llu%s\n", n, leg.seconds,
+                tps, static_cast<unsigned long long>(leg.ingested),
+                static_cast<unsigned long long>(leg.router.shed),
+                static_cast<unsigned long long>(leg.router.backpressure_stalls),
+                leg.completed ? "" : "  [DID NOT DRAIN]");
+    const std::string workload = "shards_" + std::to_string(n);
+    json.add(workload, "traces_per_sec", tps, base_tps);
+    json.add(workload, "ingested_total", static_cast<double>(leg.ingested));
+    json.add(workload, "completed", leg.completed ? 1.0 : 0.0);
+    ok = ok && leg.completed && leg.reports == n &&
+         leg.ingested == wires.size() && leg.router.shed == 0;
+    if (leg.ingested != wires.size() || leg.router.shed != 0) {
+      std::fprintf(stderr,
+                   "e13: shards=%zu lost traffic (ingested %llu/%zu, shed "
+                   "%llu)\n",
+                   n, static_cast<unsigned long long>(leg.ingested),
+                   wires.size(),
+                   static_cast<unsigned long long>(leg.router.shed));
+    }
+  }
+
+  // Overload: 2x the workload into deliberately tiny queues. Bounded memory
+  // means the queue peak never exceeds capacity and the run still completes;
+  // shedding (not buffering) absorbs the excess.
+  constexpr std::size_t kOverloadQueue = 64;
+  const LegResult over =
+      run_leg(corpus, overload_wires, 2, kOverloadQueue, 16);
+  const double shed_rate =
+      over.router.received > 0
+          ? static_cast<double>(over.router.shed) /
+                static_cast<double>(over.router.received)
+          : 0.0;
+  // queue_depth_peak is the fleet-total peak, bounded by shards * capacity.
+  const bool over_ok =
+      over.completed && over.router.shed > 0 &&
+      over.router.queue_depth_peak <= 2 * kOverloadQueue &&
+      over.router.forwarded + over.router.shed == over.router.received;
+  std::printf(
+      "\n  overload (2 shards, queue %zu, 2x traffic): received %llu, "
+      "forwarded %llu, shed %llu (%.1f%%), queue peak %zu, stalls %llu — "
+      "%s\n",
+      kOverloadQueue, static_cast<unsigned long long>(over.router.received),
+      static_cast<unsigned long long>(over.router.forwarded),
+      static_cast<unsigned long long>(over.router.shed), 100.0 * shed_rate,
+      over.router.queue_depth_peak,
+      static_cast<unsigned long long>(over.router.backpressure_stalls),
+      over_ok ? "bounded, completed" : "FAILED");
+  json.add("overload_2x", "shed_total",
+           static_cast<double>(over.router.shed));
+  json.add("overload_2x", "shed_rate", shed_rate);
+  json.add("overload_2x", "queue_depth_peak",
+           static_cast<double>(over.router.queue_depth_peak));
+  json.add("overload_2x", "backpressure_stalls",
+           static_cast<double>(over.router.backpressure_stalls));
+  json.add("overload_2x", "bounded_and_completed", over_ok ? 1.0 : 0.0);
+  ok = ok && over_ok;
+
+  if (!json.write()) return 1;
+  return ok ? 0 : 1;
+}

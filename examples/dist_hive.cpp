@@ -1,0 +1,317 @@
+// Multi-process distributed hive (ISSUE 9): one router process owning the
+// fleet ingress, N shard worker processes each owning a Hive, talking
+// length-prefixed frames over Unix-domain or TCP sockets with credit-based
+// backpressure and bounded, priority-shedding ingress queues.
+//
+// Three modes:
+//
+//   dist_hive fleet  [--shards N] [--traces N] [--snapshot-root DIR] ...
+//       One-command demo: forks N shard workers, runs the router inline,
+//       streams a generated workload through the fleet, prints the closing
+//       ledger, reaps the children.
+//
+//   dist_hive router [--addr A] [--shards N] [--traces N] [--pace-us U] ...
+//       The ingress alone: listens on A (default unix:/tmp/softborg-hive-
+//       <pid>.sock; "tcp:HOST:PORT" works too), waits for workers to dial
+//       in, routes the workload, runs the shutdown protocol, reports. A
+//       shard dying mid-run degrades to shedding — the router never wedges;
+//       a worker that re-dials resumes service. CI drives this mode and
+//       kill -9s a shard under it.
+//
+//   dist_hive shard --index I [--addr A] [--snapshot-dir D] ...
+//       One shard worker: warm-starts from --snapshot-dir when it holds a
+//       valid snapshot (prints which), dials the router, serves until the
+//       shutdown protocol completes.
+//
+// Output lines are stable and greppable (CI asserts on them):
+//   router: received=... forwarded=... shed=... stalls=... queue_peak=...
+//   shard N: resumed from snapshot | cold start
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/softborg.h"
+
+namespace {
+
+using namespace softborg;
+using namespace softborg::dist;
+
+std::vector<Bytes> make_workload(const std::vector<CorpusEntry>& corpus,
+                                 std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Bytes> wires;
+  wires.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const CorpusEntry& entry = corpus[rng.next_below(corpus.size())];
+    ExecConfig cfg;
+    for (const auto& d : entry.domains) {
+      cfg.inputs.push_back(rng.next_in(d.lo, d.hi));
+    }
+    cfg.seed = seed * 1'000'000 + i;
+    auto result = execute(entry.program, cfg);
+    result.trace.id = TraceId(i + 1);
+    result.trace.day = i % 7;
+    wires.push_back(encode_trace(result.trace));
+  }
+  return wires;
+}
+
+struct Options {
+  std::string addr;
+  std::size_t shards = 4;
+  std::size_t traces = 2000;
+  std::uint64_t seed = 42;
+  std::size_t index = 0;  // shard mode
+  unsigned pace_us = 0;   // sleep between routed traces (widens kill windows)
+  std::size_t queue_capacity = 1024;
+  std::uint32_t credit_window = 256;
+  int deadline_ms = 60'000;
+  std::string snapshot_dir;   // shard mode
+  std::string snapshot_root;  // fleet mode: <root>/shardN per worker
+  std::uint64_t snapshot_every = 0;
+  const char* prom_path = nullptr;
+};
+
+std::string default_addr() {
+  return "unix:/tmp/softborg-hive-" + std::to_string(::getpid()) + ".sock";
+}
+
+int run_router(const Options& opt) {
+  const auto corpus = standard_corpus();
+  Listener listener(opt.addr);
+  std::printf("router: listening on %s, %zu shard(s), %zu trace(s)\n",
+              listener.bound_addr().c_str(), opt.shards, opt.traces);
+  std::fflush(stdout);
+
+  RouterConfig config;
+  config.queue_capacity = opt.queue_capacity;
+  TraceRouter router(opt.shards, config);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(opt.deadline_ms);
+  const auto expired = [&] {
+    return std::chrono::steady_clock::now() >= deadline;
+  };
+  const auto round = [&] {
+    while (auto ch = listener.accept()) router.add_unidentified(std::move(ch));
+    router.pump();
+  };
+
+  // Grace period: wait for the first worker so the head of the workload is
+  // not instantly queued against an empty fleet (late workers still catch
+  // up — a not-yet-connected shard's queue buffers for it).
+  while (!expired()) {
+    round();
+    bool any = false;
+    for (std::size_t i = 0; i < opt.shards; ++i) any |= router.shard_alive(i);
+    if (any) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  auto wires = make_workload(corpus, opt.traces, opt.seed);
+  for (auto& wire : wires) {
+    router.route_wire(std::move(wire));
+    round();
+    if (opt.pace_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(opt.pace_us));
+    }
+  }
+  while (!router.quiescent() && !expired()) {
+    round();
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  router.broadcast_shutdown();
+  while (!router.all_reports_in() && !expired()) {
+    round();
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  const RouterStats& s = router.stats();
+  std::printf(
+      "router: received=%llu forwarded=%llu shed=%llu stalls=%llu "
+      "stall_s=%.3f queue_peak=%zu routing_failures=%llu\n",
+      static_cast<unsigned long long>(s.received),
+      static_cast<unsigned long long>(s.forwarded),
+      static_cast<unsigned long long>(s.shed),
+      static_cast<unsigned long long>(s.backpressure_stalls), s.stall_seconds,
+      s.queue_depth_peak, static_cast<unsigned long long>(s.routing_failures));
+
+  std::uint64_t fleet_ingested = 0, fleet_bugs = 0, fleet_paths = 0;
+  std::size_t reports = 0;
+  for (std::size_t i = 0; i < router.reports().size(); ++i) {
+    const auto& report = router.reports()[i];
+    if (!report.closed) {
+      std::printf("shard %zu: no closing report (dead or wedged)\n", i);
+      continue;
+    }
+    const auto stats = decode_worker_stats(report.stats_wire);
+    if (!stats) continue;
+    reports++;
+    fleet_ingested += stats->ingested;
+    fleet_bugs += stats->hive.bugs_found;
+    fleet_paths += stats->hive.new_paths;
+    std::printf(
+        "shard %llu: ingested=%llu shed=%llu batches=%llu snapshots=%llu "
+        "bugs=%llu new_paths=%llu trees_bytes=%zu\n",
+        static_cast<unsigned long long>(stats->shard_index),
+        static_cast<unsigned long long>(stats->ingested),
+        static_cast<unsigned long long>(stats->shed),
+        static_cast<unsigned long long>(stats->batches),
+        static_cast<unsigned long long>(stats->snapshots_written),
+        static_cast<unsigned long long>(stats->hive.bugs_found),
+        static_cast<unsigned long long>(stats->hive.new_paths),
+        report.trees_wire.size());
+  }
+  std::printf("fleet: reports=%zu/%zu ingested=%llu bugs=%llu new_paths=%llu\n",
+              reports, opt.shards,
+              static_cast<unsigned long long>(fleet_ingested),
+              static_cast<unsigned long long>(fleet_bugs),
+              static_cast<unsigned long long>(fleet_paths));
+
+  if (opt.prom_path != nullptr) {
+    obs::write_text_file(opt.prom_path,
+                         obs::to_prometheus(
+                             obs::MetricsRegistry::global().snapshot()));
+  }
+  return router.all_reports_in() ? 0 : 1;
+}
+
+int run_shard(const Options& opt) {
+  const auto corpus = standard_corpus();
+  WorkerConfig config;
+  config.queue_capacity = opt.queue_capacity;
+  config.credit_window = opt.credit_window;
+  config.snapshot_dir = opt.snapshot_dir;
+  config.snapshot_every_batches = opt.snapshot_every;
+  ShardWorker worker(opt.index, &corpus, config);
+  const bool resumed = worker.try_resume();
+  std::printf("shard %zu: %s\n", opt.index,
+              resumed ? "resumed from snapshot" : "cold start");
+  std::fflush(stdout);
+
+  auto ch = dial(opt.addr);
+  if (ch == nullptr) {
+    std::fprintf(stderr, "shard %zu: cannot reach router at %s\n", opt.index,
+                 opt.addr.c_str());
+    return 2;
+  }
+  worker.send_hello(*ch);
+  while (worker.pump(*ch)) {
+    if (!ch->alive()) {
+      std::fprintf(stderr, "shard %zu: router link died\n", opt.index);
+      return 3;
+    }
+    if (!worker.last_round_active()) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  for (int i = 0; i < 1000 && ch->alive(); ++i) {
+    ch->flush();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const WorkerStatsMsg stats = worker.closing_stats();
+  std::printf("shard %zu: done ingested=%llu shed=%llu snapshots=%llu\n",
+              opt.index, static_cast<unsigned long long>(stats.ingested),
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.snapshots_written));
+  return 0;
+}
+
+int run_fleet(Options opt) {
+  if (opt.addr.empty()) opt.addr = default_addr();
+  // Fork the workers FIRST (no thread pools exist yet), each execing the
+  // same worker loop the standalone shard mode runs.
+  const auto corpus = standard_corpus();
+  std::vector<int> pids;
+  for (std::size_t i = 0; i < opt.shards; ++i) {
+    WorkerConfig config;
+    config.queue_capacity = opt.queue_capacity;
+    config.credit_window = opt.credit_window;
+    if (!opt.snapshot_root.empty()) {
+      config.snapshot_dir = opt.snapshot_root + "/shard" + std::to_string(i);
+      config.snapshot_every_batches = opt.snapshot_every;
+    }
+    const int pid = spawn_worker_process(i, &corpus, config, opt.addr);
+    if (pid <= 0) {
+      std::fprintf(stderr, "fleet: fork failed for shard %zu\n", i);
+      return 1;
+    }
+    pids.push_back(pid);
+  }
+  const int rc = run_router(opt);
+  int failures = 0;
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    int status = 0;
+    ::waitpid(pids[i], &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "fleet: shard %zu exited abnormally (status %d)\n",
+                   i, status);
+      failures++;
+    }
+  }
+  return rc != 0 ? rc : (failures > 0 ? 1 : 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: dist_hive fleet|router|shard [--addr A] [--shards N] "
+                 "[--traces N] [--seed S] [--index I] [--pace-us U] "
+                 "[--queue-capacity N] [--credit-window N] [--deadline-ms M] "
+                 "[--snapshot-dir D] [--snapshot-root D] [--snapshot-every N] "
+                 "[--metrics-prom PATH]\n");
+    return 2;
+  }
+  const std::string mode = argv[1];
+  Options opt;
+  for (int i = 2; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (std::strcmp(argv[i], "--addr") == 0) {
+      opt.addr = next();
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      opt.shards = static_cast<std::size_t>(atoll(next()));
+    } else if (std::strcmp(argv[i], "--traces") == 0) {
+      opt.traces = static_cast<std::size_t>(atoll(next()));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      opt.seed = static_cast<std::uint64_t>(atoll(next()));
+    } else if (std::strcmp(argv[i], "--index") == 0) {
+      opt.index = static_cast<std::size_t>(atoll(next()));
+    } else if (std::strcmp(argv[i], "--pace-us") == 0) {
+      opt.pace_us = static_cast<unsigned>(atoll(next()));
+    } else if (std::strcmp(argv[i], "--queue-capacity") == 0) {
+      opt.queue_capacity = static_cast<std::size_t>(atoll(next()));
+    } else if (std::strcmp(argv[i], "--credit-window") == 0) {
+      opt.credit_window = static_cast<std::uint32_t>(atoll(next()));
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      opt.deadline_ms = static_cast<int>(atoll(next()));
+    } else if (std::strcmp(argv[i], "--snapshot-dir") == 0) {
+      opt.snapshot_dir = next();
+    } else if (std::strcmp(argv[i], "--snapshot-root") == 0) {
+      opt.snapshot_root = next();
+    } else if (std::strcmp(argv[i], "--snapshot-every") == 0) {
+      opt.snapshot_every = static_cast<std::uint64_t>(atoll(next()));
+    } else if (std::strcmp(argv[i], "--metrics-prom") == 0) {
+      opt.prom_path = next();
+    } else {
+      std::fprintf(stderr, "dist_hive: unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (opt.addr.empty()) opt.addr = default_addr();
+  if (mode == "fleet") return run_fleet(opt);
+  if (mode == "router") return run_router(opt);
+  if (mode == "shard") return run_shard(opt);
+  std::fprintf(stderr, "dist_hive: unknown mode %s\n", mode.c_str());
+  return 2;
+}

@@ -13,6 +13,8 @@
 //                         [--metrics-prom PATH] [--snapshot-dir DIR]
 //                         [--snapshot-every N] [--resume] [--warm-start]
 //                         [--adaptive]
+//                         [--distributed] [--dist-shards N]
+//                         [--traces-per-day N]
 // The metrics flags enable span sampling for the run and write a final
 // snapshot of the global registry in JSON ("softborg.metrics.v1") or
 // Prometheus text exposition; PATH "-" writes to stdout.
@@ -25,20 +27,158 @@
 // says so. --warm-start instead begins a FRESH run but replays the stored
 // regression set each day, so previously-found bugs resurface immediately.
 //
+// --distributed runs the fleet as OS processes instead of one (src/dist):
+// --dist-shards shard workers are forked, each owning a Hive, and a
+// TraceRouter in this process streams each simulated day's traffic to them
+// over a Unix-domain socket with bounded queues and credit-based
+// backpressure. The per-day rows then show transport health (shed traces,
+// backpressure stalls, queue peak) alongside delivery counts, and the run
+// ends with each worker's closing ledger. Composes with --days and seed;
+// the World-only knobs (--resume, --adaptive, ...) do not apply.
+//
 // --adaptive turns on the telemetry-driven control plane (hive/adapt.h):
 // guidance budgets, the daily proof slice, and a daily cooperative
 // exploration run are all rebalanced from measured yield instead of the
 // static uniform schedule. Composes with the persistence flags — the yield
 // ledger is part of every snapshot, so a resumed adaptive run keeps its
 // learned allocation and stays bit-identical to an uninterrupted one.
+#include <sys/wait.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "core/softborg.h"
 #include "hive/report.h"
+
+namespace {
+
+// The --distributed fleet: forked shard workers behind a socket router,
+// stepped one simulated day at a time. Traffic is the same seeded
+// corpus-random workload shape the in-process World generates, so the day
+// series is comparable; the extra columns are the transport's.
+int run_distributed(std::uint64_t seed, std::uint64_t days,
+                    std::size_t num_shards, std::size_t traces_per_day,
+                    const char* prom_path) {
+  using namespace softborg;
+  using namespace softborg::dist;
+
+  const std::string addr =
+      "unix:/tmp/softborg-fleet-" + std::to_string(::getpid()) + ".sock";
+  const auto corpus = standard_corpus();
+  // Fork before anything in this process creates a thread.
+  std::vector<int> pids;
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    WorkerConfig config;
+    const int pid = spawn_worker_process(i, &corpus, config, addr);
+    if (pid <= 0) {
+      std::fprintf(stderr, "fork failed for shard %zu\n", i);
+      return 1;
+    }
+    pids.push_back(pid);
+  }
+  Listener listener(addr);
+  TraceRouter router(num_shards);
+  const auto round = [&] {
+    while (auto ch = listener.accept()) router.add_unidentified(std::move(ch));
+    router.pump();
+  };
+  const auto settle = [&](auto done) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(60);
+    while (!done() && std::chrono::steady_clock::now() < deadline) {
+      round();
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    return done();
+  };
+
+  Rng rng(seed);
+  std::uint64_t trace_id = 1;
+  std::printf("%-5s %-8s %-9s %-6s %-7s %-7s\n", "day", "traces", "forwarded",
+              "shed", "stalls", "qpeak");
+  RouterStats prev;
+  for (std::uint64_t day = 1; day <= days; ++day) {
+    for (std::size_t i = 0; i < traces_per_day; ++i) {
+      const CorpusEntry& entry = corpus[rng.next_below(corpus.size())];
+      ExecConfig cfg;
+      for (const auto& d : entry.domains) {
+        cfg.inputs.push_back(rng.next_in(d.lo, d.hi));
+      }
+      cfg.seed = rng();
+      auto result = execute(entry.program, cfg);
+      result.trace.id = TraceId(trace_id++);
+      result.trace.day = day;
+      router.route_wire(encode_trace(result.trace));
+      round();
+    }
+    if (!settle([&] { return router.quiescent(); })) {
+      std::fprintf(stderr, "day %llu: fleet failed to drain\n",
+                   static_cast<unsigned long long>(day));
+      break;
+    }
+    const RouterStats& s = router.stats();
+    std::printf("%-5llu %-8llu %-9llu %-6llu %-7llu %-7zu\n",
+                static_cast<unsigned long long>(day),
+                static_cast<unsigned long long>(s.received - prev.received),
+                static_cast<unsigned long long>(s.forwarded - prev.forwarded),
+                static_cast<unsigned long long>(s.shed - prev.shed),
+                static_cast<unsigned long long>(s.backpressure_stalls -
+                                                prev.backpressure_stalls),
+                s.queue_depth_peak);
+    prev = s;
+  }
+
+  router.broadcast_shutdown();
+  const bool closed = settle([&] { return router.all_reports_in(); });
+  const RouterStats& s = router.stats();
+  std::printf(
+      "\ndistributed fleet: received=%llu forwarded=%llu shed=%llu "
+      "(%.2f%% shed rate), stalls=%llu stall_s=%.3f queue_peak=%zu\n",
+      static_cast<unsigned long long>(s.received),
+      static_cast<unsigned long long>(s.forwarded),
+      static_cast<unsigned long long>(s.shed),
+      s.received == 0 ? 0.0
+                      : 100.0 * static_cast<double>(s.shed) /
+                            static_cast<double>(s.received),
+      static_cast<unsigned long long>(s.backpressure_stalls), s.stall_seconds,
+      s.queue_depth_peak);
+  std::uint64_t bugs = 0, paths = 0, ingested = 0;
+  for (const auto& report : router.reports()) {
+    const auto stats = dist::decode_worker_stats(report.stats_wire);
+    if (!stats) continue;
+    ingested += stats->ingested;
+    bugs += stats->hive.bugs_found;
+    paths += stats->hive.new_paths;
+    std::printf("shard %llu: ingested=%llu bugs=%llu new_paths=%llu\n",
+                static_cast<unsigned long long>(stats->shard_index),
+                static_cast<unsigned long long>(stats->ingested),
+                static_cast<unsigned long long>(stats->hive.bugs_found),
+                static_cast<unsigned long long>(stats->hive.new_paths));
+  }
+  std::printf("fleet totals: ingested=%llu bugs=%llu new_paths=%llu\n",
+              static_cast<unsigned long long>(ingested),
+              static_cast<unsigned long long>(bugs),
+              static_cast<unsigned long long>(paths));
+  if (prom_path != nullptr) {
+    obs::write_text_file(prom_path,
+                         obs::to_prometheus(
+                             obs::MetricsRegistry::global().snapshot()));
+  }
+  int failures = 0;
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    int status = 0;
+    ::waitpid(pids[i], &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) failures++;
+  }
+  return closed && failures == 0 ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace softborg;
@@ -55,8 +195,17 @@ int main(int argc, char** argv) {
   const char* prom_path = nullptr;
   bool resume = false;
   bool warm_start = false;
+  bool distributed = false;
+  std::size_t dist_shards = 4;
+  std::size_t traces_per_day = 2000;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--days") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--distributed") == 0) {
+      distributed = true;
+    } else if (std::strcmp(argv[i], "--dist-shards") == 0 && i + 1 < argc) {
+      dist_shards = static_cast<std::size_t>(atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--traces-per-day") == 0 && i + 1 < argc) {
+      traces_per_day = static_cast<std::size_t>(atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--days") == 0 && i + 1 < argc) {
       config.days = static_cast<std::uint64_t>(atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--metrics-json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
@@ -82,6 +231,10 @@ int main(int argc, char** argv) {
   }
   if (json_path != nullptr || prom_path != nullptr) {
     obs::set_spans_enabled(true);  // populate the timing histograms too
+  }
+  if (distributed) {
+    return run_distributed(config.seed, config.days, dist_shards,
+                           traces_per_day, prom_path);
   }
   if ((resume || warm_start) && config.snapshot_dir.empty()) {
     std::fprintf(stderr,

@@ -35,6 +35,12 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/world.h"
+#include "dist/channel.h"
+#include "dist/frame.h"
+#include "dist/ring.h"
+#include "dist/router.h"
+#include "dist/socket.h"
+#include "dist/worker.h"
 #include "hive/bugs.h"
 #include "hive/coop.h"
 #include "hive/fixer.h"

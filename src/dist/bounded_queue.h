@@ -1,0 +1,105 @@
+// Bounded trace queue with priority load-shedding (ISSUE 9 tentpole).
+//
+// Both hops of the distributed pipeline hold traces in one of these: the
+// router's per-shard egress queue (filled by ingress, drained by the credit
+// window) and each shard worker's ingress queue (filled by the socket,
+// drained by ingest_batch). The bound is the backpressure contract — a hot
+// shard degrades by shedding instead of ballooning memory.
+//
+// Dispatch order is strict FIFO: priority decides only *what is shed* when
+// the queue is full, never reorders admitted traffic, so a shed-free run is
+// byte-identical to an unbounded one (the socket-vs-SimNet differential
+// relies on this). Shedding policy, highest-value-first retention: when a
+// trace arrives at a full queue, the newest queued trace of the worst
+// priority class is evicted if the arrival outranks it; otherwise the
+// arrival itself is shed. Crash/deadlock traces (bug evidence) outrank
+// guided runs (paid-for exploration), which outrank routine traffic.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/varint.h"
+#include "trace/codec.h"
+
+namespace softborg::dist {
+
+// Smaller = more important (sheds last).
+enum class TracePriority : std::uint8_t {
+  kFailure = 0,  // crashed / deadlocked / assert-failed runs
+  kGuided = 1,   // guidance-directed runs the planner paid solver time for
+  kRoutine = 2,
+};
+
+inline TracePriority trace_priority(const TraceWireSummary& s) {
+  if (s.outcome != Outcome::kOk) return TracePriority::kFailure;
+  if (s.guided) return TracePriority::kGuided;
+  return TracePriority::kRoutine;
+}
+
+class BoundedTraceQueue {
+ public:
+  explicit BoundedTraceQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  struct Item {
+    TracePriority priority = TracePriority::kRoutine;
+    Bytes wire;
+  };
+
+  // Admission control; `wire` is moved in (never copied on this path).
+  // Exactly one trace is shed when the queue is full: the displaced queued
+  // trace, or the arrival itself.
+  void push(TracePriority priority, Bytes wire) {
+    if (items_.size() >= capacity_) {
+      shed_total_++;
+      // Find the newest worst-priority entry (scan from the back so FIFO
+      // order within the surviving class is preserved).
+      auto worst = items_.end();
+      for (auto it = items_.rbegin(); it != items_.rend(); ++it) {
+        if (worst == items_.end() ||
+            it->priority > worst->priority) {
+          worst = std::prev(it.base());
+          if (worst->priority == TracePriority::kRoutine) break;
+        }
+      }
+      if (worst == items_.end() || priority >= worst->priority) {
+        return;  // the arrival is the least valuable: shed it
+      }
+      items_.erase(worst);
+    }
+    items_.push_back(Item{priority, std::move(wire)});
+    if (items_.size() > max_depth_) max_depth_ = items_.size();
+  }
+
+  std::optional<Item> pop() {
+    if (items_.empty()) return std::nullopt;
+    Item out = std::move(items_.front());
+    items_.pop_front();
+    return out;
+  }
+
+  std::size_t depth() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t max_depth() const { return max_depth_; }
+  std::uint64_t shed_total() const { return shed_total_; }
+
+  // Overload teardown (a shard died): everything queued is shed at once.
+  void shed_all() {
+    shed_total_ += items_.size();
+    items_.clear();
+  }
+
+  // Snapshot-resume path only: seeds the cumulative shed ledger of a fresh
+  // queue with the count a restarted worker persisted.
+  void restore_shed_total(std::uint64_t n) { shed_total_ = n; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Item> items_;
+  std::size_t max_depth_ = 0;
+  std::uint64_t shed_total_ = 0;
+};
+
+}  // namespace softborg::dist

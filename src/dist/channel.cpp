@@ -1,0 +1,49 @@
+#include "dist/channel.h"
+
+namespace softborg::dist {
+
+void SimNetChannel::send(std::uint32_t type, Bytes payload,
+                         std::uint32_t credit) {
+  // Grants travel as their own kMsgCredit message (count in a 4-byte LE
+  // payload) instead of wrapping the main payload in an envelope: wrapping
+  // would copy every trace buffer and break the zero-copy guarantee.
+  if (credit > 0) {
+    Bytes grant(4);
+    for (int i = 0; i < 4; ++i) {
+      grant[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(credit >> (8 * i));
+    }
+    net_.send(local_, remote_, kMsgCredit, std::move(grant));
+  }
+  if (type != kMsgCredit || !payload.empty()) {
+    net_.send(local_, remote_, type, std::move(payload));
+  }
+}
+
+std::vector<Delivery> SimNetChannel::poll() {
+  std::vector<Delivery> out;
+  for (auto& msg : net_.drain(local_)) {
+    Delivery d;
+    d.type = msg.type;
+    if (msg.type == kMsgCredit && msg.payload.size() == 4) {
+      for (int i = 3; i >= 0; --i) {
+        d.credit = (d.credit << 8) |
+                   msg.payload[static_cast<std::size_t>(i)];
+      }
+    } else {
+      d.payload = std::move(msg.payload);
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::pair<std::unique_ptr<SimNetChannel>, std::unique_ptr<SimNetChannel>>
+make_simnet_channel_pair(SimNet& net) {
+  const Endpoint a = net.add_endpoint();
+  const Endpoint b = net.add_endpoint();
+  return {std::make_unique<SimNetChannel>(net, a, b),
+          std::make_unique<SimNetChannel>(net, b, a)};
+}
+
+}  // namespace softborg::dist

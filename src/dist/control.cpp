@@ -1,0 +1,72 @@
+#include "dist/control.h"
+
+namespace softborg::dist {
+
+Bytes encode_hello(const HelloMsg& m) {
+  Bytes out;
+  put_varint(out, m.shard_index);
+  put_varint(out, m.credit_window);
+  put_varint(out, m.resumed ? 1 : 0);
+  return out;
+}
+
+std::optional<HelloMsg> decode_hello(const Bytes& bytes) {
+  std::size_t pos = 0;
+  HelloMsg m;
+  const auto shard = get_varint(bytes, pos);
+  const auto window = get_varint(bytes, pos);
+  const auto resumed = get_varint(bytes, pos);
+  if (!shard || !window || !resumed || pos != bytes.size()) return std::nullopt;
+  if (*window > 0xffff || *resumed > 1) return std::nullopt;
+  m.shard_index = *shard;
+  m.credit_window = static_cast<std::uint32_t>(*window);
+  m.resumed = *resumed == 1;
+  return m;
+}
+
+Bytes encode_worker_stats(const WorkerStatsMsg& m) {
+  Bytes out;
+  put_varint(out, m.shard_index);
+  put_varint(out, m.ingested);
+  put_varint(out, m.shed);
+  put_varint(out, m.queue_max_depth);
+  put_varint(out, m.batches);
+  put_varint(out, m.snapshots_written);
+  const HiveStats& h = m.hive;
+  // HiveStats, field by field in declaration order. The frame version gates
+  // the whole protocol, so there is no per-message versioning to maintain.
+  for (std::uint64_t v :
+       {h.traces_ingested, h.duplicates_dropped, h.decode_failures,
+        h.replay_failures, h.patched_traces_skipped, h.gated_traces,
+        h.paths_merged, h.new_paths, h.bugs_found, h.fixes_approved,
+        h.repair_lab_entries, h.proofs_revoked, h.fixed_traces_seen,
+        h.fix_recurrences, h.bugs_reopened}) {
+    put_varint(out, v);
+  }
+  return out;
+}
+
+std::optional<WorkerStatsMsg> decode_worker_stats(const Bytes& bytes) {
+  std::size_t pos = 0;
+  WorkerStatsMsg m;
+  auto next = [&](std::uint64_t& field) {
+    const auto v = get_varint(bytes, pos);
+    if (!v) return false;
+    field = *v;
+    return true;
+  };
+  HiveStats& h = m.hive;
+  for (std::uint64_t* field :
+       {&m.shard_index, &m.ingested, &m.shed, &m.queue_max_depth, &m.batches,
+        &m.snapshots_written, &h.traces_ingested, &h.duplicates_dropped,
+        &h.decode_failures, &h.replay_failures, &h.patched_traces_skipped,
+        &h.gated_traces, &h.paths_merged, &h.new_paths, &h.bugs_found,
+        &h.fixes_approved, &h.repair_lab_entries, &h.proofs_revoked,
+        &h.fixed_traces_seen, &h.fix_recurrences, &h.bugs_reopened}) {
+    if (!next(*field)) return std::nullopt;
+  }
+  if (pos != bytes.size()) return std::nullopt;
+  return m;
+}
+
+}  // namespace softborg::dist

@@ -1,0 +1,99 @@
+#include "dist/frame.h"
+
+#include <cstring>
+
+#include "common/fsio.h"
+
+namespace softborg::dist {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'S', 'B', 'D', '1'};
+
+std::uint32_t payload_checksum(const std::uint8_t* data, std::size_t n) {
+  const std::uint64_t h = fnv1a64(data, n);
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+void put_u16le(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32le(Bytes& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+std::uint16_t get_u16le(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+void encode_frame(Bytes& out, std::uint32_t type, std::uint32_t credit,
+                  const Bytes& payload) {
+  // Callers only send the small protocol type space and grants within the
+  // header fields; both are asserted by construction (workers clamp their
+  // windows to u16).
+  out.reserve(out.size() + kFrameHeaderSize + payload.size());
+  out.insert(out.end(), kMagic, kMagic + 4);
+  out.push_back(kFrameVersion);
+  out.push_back(static_cast<std::uint8_t>(type));
+  put_u16le(out, static_cast<std::uint16_t>(credit));
+  put_u32le(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32le(out, payload_checksum(payload.data(), payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t n) {
+  if (failed_ || n == 0) return;
+  // Compact the consumed prefix before growing; keeps the buffer bounded by
+  // one frame in progress plus whatever feed() just delivered.
+  if (consumed_ > 0) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (failed_) return std::nullopt;
+  const std::size_t avail = buf_.size() - consumed_;
+  if (avail < kFrameHeaderSize) return std::nullopt;
+  const std::uint8_t* h = buf_.data() + consumed_;
+  if (std::memcmp(h, kMagic, 4) != 0 || h[4] != kFrameVersion) {
+    failed_ = true;
+    return std::nullopt;
+  }
+  const std::uint32_t len = get_u32le(h + 8);
+  if (len > kMaxFramePayload) {
+    // A hostile/corrupt length: reject before buffering a single payload
+    // byte, so allocation stays bounded no matter what the peer claims.
+    failed_ = true;
+    return std::nullopt;
+  }
+  if (avail < kFrameHeaderSize + len) return std::nullopt;  // wait for more
+  Frame f;
+  f.type = h[5];
+  f.credit = get_u16le(h + 6);
+  const std::uint8_t* body = h + kFrameHeaderSize;
+  if (payload_checksum(body, len) != get_u32le(h + 12)) {
+    failed_ = true;
+    return std::nullopt;
+  }
+  f.payload.assign(body, body + len);
+  consumed_ += kFrameHeaderSize + len;
+  return f;
+}
+
+}  // namespace softborg::dist

@@ -1,0 +1,72 @@
+// Length-prefixed framing for the distributed hive's socket links.
+//
+// A socket delivers a byte stream; the hive speaks discrete messages (the
+// v2 trace wire, credit grants, control frames). Each frame is a fixed
+// 16-byte header followed by the payload:
+//
+//   [0..3]   magic "SBD1"
+//   [4]      format version (kFrameVersion)
+//   [5]      message type (pod/protocol.h MsgType, must fit a byte)
+//   [6..7]   credit grant, u16 LE — the credit-based flow-control window
+//            travels in the header, so grants piggyback on any frame and a
+//            bare grant is a header-only frame
+//   [8..11]  payload length, u32 LE, at most kMaxFramePayload
+//   [12..15] payload checksum, u32 LE (FNV-1a 64 folded to 32 bits)
+//
+// FrameDecoder is incremental and hostile-input safe (the hive must survive
+// corrupt or malicious peers): every header is fully validated before one
+// byte of payload is buffered, so a flipped length bit can never drive an
+// allocation beyond kMaxFramePayload; any malformed header or checksum
+// mismatch latches the decoder into a failed state (the connection is
+// poisoned — drop it, never resynchronize mid-stream). Truncation is not an
+// error: a partial frame simply waits for more bytes. tests/dist_frame_test
+// fuzzes all of this.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "common/varint.h"
+
+namespace softborg::dist {
+
+inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 16;
+// Generous for trace wires (typically well under a KiB) while still small
+// enough that a hostile length field cannot balloon memory.
+inline constexpr std::size_t kMaxFramePayload = 8u << 20;
+
+struct Frame {
+  std::uint32_t type = 0;
+  std::uint32_t credit = 0;
+  Bytes payload;
+};
+
+// Appends one encoded frame to `out`.
+void encode_frame(Bytes& out, std::uint32_t type, std::uint32_t credit,
+                  const Bytes& payload);
+
+class FrameDecoder {
+ public:
+  // Appends raw stream bytes. No-op once failed.
+  void feed(const std::uint8_t* data, std::size_t n);
+
+  // Pops the next complete frame, or nullopt (partial input or failed).
+  std::optional<Frame> next();
+
+  // True once the stream is unrecoverable (bad magic/version/length/type or
+  // a payload checksum mismatch).
+  bool failed() const { return failed_; }
+
+  // Bytes currently buffered — bounded by kFrameHeaderSize + the validated
+  // payload length of the frame in progress.
+  std::size_t buffered() const { return buf_.size() - consumed_; }
+
+ private:
+  Bytes buf_;
+  std::size_t consumed_ = 0;  // prefix already handed out as frames
+  bool failed_ = false;
+};
+
+}  // namespace softborg::dist

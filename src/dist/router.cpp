@@ -1,0 +1,325 @@
+#include "dist/router.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+#include "trace/codec.h"
+
+namespace softborg::dist {
+
+namespace {
+
+double mono_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TraceRouter::TraceRouter(std::size_t num_shards, RouterConfig config)
+    : config_(config), ring_(num_shards, config.vnodes_per_shard) {
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(ShardLink{nullptr, BoundedTraceQueue(config_.queue_capacity)});
+  }
+  reports_.resize(num_shards);
+}
+
+void TraceRouter::connect_shard(std::size_t index, std::unique_ptr<Channel> ch) {
+  SB_CHECK(index < shards_.size());
+  shards_[index].ch = std::move(ch);
+}
+
+void TraceRouter::add_pod(std::unique_ptr<Channel> ch) {
+  pods_.push_back(std::move(ch));
+}
+
+void TraceRouter::add_unidentified(std::unique_ptr<Channel> ch) {
+  unidentified_.push_back(std::move(ch));
+}
+
+void TraceRouter::add_shard() {
+  ring_.add_shard();
+  shards_.push_back(ShardLink{nullptr, BoundedTraceQueue(config_.queue_capacity)});
+  reports_.resize(shards_.size());
+}
+
+void TraceRouter::route_wire(Bytes wire) {
+  stats_.received++;
+  const auto summary = summarize_trace_wire(wire);
+  if (!summary) {
+    stats_.routing_failures++;
+    return;
+  }
+  ShardLink& link = shards_[ring_.owner(summary->program.value)];
+  if (link.ch && !link.ch->alive()) {
+    // The owning worker is dead: degrade by shedding, never queue into a
+    // black hole. (A null ch is different — the worker just hasn't connected
+    // yet, so the queue buffers the head of traffic for it.)
+    stats_.shed++;
+    return;
+  }
+  const std::uint64_t shed_before = link.queue.shed_total();
+  link.queue.push(trace_priority(*summary), std::move(wire));
+  stats_.shed += link.queue.shed_total() - shed_before;
+}
+
+void TraceRouter::handle_shard_delivery(std::size_t index, Delivery d) {
+  ShardLink& link = shards_[index];
+  if (d.credit > 0) {
+    link.credit += d.credit;
+    stats_.credits_granted += d.credit;
+  }
+  switch (d.type) {
+    case kMsgCredit:
+      break;  // grant already applied above
+    case kMsgHello: {
+      const auto hello = decode_hello(d.payload);
+      if (!hello) break;
+      // Fresh connection state: anything in flight on the old link is gone,
+      // the worker's window is whole again.
+      link.window = hello->credit_window;
+      link.credit = hello->credit_window;
+      break;
+    }
+    case kMsgStats:
+      reports_[index].stats_wire = std::move(d.payload);
+      break;
+    case kMsgTreeData:
+      reports_[index].trees_wire = std::move(d.payload);
+      break;
+    case kMsgShutdown:
+      if (!reports_[index].closed) {
+        reports_[index].closed = true;
+        closed_reports_++;
+      }
+      break;
+    case kMsgSnapshot:
+      snapshot_acks_++;
+      break;
+    default:
+      stats_.unroutable++;
+      break;
+  }
+}
+
+void TraceRouter::poll_shard(std::size_t index) {
+  ShardLink& link = shards_[index];
+  if (!link.ch) return;
+  for (auto& d : link.ch->poll()) {
+    handle_shard_delivery(index, std::move(d));
+  }
+}
+
+void TraceRouter::forward(std::size_t index) {
+  ShardLink& link = shards_[index];
+  const bool alive = link.alive();
+  if (!alive && link.ch && !link.queue.empty()) {
+    // Dead worker: everything queued for it is shed in one stroke so the
+    // router's memory never grows toward a shard that cannot drain.
+    stats_.shed += link.queue.depth();
+    link.queue.shed_all();
+  }
+  while (alive && link.credit > 0 && !link.queue.empty()) {
+    auto item = link.queue.pop();
+    link.ch->send(kMsgTrace, std::move(item->wire));
+    link.credit--;
+    link.forwarded++;
+    stats_.forwarded++;
+  }
+  // Backpressure: work queued, worker announced a window, window exhausted.
+  // (window == 0 means the worker hasn't helloed yet — startup, not stall.)
+  const bool stalled_now =
+      alive && link.window > 0 && link.credit == 0 && !link.queue.empty();
+  if (stalled_now && !link.stalled) {
+    link.stalled = true;
+    link.stall_started = mono_seconds();
+    stats_.backpressure_stalls++;
+  } else if (!stalled_now && link.stalled) {
+    link.stalled = false;
+    stats_.stall_seconds += mono_seconds() - link.stall_started;
+  }
+}
+
+void TraceRouter::pump() {
+  // 1. Anonymous peers: the first message tells us what they are.
+  for (std::size_t i = 0; i < unidentified_.size();) {
+    Channel* ch = unidentified_[i].get();
+    auto deliveries = ch->poll();
+    if (deliveries.empty()) {
+      if (!ch->alive()) {
+        unidentified_.erase(unidentified_.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+      continue;
+    }
+    auto moved = std::move(unidentified_[i]);
+    unidentified_.erase(unidentified_.begin() + static_cast<std::ptrdiff_t>(i));
+    if (deliveries.front().type == kMsgHello) {
+      const auto hello = decode_hello(deliveries.front().payload);
+      if (hello && hello->shard_index < shards_.size()) {
+        const std::size_t index = hello->shard_index;
+        shards_[index].ch = std::move(moved);  // new or restarted worker
+        for (auto& d : deliveries) {
+          handle_shard_delivery(index, std::move(d));
+        }
+      } else {
+        stats_.unroutable++;  // bogus hello: drop the peer
+      }
+    } else {
+      for (auto& d : deliveries) {
+        if (d.type == kMsgTrace) {
+          route_wire(std::move(d.payload));
+        } else {
+          stats_.unroutable++;
+        }
+      }
+      pods_.push_back(std::move(moved));
+    }
+  }
+
+  // 2. Shard workers first, so freshly granted credit is spendable in this
+  // same round.
+  for (std::size_t i = 0; i < shards_.size(); ++i) poll_shard(i);
+
+  // 3. Pod ingress.
+  for (std::size_t i = 0; i < pods_.size();) {
+    Channel* ch = pods_[i].get();
+    for (auto& d : ch->poll()) {
+      if (d.type == kMsgTrace) {
+        route_wire(std::move(d.payload));
+      } else if (d.type != kMsgCredit) {
+        stats_.unroutable++;
+      }
+    }
+    if (!ch->alive()) {
+      pods_.erase(pods_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+
+  // 4. Forward within credit; account stalls and dead-shard sheds.
+  std::size_t depth = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    forward(i);
+    depth += shards_[i].queue.depth();
+    if (shards_[i].ch) shards_[i].ch->flush();
+  }
+  stats_.queue_depth_peak = std::max(stats_.queue_depth_peak, depth);
+
+  publish_metrics();
+}
+
+void TraceRouter::broadcast_shutdown() {
+  for (auto& link : shards_) {
+    if (link.alive()) link.ch->send(kMsgShutdown, Bytes{});
+  }
+}
+
+bool TraceRouter::all_reports_in() const {
+  return closed_reports_ == shards_.size();
+}
+
+void TraceRouter::request_snapshots() {
+  for (auto& link : shards_) {
+    if (link.alive()) link.ch->send(kMsgSnapshot, Bytes{});
+  }
+}
+
+bool TraceRouter::shard_alive(std::size_t index) const {
+  return index < shards_.size() && shards_[index].alive();
+}
+
+std::size_t TraceRouter::shard_credit(std::size_t index) const {
+  return index < shards_.size() ? shards_[index].credit : 0;
+}
+
+std::uint64_t TraceRouter::shard_forwarded(std::size_t index) const {
+  return index < shards_.size() ? shards_[index].forwarded : 0;
+}
+
+std::size_t TraceRouter::total_queue_depth() const {
+  std::size_t depth = 0;
+  for (const auto& link : shards_) depth += link.queue.depth();
+  return depth;
+}
+
+bool TraceRouter::quiescent() const {
+  if (!unidentified_.empty()) return false;
+  for (const auto& link : shards_) {
+    if (!link.queue.empty()) return false;
+    // Credit equal to the announced window means every forwarded trace has
+    // been consumed and acknowledged.
+    if (link.alive() && link.window > 0 && link.credit != link.window) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void TraceRouter::publish_metrics() {
+  if (!obs::enabled()) return;
+  auto& reg = obs::MetricsRegistry::global();
+  // Cached handles, looked up once: pump() runs every loop iteration.
+  static constexpr const char* kNames[] = {
+      "dist.received_total",     "dist.forwarded_total",
+      "dist.shed_total",         "dist.backpressure_stalls_total",
+      "dist.routing_failures_total", "dist.unroutable_total",
+      "dist.credits_granted_total",  "dist.stall_us_total",
+  };
+  struct Handles {
+    obs::Counter* c[8];
+    obs::Gauge* depth;
+    obs::Gauge* depth_peak;
+  };
+  static Handles h = [&] {
+    Handles out{};
+    for (std::size_t i = 0; i < 8; ++i) out.c[i] = &reg.counter(kNames[i]);
+    out.depth = &reg.gauge("dist.queue_depth");
+    out.depth_peak = &reg.gauge("dist.queue_depth_peak");
+    return out;
+  }();
+  const RouterStats& s = stats_;
+  RouterStats& p = obs_published_;
+  const std::uint64_t now[8] = {
+      s.received,
+      s.forwarded,
+      s.shed,
+      s.backpressure_stalls,
+      s.routing_failures,
+      s.unroutable,
+      s.credits_granted,
+      static_cast<std::uint64_t>(s.stall_seconds * 1e6),
+  };
+  const std::uint64_t before[8] = {
+      p.received,
+      p.forwarded,
+      p.shed,
+      p.backpressure_stalls,
+      p.routing_failures,
+      p.unroutable,
+      p.credits_granted,
+      static_cast<std::uint64_t>(p.stall_seconds * 1e6),
+  };
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (now[i] > before[i]) h.c[i]->add(now[i] - before[i]);
+  }
+  p = s;
+  h.depth->set(static_cast<std::int64_t>(total_queue_depth()));
+  h.depth_peak->set(static_cast<std::int64_t>(s.queue_depth_peak));
+  // Per-shard ingest rates: one forwarded counter per shard index.
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    ShardLink& link = shards_[i];
+    if (link.forwarded == link.obs_published_forwarded) continue;
+    reg.counter("dist.shard" + std::to_string(i) + ".forwarded_total")
+        .add(link.forwarded - link.obs_published_forwarded);
+    link.obs_published_forwarded = link.forwarded;
+  }
+}
+
+}  // namespace softborg::dist

@@ -1,0 +1,215 @@
+#include "dist/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/check.h"
+
+namespace softborg::dist {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+// Compact the write buffer once the consumed prefix dominates; below this
+// we just advance the offset (amortized O(1) sends).
+constexpr std::size_t kWriteCompactAt = 1 << 20;
+
+void set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  SB_CHECK(flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+struct ParsedAddr {
+  bool is_unix = false;
+  std::string path;  // unix
+  std::string host;  // tcp
+  std::uint16_t port = 0;
+};
+
+ParsedAddr parse_addr(const std::string& addr) {
+  ParsedAddr out;
+  if (addr.rfind("unix:", 0) == 0) {
+    out.is_unix = true;
+    out.path = addr.substr(5);
+    SB_CHECK(!out.path.empty());
+    // sun_path is a fixed 108-byte array; refuse early with a clear failure
+    // instead of silently truncating the path.
+    SB_CHECK(out.path.size() < sizeof(sockaddr_un{}.sun_path));
+    return out;
+  }
+  SB_CHECK(addr.rfind("tcp:", 0) == 0);
+  const std::string rest = addr.substr(4);
+  const std::size_t colon = rest.rfind(':');
+  SB_CHECK(colon != std::string::npos);
+  out.host = rest.substr(0, colon);
+  if (out.host.empty()) out.host = "0.0.0.0";
+  out.port = static_cast<std::uint16_t>(std::stoul(rest.substr(colon + 1)));
+  return out;
+}
+
+sockaddr_in make_inet_addr(const ParsedAddr& a) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(a.port);
+  SB_CHECK(inet_pton(AF_INET, a.host.c_str(), &sa.sin_addr) == 1);
+  return sa;
+}
+
+sockaddr_un make_unix_addr(const ParsedAddr& a) {
+  sockaddr_un sa{};
+  sa.sun_family = AF_UNIX;
+  std::memcpy(sa.sun_path, a.path.c_str(), a.path.size() + 1);
+  return sa;
+}
+
+}  // namespace
+
+SocketChannel::SocketChannel(int fd) : fd_(fd) {
+  SB_CHECK(fd_ >= 0);
+  set_nonblocking(fd_);
+  // Trace frames are latency-sensitive and small; don't let Nagle batch the
+  // credit handshake (harmless no-op on unix sockets).
+  int one = 1;
+  (void)setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+SocketChannel::~SocketChannel() { kill(); }
+
+void SocketChannel::kill() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  wbuf_.clear();
+  woff_ = 0;
+}
+
+void SocketChannel::send(std::uint32_t type, Bytes payload,
+                         std::uint32_t credit) {
+  if (fd_ < 0) return;
+  encode_frame(wbuf_, type, credit, payload);
+  flush();
+}
+
+void SocketChannel::flush() {
+  while (fd_ >= 0 && woff_ < wbuf_.size()) {
+    const ssize_t n = ::send(fd_, wbuf_.data() + woff_, wbuf_.size() - woff_,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      woff_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    kill();
+    return;
+  }
+  if (woff_ == wbuf_.size()) {
+    wbuf_.clear();
+    woff_ = 0;
+  } else if (woff_ >= kWriteCompactAt) {
+    wbuf_.erase(wbuf_.begin(), wbuf_.begin() + static_cast<std::ptrdiff_t>(woff_));
+    woff_ = 0;
+  }
+}
+
+std::vector<Delivery> SocketChannel::poll() {
+  std::vector<Delivery> out;
+  if (fd_ < 0) return out;
+  flush();
+  std::uint8_t chunk[kReadChunk];
+  while (fd_ >= 0) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      decoder_.feed(chunk, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof(chunk)) break;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    kill();  // EOF or hard error
+    break;
+  }
+  while (auto f = decoder_.next()) {
+    out.push_back(Delivery{f->type, f->credit, std::move(f->payload)});
+  }
+  if (decoder_.failed()) kill();  // poisoned stream: corrupt or hostile peer
+  return out;
+}
+
+Listener::Listener(const std::string& addr) {
+  const ParsedAddr a = parse_addr(addr);
+  if (a.is_unix) {
+    unix_path_ = a.path;
+    ::unlink(a.path.c_str());  // stale socket file from a killed process
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    SB_CHECK(fd_ >= 0);
+    const sockaddr_un sa = make_unix_addr(a);
+    SB_CHECK(::bind(fd_, reinterpret_cast<const sockaddr*>(&sa),
+                    sizeof(sa)) == 0);
+    bound_addr_ = addr;
+  } else {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    SB_CHECK(fd_ >= 0);
+    int one = 1;
+    (void)setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in sa = make_inet_addr(a);
+    SB_CHECK(::bind(fd_, reinterpret_cast<const sockaddr*>(&sa),
+                    sizeof(sa)) == 0);
+    socklen_t len = sizeof(sa);
+    SB_CHECK(::getsockname(fd_, reinterpret_cast<sockaddr*>(&sa), &len) == 0);
+    bound_addr_ =
+        "tcp:" + a.host + ":" + std::to_string(ntohs(sa.sin_port));
+  }
+  SB_CHECK(::listen(fd_, 64) == 0);
+  set_nonblocking(fd_);
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) ::close(fd_);
+  if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
+}
+
+std::unique_ptr<SocketChannel> Listener::accept() {
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) return nullptr;
+  return std::make_unique<SocketChannel>(fd);
+}
+
+std::unique_ptr<SocketChannel> dial(const std::string& addr, int timeout_ms) {
+  const ParsedAddr a = parse_addr(addr);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    int fd = -1;
+    int rc = -1;
+    if (a.is_unix) {
+      fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      SB_CHECK(fd >= 0);
+      const sockaddr_un sa = make_unix_addr(a);
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+    } else {
+      fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      SB_CHECK(fd >= 0);
+      const sockaddr_in sa = make_inet_addr(a);
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+    }
+    if (rc == 0) return std::make_unique<SocketChannel>(fd);
+    ::close(fd);
+    if (std::chrono::steady_clock::now() >= deadline) return nullptr;
+    // The common race: the worker started before the router bound its port.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+}  // namespace softborg::dist

@@ -1,0 +1,78 @@
+// Real socket transport for the distributed hive (ISSUE 9 tentpole).
+//
+// SocketChannel carries length-prefixed frames (dist/frame.h) over a
+// nonblocking stream socket — TCP for cross-host fleets, Unix-domain for
+// same-host shard processes (the CI topology). Addresses are strings:
+//
+//   unix:/tmp/softborg-hive.sock
+//   tcp:127.0.0.1:7400         (listen: tcp:0 picks an ephemeral port)
+//
+// Everything is poll-driven and non-blocking after connection setup: send()
+// buffers and opportunistically flushes; poll() flushes, reads whatever the
+// kernel has, and decodes complete frames. Any socket error, EOF, or frame
+// corruption kills the channel (alive() → false) — the router treats a dead
+// shard channel as permanent shed-territory until the worker redials.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "dist/channel.h"
+#include "dist/frame.h"
+
+namespace softborg::dist {
+
+class SocketChannel final : public Channel {
+ public:
+  // Takes ownership of a connected stream socket fd (made nonblocking).
+  explicit SocketChannel(int fd);
+  ~SocketChannel() override;
+
+  SocketChannel(const SocketChannel&) = delete;
+  SocketChannel& operator=(const SocketChannel&) = delete;
+
+  void send(std::uint32_t type, Bytes payload, std::uint32_t credit) override;
+  std::vector<Delivery> poll() override;
+  bool alive() const override { return fd_ >= 0; }
+  void flush() override;
+
+  int fd() const { return fd_; }
+
+ private:
+  void kill();
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  Bytes wbuf_;            // pending output
+  std::size_t woff_ = 0;  // prefix of wbuf_ already written
+};
+
+class Listener {
+ public:
+  // Binds + listens on `addr` (see header comment). Aborts on setup failure
+  // — a hive that cannot open its ingress port has nothing to recover to.
+  explicit Listener(const std::string& addr);
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  // Non-blocking accept; nullptr when nobody is waiting.
+  std::unique_ptr<SocketChannel> accept();
+
+  // The bound address, with any ephemeral port resolved (what peers dial).
+  const std::string& bound_addr() const { return bound_addr_; }
+
+ private:
+  int fd_ = -1;
+  std::string bound_addr_;
+  std::string unix_path_;  // unlinked on close
+};
+
+// Connects to `addr`, retrying until `timeout_ms` elapses (a worker often
+// races the router's bind). nullptr on timeout.
+std::unique_ptr<SocketChannel> dial(const std::string& addr,
+                                    int timeout_ms = 5000);
+
+}  // namespace softborg::dist

@@ -1,0 +1,283 @@
+#include "dist/worker.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/check.h"
+#include "common/state_wire.h"
+#include "dist/socket.h"
+#include "obs/registry.h"
+#include "store/store.h"
+#include "trace/codec.h"
+
+namespace softborg::dist {
+
+ShardWorker::ShardWorker(std::size_t index,
+                         const std::vector<CorpusEntry>* corpus,
+                         WorkerConfig config)
+    : index_(index),
+      corpus_(corpus),
+      config_(std::move(config)),
+      queue_(config_.queue_capacity) {
+  SB_CHECK(corpus_ != nullptr);
+  SB_CHECK(config_.credit_window >= 1 && config_.credit_window <= 0xffff);
+  build_hive();
+}
+
+void ShardWorker::build_hive() {
+  // Same per-shard layout as ShardedHive: disjoint fix/proof id blocks and
+  // a per-shard seed, so a distributed fleet and an in-process one
+  // synthesize identically-numbered artifacts.
+  HiveConfig hive_config = config_.hive;
+  hive_config.fixer.next_fix_id = 1 + index_ * 1'000'000;
+  hive_config.next_proof_id = 1 + index_ * 1'000'000;
+  hive_config.seed = config_.hive.seed ^ (index_ * 0x9e3779b97f4a7c15ULL);
+  hive_ = std::make_unique<Hive>(corpus_, hive_config);
+}
+
+bool ShardWorker::try_resume() {
+  if (config_.snapshot_dir.empty()) return false;
+  const auto snapshot = store::read_snapshot(config_.snapshot_dir);
+  if (!snapshot.has_value()) return false;
+  const auto part = [&](const char* name) -> const Bytes* {
+    const auto it = snapshot->parts.find(name);
+    return it == snapshot->parts.end() ? nullptr : &it->second;
+  };
+  for (const char* name : {"hive", "trees", "solver", "worker"}) {
+    if (part(name) == nullptr) return false;
+  }
+  // On any validation failure the hive may be half-restored: rebuild it
+  // cold so a corrupt snapshot degrades to a clean cold start, never a
+  // Frankenstein state.
+  const auto reject = [&] {
+    build_hive();
+    return false;
+  };
+  {
+    StateReader r(*part("hive"));
+    if (!hive_->load_state(r) || !r.done()) return reject();
+  }
+  {
+    StateReader r(*part("trees"));
+    if (!hive_->load_trees(r) || !r.done()) return reject();
+  }
+  {
+    StateReader r(*part("solver"));
+    if (!hive_->solver_cache().load_state(r) || !r.done()) return reject();
+  }
+  {
+    StateReader r(*part("worker"));
+    const std::uint64_t idx = r.u64();
+    ingested_ = r.u64();
+    const std::uint64_t shed = r.u64();
+    batches_ = r.u64();
+    snapshots_written_ = r.u64();
+    if (!r.done() || idx != index_) {
+      ingested_ = batches_ = snapshots_written_ = 0;
+      return reject();
+    }
+    // The queue object is fresh; seed its shed ledger with the restored
+    // count so closing stats are cumulative across restarts.
+    queue_.restore_shed_total(shed);
+  }
+  snapshot_seq_ = snapshot->seq;
+  resumed_ = true;
+  return true;
+}
+
+void ShardWorker::send_hello(Channel& ch) {
+  ch.send(kMsgHello,
+          encode_hello(HelloMsg{index_, config_.credit_window, resumed_}));
+}
+
+void ShardWorker::admit(Bytes wire) {
+  // Admission control: summarize for priority (allocation-free peek; the
+  // router already validated, so failures here are corruption — admit as
+  // routine and let the hive count the decode failure deterministically).
+  TracePriority priority = TracePriority::kRoutine;
+  if (const auto summary = summarize_trace_wire(wire)) {
+    priority = trace_priority(*summary);
+  }
+  const std::uint64_t shed_before = queue_.shed_total();
+  queue_.push(priority, std::move(wire));
+  const std::uint64_t shed_delta = queue_.shed_total() - shed_before;
+  // A shed trace still consumed a router credit: grant it back, or the
+  // window leaks shut under sustained overload.
+  pending_credit_ += static_cast<std::uint32_t>(shed_delta);
+}
+
+bool ShardWorker::write_snapshot() {
+  if (config_.snapshot_dir.empty()) return false;
+  std::vector<store::Part> parts;
+  {
+    Bytes h;
+    hive_->save_state(h);
+    parts.push_back({"hive", std::move(h)});
+  }
+  {
+    Bytes t;
+    hive_->save_trees(t);
+    parts.push_back({"trees", std::move(t)});
+  }
+  {
+    Bytes s;
+    hive_->solver_cache().save_state(s);
+    parts.push_back({"solver", std::move(s)});
+  }
+  {
+    Bytes w;
+    put_varint(w, index_);
+    put_varint(w, ingested_);
+    put_varint(w, queue_.shed_total());
+    put_varint(w, batches_);
+    put_varint(w, snapshots_written_ + 1);
+    parts.push_back({"worker", std::move(w)});
+  }
+  if (!store::write_snapshot(config_.snapshot_dir, ++snapshot_seq_, parts)) {
+    return false;
+  }
+  snapshots_written_++;
+  return true;
+}
+
+bool ShardWorker::pump(Channel& ch) {
+  if (done_) return false;
+  active_ = false;
+  for (auto& d : ch.poll()) {
+    active_ = true;
+    switch (d.type) {
+      case kMsgTrace:
+        admit(std::move(d.payload));
+        break;
+      case kMsgShutdown:
+        shutdown_ = true;
+        break;
+      case kMsgSnapshot:
+        (void)write_snapshot();
+        ch.send(kMsgSnapshot, Bytes{});  // ack (even on failure: unblocks)
+        break;
+      default:
+        break;  // credit/hello noise from the router is ignorable
+    }
+  }
+  // Ingest one bounded batch; batch_max keeps the round short so credit
+  // grants and shutdown stay responsive under sustained load.
+  std::vector<Bytes> batch;
+  batch.reserve(config_.batch_max);
+  while (batch.size() < config_.batch_max) {
+    auto item = queue_.pop();
+    if (!item) break;
+    batch.push_back(std::move(item->wire));
+  }
+  if (!batch.empty()) {
+    active_ = true;
+    hive_->ingest_batch(batch);
+    ingested_ += batch.size();
+    batches_++;
+    pending_credit_ += static_cast<std::uint32_t>(batch.size());
+    if (config_.snapshot_every_batches > 0 &&
+        batches_ % config_.snapshot_every_batches == 0) {
+      (void)write_snapshot();
+    }
+  }
+  if (pending_credit_ > 0) {
+    ch.send_credit(pending_credit_);
+    pending_credit_ = 0;
+  }
+  publish_metrics();
+  if (shutdown_ && queue_.empty()) {
+    // Drained: report the closing ledger, then ack the shutdown. A final
+    // snapshot makes the restart path (CI's kill-and-resume leg) current.
+    if (!config_.snapshot_dir.empty()) (void)write_snapshot();
+    ch.send(kMsgStats, encode_worker_stats(closing_stats()));
+    Bytes trees;
+    hive_->save_trees(trees);
+    ch.send(kMsgTreeData, std::move(trees));
+    ch.send(kMsgShutdown, Bytes{});
+    ch.flush();
+    done_ = true;
+    return false;
+  }
+  return true;
+}
+
+WorkerStatsMsg ShardWorker::closing_stats() const {
+  WorkerStatsMsg m;
+  m.shard_index = index_;
+  m.ingested = ingested_;
+  m.shed = queue_.shed_total();
+  m.queue_max_depth = queue_.max_depth();
+  m.batches = batches_;
+  m.snapshots_written = snapshots_written_;
+  m.hive = hive_->stats();
+  return m;
+}
+
+void ShardWorker::publish_metrics() {
+  if (!obs::enabled()) return;
+  struct Metrics {
+    obs::Counter& ingested = obs::MetricsRegistry::global().counter(
+        "dist.worker.ingested_total");
+    obs::Counter& shed = obs::MetricsRegistry::global().counter(
+        "dist.worker.shed_total");
+    obs::Counter& batches = obs::MetricsRegistry::global().counter(
+        "dist.worker.batches_total");
+    obs::Gauge& depth =
+        obs::MetricsRegistry::global().gauge("dist.worker.queue_depth");
+    static Metrics& get() {
+      static Metrics m;
+      return m;
+    }
+  };
+  auto& m = Metrics::get();
+  if (ingested_ != obs_ingested_) {
+    m.ingested.add(ingested_ - obs_ingested_);
+    obs_ingested_ = ingested_;
+  }
+  const std::uint64_t shed = queue_.shed_total();
+  if (shed != obs_shed_) {
+    m.shed.add(shed - obs_shed_);
+    obs_shed_ = shed;
+  }
+  if (batches_ != obs_batches_) {
+    m.batches.add(batches_ - obs_batches_);
+    obs_batches_ = batches_;
+  }
+  m.depth.set(static_cast<std::int64_t>(queue_.depth()));
+}
+
+int run_worker_loop(std::size_t index, const std::vector<CorpusEntry>* corpus,
+                    const WorkerConfig& config,
+                    const std::string& router_addr) {
+  auto ch = dial(router_addr);
+  if (ch == nullptr) return 2;  // router never came up
+  ShardWorker worker(index, corpus, config);
+  (void)worker.try_resume();
+  worker.send_hello(*ch);
+  while (worker.pump(*ch)) {
+    if (!ch->alive()) return 3;  // router died mid-run
+    if (!worker.last_round_active()) {
+      // Idle: yield the core instead of spinning the poll loop.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  // Closing frames may still sit in the socket buffer; push until gone.
+  for (int i = 0; i < 1000 && ch->alive(); ++i) {
+    ch->flush();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return 0;
+}
+
+int spawn_worker_process(std::size_t index,
+                         const std::vector<CorpusEntry>* corpus,
+                         const WorkerConfig& config,
+                         const std::string& router_addr) {
+  const int pid = ::fork();
+  if (pid != 0) return pid;  // parent (or fork failure: -1)
+  ::_exit(run_worker_loop(index, corpus, config, router_addr));
+}
+
+}  // namespace softborg::dist

@@ -106,6 +106,35 @@ std::string hive_status_report(Hive& hive) {
   }
   if (!any_coop) out += "coop: no cooperative runs\n";
 
+  // Distributed-transport backpressure: present only when a TraceRouter in
+  // this process has published its dist.* series (the line never appears —
+  // and pinned report outputs never change — in a purely in-process fleet).
+  {
+    const obs::MetricsSnapshot ms = obs::MetricsRegistry::global().snapshot();
+    const auto cv = [&](const char* name) {
+      return ms.counter_value(name).value_or(0);
+    };
+    const std::uint64_t received = cv("dist.received_total");
+    if (received > 0) {
+      const std::uint64_t shed = cv("dist.shed_total");
+      std::int64_t queue_peak = 0;
+      for (const auto& g : ms.gauges) {
+        if (g.name == "dist.queue_depth_peak") queue_peak = g.value;
+      }
+      out += line(
+          "distributed: %llu received, %llu forwarded, %llu shed (%.2f%% "
+          "shed rate), %llu backpressure stalls (%.3fs stalled), queue "
+          "peak %lld",
+          static_cast<unsigned long long>(received),
+          static_cast<unsigned long long>(cv("dist.forwarded_total")),
+          static_cast<unsigned long long>(shed),
+          100.0 * static_cast<double>(shed) / static_cast<double>(received),
+          static_cast<unsigned long long>(cv("dist.backpressure_stalls_total")),
+          static_cast<double>(cv("dist.stall_us_total")) / 1e6,
+          static_cast<long long>(queue_peak));
+    }
+  }
+
   out += "bug ledger:\n";
   if (hive.bug_tracker().all().empty()) {
     out += "  (no bugs recorded)\n";

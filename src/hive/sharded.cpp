@@ -32,7 +32,7 @@ struct ShardedMetrics {
 }  // namespace
 
 ShardedHive::ShardedHive(const std::vector<CorpusEntry>* corpus,
-                         std::size_t num_shards, SimNet& net,
+                         std::size_t num_shards, Transport& net,
                          ShardedHiveConfig config)
     : corpus_(corpus), config_(config) {
   SB_CHECK(corpus_ != nullptr);
@@ -71,7 +71,7 @@ ThreadPool* ShardedHive::pump_pool() {
   return pump_pool_.get();
 }
 
-void ShardedHive::pump(SimNet& net) {
+void ShardedHive::pump(Transport& net) {
   SB_SPAN("sharded.pump");
   // Route ingress traffic to the owning shard. Routing only needs the
   // program id, so peek the header with the one-pass allocation-free

@@ -32,7 +32,7 @@
 
 #include "common/thread_pool.h"
 #include "hive/hive.h"
-#include "net/simnet.h"
+#include "net/transport.h"
 
 namespace softborg {
 
@@ -60,11 +60,13 @@ struct ShardedHiveConfig {
 class ShardedHive {
  public:
   // Creates `num_shards` hives, each with an endpoint on `net`, plus one
-  // ingress endpoint that routes upstream traffic.
+  // ingress endpoint that routes upstream traffic. `net` is any Transport —
+  // the deterministic SimNet in tests and simulations; src/dist carries the
+  // same traffic across processes.
   ShardedHive(const std::vector<CorpusEntry>* corpus, std::size_t num_shards,
-              SimNet& net, ShardedHiveConfig config);
+              Transport& net, ShardedHiveConfig config);
   ShardedHive(const std::vector<CorpusEntry>* corpus, std::size_t num_shards,
-              SimNet& net, HiveConfig config = {})
+              Transport& net, HiveConfig config = {})
       : ShardedHive(corpus, num_shards, net,
                     ShardedHiveConfig{.hive = config}) {}
 
@@ -81,8 +83,8 @@ class ShardedHive {
 
   // Drains the ingress (routing traces onward) and every shard endpoint
   // (ingesting what arrived, shard-parallel on the pump pool). Call after
-  // net ticks.
-  void pump(SimNet& net);
+  // net steps.
+  void pump(Transport& net);
 
   // Fans analysis out to every shard and concatenates approved fixes.
   std::vector<FixCandidate> process_all();

@@ -29,6 +29,8 @@ struct NetMetrics {
       obs::MetricsRegistry::global().counter("net.dropped_in_flight_total");
   obs::Counter& bytes_sent =
       obs::MetricsRegistry::global().counter("net.bytes_sent_total");
+  obs::Counter& payloads_copied =
+      obs::MetricsRegistry::global().counter("net.payloads_copied_total");
   obs::Gauge& in_flight = obs::MetricsRegistry::global().gauge("net.in_flight");
 
   static NetMetrics& get() {
@@ -78,6 +80,7 @@ void SimNet::send(Endpoint from, Endpoint to, std::uint32_t type,
   };
   if (config_.dup_prob > 0 && rng_.next_bool(config_.dup_prob)) {
     stats_.duplicated++;
+    stats_.payloads_copied++;  // the manufactured duplicate body
     enqueue(payload);
   }
   enqueue(std::move(payload));
@@ -125,6 +128,8 @@ void SimNet::publish_metrics() {
   bump(m.dropped_in_flight, stats_.dropped_in_flight,
        obs_published_.dropped_in_flight);
   bump(m.bytes_sent, stats_.bytes_sent, obs_published_.bytes_sent);
+  bump(m.payloads_copied, stats_.payloads_copied,
+       obs_published_.payloads_copied);
   if (queued_ != obs_published_depth_) {
     // add() rather than set(): concurrent nets aggregate their depths.
     m.in_flight.add(queued_ - obs_published_depth_);
@@ -189,6 +194,7 @@ void SimNet::save_state(Bytes& out) const {
   put_varint(out, stats_.blocked_at_send);
   put_varint(out, stats_.dropped_in_flight);
   put_varint(out, stats_.bytes_sent);
+  put_varint(out, stats_.payloads_copied);
 }
 
 bool SimNet::load_state(StateReader& r) {
@@ -240,6 +246,7 @@ bool SimNet::load_state(StateReader& r) {
   stats_.blocked_at_send = r.u64();
   stats_.dropped_in_flight = r.u64();
   stats_.bytes_sent = r.u64();
+  stats_.payloads_copied = r.u64();
   if (!r.ok()) return false;
   // The saving run already published these totals into the process-global
   // registry; baseline here so the restored deltas are not re-published.

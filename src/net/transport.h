@@ -1,0 +1,59 @@
+// Transport: the seam between the hive's pump loops and whatever carries
+// the bytes.
+//
+// The paper's pods feed the hive "over the Internet" (§3); our test fleets
+// feed it through the deterministic SimNet. Both present the same surface —
+// numbered endpoints, typed messages, explicit progress — so ShardedHive
+// and the distributed router/worker loops (src/dist) are written once
+// against this interface and every SimNet-based differential suite keeps
+// pinning byte-identical results while production deployments swap in the
+// socket transport.
+//
+// Contract:
+//  * Endpoints are small dense indices issued by add_endpoint().
+//  * send() queues; nothing moves until step() (SimNet: one tick; socket
+//    hubs: one poll/flush round). Payloads are moved end-to-end — a
+//    transport must never copy a payload it can move (net_test pins this).
+//  * drain() removes and returns everything delivered to an endpoint, in
+//    delivery order. Delivery order for one (from, to) pair preserves send
+//    order unless the transport injects faults.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/varint.h"
+
+namespace softborg {
+
+using Endpoint = std::uint64_t;
+
+struct Message {
+  Endpoint from = 0;
+  Endpoint to = 0;
+  std::uint32_t type = 0;
+  Bytes payload;
+  std::uint64_t sent_tick = 0;
+  std::uint64_t deliver_tick = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual Endpoint add_endpoint() = 0;
+
+  // Queues a message for delivery; the transport owns the payload from here
+  // on (and moves it — no copies on the forwarding path).
+  virtual void send(Endpoint from, Endpoint to, std::uint32_t type,
+                    Bytes payload) = 0;
+
+  // Makes queued traffic progress: SimNet advances one tick; a socket
+  // transport flushes write buffers and reads whatever arrived.
+  virtual void step() = 0;
+
+  // Removes and returns everything delivered to `ep` so far.
+  virtual std::vector<Message> drain(Endpoint ep) = 0;
+};
+
+}  // namespace softborg

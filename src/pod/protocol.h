@@ -26,6 +26,14 @@ enum MsgType : std::uint32_t {
   kMsgWorkRequest = 6,
   kMsgWorkAssign = 7,
   kMsgWorkResult = 8,
+  // Distributed-hive control plane (src/dist). Traces still travel as
+  // kMsgTrace — the distributed transport reuses the v2 trace wire verbatim.
+  kMsgCredit = 9,       // flow-control grant (count in the frame header)
+  kMsgHello = 10,       // worker announces shard index + credit window
+  kMsgShutdown = 11,    // drain, report closing stats, exit (ack'd in kind)
+  kMsgStats = 12,       // worker's closing stats (dist/worker.h codec)
+  kMsgTreeData = 13,    // one program's encoded collective tree
+  kMsgSnapshot = 14,    // write a durable snapshot now (ack'd in kind)
 };
 
 // A guidance directive: "run the program this way once" (§3.3). Any subset

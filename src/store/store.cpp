@@ -62,6 +62,16 @@ std::optional<std::uint64_t> parse_gen(const std::string& name) {
 
 bool ensure_dir(const std::string& path, std::string* err) {
   if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return true;
+  if (errno == ENOENT) {
+    // Create missing parents first (a distributed shard's snapshot dir is
+    // typically nested, e.g. <fleet-root>/shard3).
+    const auto slash = path.find_last_of('/');
+    if (slash != std::string::npos && slash > 0 &&
+        ensure_dir(path.substr(0, slash), err) &&
+        (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST)) {
+      return true;
+    }
+  }
   set_err(err, "mkdir " + path + ": " + std::strerror(errno));
   return false;
 }

@@ -1,0 +1,190 @@
+// Fuzz hardening for the distributed hive's frame decoder (ISSUE 9
+// satellite): the decoder faces raw socket bytes from potentially corrupt,
+// truncated, or hostile peers, and must reject-or-deliver-valid — never
+// crash, never allocate beyond the declared payload bound, never
+// resynchronize a poisoned stream.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dist/frame.h"
+
+namespace softborg::dist {
+namespace {
+
+Bytes some_payload(std::size_t n, std::uint8_t seed) {
+  Bytes p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p[i] = static_cast<std::uint8_t>(seed + i * 31);
+  }
+  return p;
+}
+
+TEST(Frame, RoundTripsTypesCreditsAndPayloads) {
+  Bytes stream;
+  encode_frame(stream, 1, 0, some_payload(100, 7));
+  encode_frame(stream, 9, 512, Bytes{});  // bare credit grant, header-only
+  encode_frame(stream, 255, 0xffff, some_payload(1, 0));
+  FrameDecoder d;
+  d.feed(stream.data(), stream.size());
+  auto f1 = d.next();
+  auto f2 = d.next();
+  auto f3 = d.next();
+  ASSERT_TRUE(f1 && f2 && f3);
+  EXPECT_FALSE(d.next().has_value());
+  EXPECT_FALSE(d.failed());
+  EXPECT_EQ(f1->type, 1u);
+  EXPECT_EQ(f1->credit, 0u);
+  EXPECT_EQ(f1->payload, some_payload(100, 7));
+  EXPECT_EQ(f2->type, 9u);
+  EXPECT_EQ(f2->credit, 512u);
+  EXPECT_TRUE(f2->payload.empty());
+  EXPECT_EQ(f3->type, 255u);
+  EXPECT_EQ(f3->credit, 0xffffu);
+  EXPECT_EQ(f3->payload, some_payload(1, 0));
+  EXPECT_EQ(d.buffered(), 0u);
+}
+
+TEST(Frame, TruncationAtEveryBoundaryWaitsThenDecodes) {
+  Bytes wire;
+  encode_frame(wire, 3, 17, some_payload(64, 3));
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    FrameDecoder d;
+    d.feed(wire.data(), cut);
+    // A prefix is never an error — just an incomplete frame.
+    EXPECT_FALSE(d.next().has_value()) << "cut " << cut;
+    EXPECT_FALSE(d.failed()) << "cut " << cut;
+    d.feed(wire.data() + cut, wire.size() - cut);
+    const auto f = d.next();
+    ASSERT_TRUE(f.has_value()) << "cut " << cut;
+    EXPECT_EQ(f->type, 3u);
+    EXPECT_EQ(f->payload, some_payload(64, 3));
+  }
+}
+
+TEST(Frame, EveryBitFlipRejectsOrDeliversValid) {
+  Bytes wire;
+  encode_frame(wire, 1, 2, some_payload(48, 9));
+  for (std::size_t bit = 0; bit < wire.size() * 8; ++bit) {
+    Bytes flipped = wire;
+    flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    FrameDecoder d;
+    d.feed(flipped.data(), flipped.size());
+    std::size_t frames = 0;
+    while (const auto f = d.next()) {
+      frames++;
+      // Anything delivered must respect the structural bounds.
+      EXPECT_LE(f->payload.size(), kMaxFramePayload);
+      EXPECT_LE(f->type, 0xffu);
+      EXPECT_LE(f->credit, 0xffffu);
+    }
+    // A flip lands in exactly one frame: at most one can come out, and the
+    // decoder never buffers beyond the one (bounded) frame in progress.
+    EXPECT_LE(frames, 1u) << "bit " << bit;
+    EXPECT_LE(d.buffered(), kFrameHeaderSize + kMaxFramePayload);
+    // Payload and checksum flips must be caught (the checksum covers the
+    // body; header flips may legitimately yield a different valid frame —
+    // type/credit are not covered — or a reject).
+    const std::size_t byte = bit / 8;
+    if (byte >= kFrameHeaderSize || byte == 12 || byte == 13 || byte == 14 ||
+        byte == 15) {
+      EXPECT_TRUE(d.failed()) << "bit " << bit;
+      EXPECT_EQ(frames, 0u) << "bit " << bit;
+    }
+  }
+}
+
+TEST(Frame, OversizedLengthRejectsBeforeAllocating) {
+  // A hostile length field must be rejected from the 16 header bytes alone
+  // — no payload is ever buffered for it.
+  for (const std::uint64_t claimed :
+       {static_cast<std::uint64_t>(kMaxFramePayload) + 1,
+        std::uint64_t{0xffffffff}}) {
+    Bytes header = {'S', 'B', 'D', '1', kFrameVersion, 1, 0, 0};
+    for (int shift = 0; shift < 32; shift += 8) {
+      header.push_back(static_cast<std::uint8_t>(claimed >> shift));
+    }
+    header.insert(header.end(), {0, 0, 0, 0});  // checksum, never reached
+    ASSERT_EQ(header.size(), kFrameHeaderSize);
+    FrameDecoder d;
+    d.feed(header.data(), header.size());
+    EXPECT_FALSE(d.next().has_value());
+    EXPECT_TRUE(d.failed());
+    EXPECT_LE(d.buffered(), kFrameHeaderSize);
+    // Latched: feeding a perfectly good frame afterwards yields nothing.
+    Bytes good;
+    encode_frame(good, 1, 0, some_payload(8, 1));
+    d.feed(good.data(), good.size());
+    EXPECT_FALSE(d.next().has_value());
+    EXPECT_TRUE(d.failed());
+  }
+}
+
+TEST(Frame, BadMagicAndVersionLatch) {
+  Bytes wire;
+  encode_frame(wire, 1, 0, some_payload(4, 2));
+  {
+    Bytes bad = wire;
+    bad[0] = 'X';
+    FrameDecoder d;
+    d.feed(bad.data(), bad.size());
+    EXPECT_FALSE(d.next().has_value());
+    EXPECT_TRUE(d.failed());
+  }
+  {
+    Bytes bad = wire;
+    bad[4] = kFrameVersion + 1;
+    FrameDecoder d;
+    d.feed(bad.data(), bad.size());
+    EXPECT_FALSE(d.next().has_value());
+    EXPECT_TRUE(d.failed());
+  }
+}
+
+TEST(Frame, RandomChopReassemblesIdentically) {
+  // The kernel hands the decoder arbitrary read sizes; every chop of the
+  // same stream must yield the same frame sequence.
+  Rng rng(0xfeed);
+  Bytes stream;
+  std::vector<Bytes> payloads;
+  for (int i = 0; i < 50; ++i) {
+    payloads.push_back(some_payload(rng.next_below(300),
+                                    static_cast<std::uint8_t>(i)));
+    encode_frame(stream, 1 + (i % 14), i % 7 == 0 ? i : 0, payloads.back());
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    FrameDecoder d;
+    std::size_t fed = 0, got = 0;
+    while (fed < stream.size() || true) {
+      while (const auto f = d.next()) {
+        ASSERT_LT(got, payloads.size());
+        EXPECT_EQ(f->payload, payloads[got]);
+        got++;
+      }
+      if (fed >= stream.size()) break;
+      const std::size_t n =
+          std::min<std::size_t>(1 + rng.next_below(97), stream.size() - fed);
+      d.feed(stream.data() + fed, n);
+      fed += n;
+    }
+    EXPECT_EQ(got, payloads.size()) << "trial " << trial;
+    EXPECT_FALSE(d.failed());
+    EXPECT_EQ(d.buffered(), 0u);
+  }
+}
+
+TEST(Frame, RandomGarbageNeverCrashesAndStaysBounded) {
+  Rng rng(0xdead);
+  for (int trial = 0; trial < 200; ++trial) {
+    FrameDecoder d;
+    Bytes junk(rng.next_below(2048));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_below(256));
+    d.feed(junk.data(), junk.size());
+    while (const auto f = d.next()) {
+      EXPECT_LE(f->payload.size(), kMaxFramePayload);
+    }
+    EXPECT_LE(d.buffered(), kFrameHeaderSize + kMaxFramePayload);
+  }
+}
+
+}  // namespace
+}  // namespace softborg::dist

@@ -14,6 +14,7 @@
 #include "hive/sharded.h"
 #include "minivm/corpus.h"
 #include "minivm/interp.h"
+#include "net/simnet.h"
 #include "obs/registry.h"
 #include "trace/codec.h"
 #include "tree/tree_codec.h"

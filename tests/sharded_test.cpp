@@ -5,6 +5,7 @@
 
 #include "hive/sharded.h"
 #include "minivm/interp.h"
+#include "net/simnet.h"
 #include "trace/codec.h"
 #include "tree/tree_codec.h"
 
