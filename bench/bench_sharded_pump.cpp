@@ -95,6 +95,46 @@ BENCHMARK(BM_ShardedPump)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// The flight-recorder overhead leg (EXPERIMENTS.md "recorder overhead"):
+// identical to BM_ShardedPump/8 but with the per-thread recorder armed, so
+// every SB_SPAN site and proof-closure event on the pump path pays the
+// ring-buffer write. The acceptance bar is <2% versus the /8 leg above.
+// Kept as a separate benchmark (not a second Arg) so the recorder-off legs'
+// JSON keys stay comparable across history.
+void BM_ShardedPumpRecorder(benchmark::State& state) {
+  static const std::vector<CorpusEntry> corpus = standard_corpus();
+  const std::vector<Bytes>& wires = fleet_workload();
+  NetConfig net_config;
+  net_config.min_latency_ticks = 1;
+  net_config.max_latency_ticks = 1;
+  obs::set_tracing_enabled(true);
+  obs::Recorder::set_enabled(true);
+  obs::Recorder::global().clear();
+  for (auto _ : state) {
+    SimNet net(net_config);
+    ShardedHiveConfig config;
+    config.pump_threads = 8;
+    ShardedHive hive(&corpus, kNumShards, net, config);
+    const Endpoint client = net.add_endpoint();
+    for (const auto& w : wires) {
+      net.send(client, hive.ingress(), kMsgTrace, w);
+    }
+    for (int round = 0; round < 3; ++round) {
+      net.tick();
+      hive.pump(net);
+    }
+    benchmark::DoNotOptimize(hive.aggregate_stats().paths_merged);
+  }
+  obs::Recorder::set_enabled(false);
+  obs::set_tracing_enabled(false);
+  obs::Recorder::global().clear();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(wires.size()));
+}
+BENCHMARK(BM_ShardedPumpRecorder)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 }  // namespace
 }  // namespace softborg
 

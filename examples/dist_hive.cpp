@@ -23,9 +23,19 @@
 //       valid snapshot (prints which), dials the router, serves until the
 //       shutdown protocol completes.
 //
+//   dist_hive trace-merge [--out PATH] DUMP.sbfr...
+//       Merges flight-recorder dumps (written under --trace-dump DIR by the
+//       modes above) into one Chrome trace_event / Perfetto JSON timeline.
+//
+// --trace-dump DIR (fleet/router/shard modes) enables causal tracing + the
+// flight recorder: each process dumps DIR/router.sbfr or DIR/shardN.sbfr at
+// clean exit, on snapshot requests, and from the fatal-signal handler.
+//
 // Output lines are stable and greppable (CI asserts on them):
 //   router: received=... forwarded=... shed=... stalls=... queue_peak=...
 //   shard N: resumed from snapshot | cold start
+//   trace-merge: dumps=... events=... flows=... cross_process_chains=...
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -37,6 +47,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fsio.h"
 #include "core/softborg.h"
 
 namespace {
@@ -77,11 +88,33 @@ struct Options {
   std::string snapshot_dir;   // shard mode
   std::string snapshot_root;  // fleet mode: <root>/shardN per worker
   std::uint64_t snapshot_every = 0;
+  std::string trace_dump;  // flight-recorder dump dir; empty = tracing off
   const char* prom_path = nullptr;
 };
 
 std::string default_addr() {
   return "unix:/tmp/softborg-hive-" + std::to_string(::getpid()) + ".sock";
+}
+
+// Best-effort mkdir -p for the trace dump directory.
+void mkdirs(const std::string& path) {
+  std::size_t pos = 0;
+  while (pos != std::string::npos) {
+    pos = path.find('/', pos + 1);
+    ::mkdir(path.substr(0, pos).c_str(), 0755);
+  }
+}
+
+// Turns on causal tracing + the flight recorder for THIS process, with the
+// fatal-signal flush aimed at `dump_path` (the same setup run_worker_loop
+// performs for forked workers).
+void enable_process_tracing(const char* label, const std::string& dump_path) {
+  obs::set_tracing_enabled(true);
+  obs::Recorder::set_enabled(true);
+  auto& rec = obs::Recorder::global();
+  rec.clear();
+  rec.set_label(label);
+  rec.install_signal_flush(dump_path);
 }
 
 int run_router(const Options& opt) {
@@ -90,6 +123,13 @@ int run_router(const Options& opt) {
   std::printf("router: listening on %s, %zu shard(s), %zu trace(s)\n",
               listener.bound_addr().c_str(), opt.shards, opt.traces);
   std::fflush(stdout);
+
+  std::string router_dump;
+  if (!opt.trace_dump.empty()) {
+    mkdirs(opt.trace_dump);
+    router_dump = opt.trace_dump + "/router.sbfr";
+    enable_process_tracing("router", router_dump);
+  }
 
   RouterConfig config;
   config.queue_capacity = opt.queue_capacity;
@@ -117,7 +157,20 @@ int run_router(const Options& opt) {
 
   auto wires = make_workload(corpus, opt.traces, opt.seed);
   for (auto& wire : wires) {
-    router.route_wire(std::move(wire));
+    obs::TraceContext ctx;
+    if (obs::tracing_enabled()) {
+      // This process is the pod stand-in: the causal chain is born at
+      // injection, exactly as Pod::run_once births it in a real fleet.
+      if (const auto s = summarize_trace_wire(wire)) {
+        ctx = obs::with_hop(
+            obs::TraceContext{
+                obs::causal_trace_id(s->id.value, s->program.value), 0},
+            obs::Hop::kPod);
+        obs::Recorder::record(obs::EventKind::kPodEmit, ctx,
+                              static_cast<std::uint32_t>(s->pod.value));
+      }
+    }
+    router.route_wire(std::move(wire), ctx);
     round();
     if (opt.pace_us > 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(opt.pace_us));
@@ -180,6 +233,9 @@ int run_router(const Options& opt) {
                          obs::to_prometheus(
                              obs::MetricsRegistry::global().snapshot()));
   }
+  if (!router_dump.empty()) {
+    (void)obs::Recorder::global().flush_to_file(router_dump);
+  }
   return router.all_reports_in() ? 0 : 1;
 }
 
@@ -190,6 +246,14 @@ int run_shard(const Options& opt) {
   config.credit_window = opt.credit_window;
   config.snapshot_dir = opt.snapshot_dir;
   config.snapshot_every_batches = opt.snapshot_every;
+  if (!opt.trace_dump.empty()) {
+    mkdirs(opt.trace_dump);
+    config.trace_dump_path =
+        opt.trace_dump + "/shard" + std::to_string(opt.index) + ".sbfr";
+    char label[32];
+    std::snprintf(label, sizeof(label), "shard%zu", opt.index);
+    enable_process_tracing(label, config.trace_dump_path);
+  }
   ShardWorker worker(opt.index, &corpus, config);
   const bool resumed = worker.try_resume();
   std::printf("shard %zu: %s\n", opt.index,
@@ -216,6 +280,9 @@ int run_shard(const Options& opt) {
     ch->flush();
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
+  if (!config.trace_dump_path.empty()) {
+    (void)obs::Recorder::global().flush_to_file(config.trace_dump_path);
+  }
   const WorkerStatsMsg stats = worker.closing_stats();
   std::printf("shard %zu: done ingested=%llu shed=%llu snapshots=%llu\n",
               opt.index, static_cast<unsigned long long>(stats.ingested),
@@ -238,6 +305,11 @@ int run_fleet(Options opt) {
       config.snapshot_dir = opt.snapshot_root + "/shard" + std::to_string(i);
       config.snapshot_every_batches = opt.snapshot_every;
     }
+    if (!opt.trace_dump.empty()) {
+      if (i == 0) mkdirs(opt.trace_dump);
+      config.trace_dump_path =
+          opt.trace_dump + "/shard" + std::to_string(i) + ".sbfr";
+    }
     const int pid = spawn_worker_process(i, &corpus, config, opt.addr);
     if (pid <= 0) {
       std::fprintf(stderr, "fleet: fork failed for shard %zu\n", i);
@@ -259,6 +331,57 @@ int run_fleet(Options opt) {
   return rc != 0 ? rc : (failures > 0 ? 1 : 0);
 }
 
+// trace-merge [--out PATH] DUMP.sbfr...: decode per-process flight-recorder
+// dumps, merge onto one wall-clock axis, emit Chrome/Perfetto JSON. Corrupt
+// or missing dumps are skipped with a warning (a kill -9'd process leaves
+// its last snapshot-time dump — or nothing — behind; the rest of the fleet
+// still merges).
+int run_trace_merge(int argc, char** argv) {
+  std::string out_path = "-";
+  std::vector<std::string> inputs;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      inputs.push_back(argv[i]);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "usage: dist_hive trace-merge [--out PATH] DUMP.sbfr...\n");
+    return 2;
+  }
+  std::vector<obs::RecorderDump> dumps;
+  for (const std::string& path : inputs) {
+    Bytes data;
+    if (!read_file(path, data)) {
+      std::fprintf(stderr, "trace-merge: %s: unreadable, skipped\n",
+                   path.c_str());
+      continue;
+    }
+    auto dump = obs::decode_recorder_dump(data);
+    if (!dump) {
+      std::fprintf(stderr, "trace-merge: %s: corrupt dump, skipped\n",
+                   path.c_str());
+      continue;
+    }
+    dumps.push_back(std::move(*dump));
+  }
+  if (dumps.empty()) {
+    std::fprintf(stderr, "trace-merge: no decodable dumps\n");
+    return 1;
+  }
+  obs::ChromeTraceStats st;
+  const std::string json = obs::to_chrome_trace(dumps, &st);
+  if (!obs::write_text_file(out_path, json)) return 1;
+  std::printf(
+      "trace-merge: dumps=%zu events=%zu flows=%zu cross_process_chains=%zu "
+      "-> %s\n",
+      st.processes, st.events, st.flows, st.cross_process_chains,
+      out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -268,10 +391,12 @@ int main(int argc, char** argv) {
                  "[--traces N] [--seed S] [--index I] [--pace-us U] "
                  "[--queue-capacity N] [--credit-window N] [--deadline-ms M] "
                  "[--snapshot-dir D] [--snapshot-root D] [--snapshot-every N] "
-                 "[--metrics-prom PATH]\n");
+                 "[--trace-dump DIR] [--metrics-prom PATH]\n"
+                 "       dist_hive trace-merge [--out PATH] DUMP.sbfr...\n");
     return 2;
   }
   const std::string mode = argv[1];
+  if (mode == "trace-merge") return run_trace_merge(argc, argv);
   Options opt;
   for (int i = 2; i < argc; ++i) {
     const auto next = [&]() -> const char* {
@@ -301,6 +426,8 @@ int main(int argc, char** argv) {
       opt.snapshot_root = next();
     } else if (std::strcmp(argv[i], "--snapshot-every") == 0) {
       opt.snapshot_every = static_cast<std::uint64_t>(atoll(next()));
+    } else if (std::strcmp(argv[i], "--trace-dump") == 0) {
+      opt.trace_dump = next();
     } else if (std::strcmp(argv[i], "--metrics-prom") == 0) {
       opt.prom_path = next();
     } else {

@@ -12,12 +12,19 @@
 // Usage: fleet_simulation [seed] [--days N] [--metrics-json PATH]
 //                         [--metrics-prom PATH] [--snapshot-dir DIR]
 //                         [--snapshot-every N] [--resume] [--warm-start]
-//                         [--adaptive]
+//                         [--adaptive] [--trace-out PATH]
 //                         [--distributed] [--dist-shards N]
 //                         [--traces-per-day N]
 // The metrics flags enable span sampling for the run and write a final
 // snapshot of the global registry in JSON ("softborg.metrics.v1") or
 // Prometheus text exposition; PATH "-" writes to stdout.
+//
+// --trace-out PATH enables causal tracing + the flight recorder and writes
+// a merged Chrome trace_event / Perfetto JSON timeline to PATH (load it in
+// ui.perfetto.dev). Under --distributed the per-process flight-recorder
+// dumps land in PATH.d/ and are clock-aligned into one fleet timeline; in
+// the single-process World the timeline covers this process's spans and
+// pipeline events.
 //
 // Persistence (src/store): --snapshot-dir plus --snapshot-every N write a
 // durable generation every N days. --resume restores the newest good
@@ -42,6 +49,7 @@
 // static uniform schedule. Composes with the persistence flags — the yield
 // ledger is part of every snapshot, so a resumed adaptive run keeps its
 // learned allocation and stays bit-identical to an uninterrupted one.
+#include <sys/stat.h>
 #include <sys/wait.h>
 
 #include <chrono>
@@ -52,10 +60,44 @@
 #include <string>
 #include <thread>
 
+#include "common/fsio.h"
 #include "core/softborg.h"
 #include "hive/report.h"
 
 namespace {
+
+// Best-effort mkdir -p for the flight-recorder dump directory.
+void mkdirs(const std::string& path) {
+  std::size_t pos = 0;
+  while (pos != std::string::npos) {
+    pos = path.find('/', pos + 1);
+    ::mkdir(path.substr(0, pos).c_str(), 0755);
+  }
+}
+
+// Decodes the dumps that exist under `paths`, merges them into one Chrome
+// trace JSON at `out_path`, and prints the stable summary line.
+void merge_trace_dumps(const std::vector<std::string>& paths,
+                       const std::string& out_path) {
+  using namespace softborg;
+  std::vector<obs::RecorderDump> dumps;
+  for (const std::string& path : paths) {
+    Bytes data;
+    if (!read_file(path, data)) continue;
+    if (auto dump = obs::decode_recorder_dump(data)) {
+      dumps.push_back(std::move(*dump));
+    }
+  }
+  obs::ChromeTraceStats st;
+  const std::string json = obs::to_chrome_trace(dumps, &st);
+  if (obs::write_text_file(out_path, json)) {
+    std::printf(
+        "trace: dumps=%zu events=%zu flows=%zu cross_process_chains=%zu "
+        "-> %s\n",
+        st.processes, st.events, st.flows, st.cross_process_chains,
+        out_path.c_str());
+  }
+}
 
 // The --distributed fleet: forked shard workers behind a socket router,
 // stepped one simulated day at a time. Traffic is the same seeded
@@ -63,17 +105,34 @@ namespace {
 // series is comparable; the extra columns are the transport's.
 int run_distributed(std::uint64_t seed, std::uint64_t days,
                     std::size_t num_shards, std::size_t traces_per_day,
-                    const char* prom_path) {
+                    const char* prom_path, const char* trace_out) {
   using namespace softborg;
   using namespace softborg::dist;
 
   const std::string addr =
       "unix:/tmp/softborg-fleet-" + std::to_string(::getpid()) + ".sock";
+  // Flight-recorder dumps live next to the merged timeline in <out>.d/.
+  std::string dump_dir, router_dump;
+  std::vector<std::string> dump_paths;
+  if (trace_out != nullptr) {
+    dump_dir = std::string(trace_out) + ".d";
+    mkdirs(dump_dir);
+    router_dump = dump_dir + "/router.sbfr";
+    obs::set_tracing_enabled(true);
+    obs::Recorder::set_enabled(true);
+    obs::Recorder::global().set_label("router");
+    obs::Recorder::global().install_signal_flush(router_dump);
+  }
   const auto corpus = standard_corpus();
   // Fork before anything in this process creates a thread.
   std::vector<int> pids;
   for (std::size_t i = 0; i < num_shards; ++i) {
     WorkerConfig config;
+    if (trace_out != nullptr) {
+      config.trace_dump_path =
+          dump_dir + "/shard" + std::to_string(i) + ".sbfr";
+      dump_paths.push_back(config.trace_dump_path);
+    }
     const int pid = spawn_worker_process(i, &corpus, config, addr);
     if (pid <= 0) {
       std::fprintf(stderr, "fork failed for shard %zu\n", i);
@@ -113,7 +172,18 @@ int run_distributed(std::uint64_t seed, std::uint64_t days,
       auto result = execute(entry.program, cfg);
       result.trace.id = TraceId(trace_id++);
       result.trace.day = day;
-      router.route_wire(encode_trace(result.trace));
+      obs::TraceContext ctx;
+      if (obs::tracing_enabled()) {
+        // This loop is the pod stand-in: the causal chain is born at
+        // injection, exactly as Pod::run_once births it in a real fleet.
+        ctx = obs::with_hop(
+            obs::TraceContext{obs::causal_trace_id(result.trace.id.value,
+                                                   result.trace.program.value),
+                              0},
+            obs::Hop::kPod);
+        obs::Recorder::record(obs::EventKind::kPodEmit, ctx);
+      }
+      router.route_wire(encode_trace(result.trace), ctx);
       round();
     }
     if (!settle([&] { return router.quiescent(); })) {
@@ -175,6 +245,13 @@ int run_distributed(std::uint64_t seed, std::uint64_t days,
     ::waitpid(pids[i], &status, 0);
     if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) failures++;
   }
+  if (trace_out != nullptr) {
+    // Workers have exited (dumps flushed at their clean shutdown); add this
+    // process's dump and merge everything onto one clock axis.
+    (void)obs::Recorder::global().flush_to_file(router_dump);
+    dump_paths.push_back(router_dump);
+    merge_trace_dumps(dump_paths, trace_out);
+  }
   return closed && failures == 0 ? 0 : 1;
 }
 
@@ -193,6 +270,7 @@ int main(int argc, char** argv) {
 
   const char* json_path = nullptr;
   const char* prom_path = nullptr;
+  const char* trace_out = nullptr;
   bool resume = false;
   bool warm_start = false;
   bool distributed = false;
@@ -211,6 +289,8 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-prom") == 0 && i + 1 < argc) {
       prom_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--snapshot-dir") == 0 && i + 1 < argc) {
       config.snapshot_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--snapshot-every") == 0 && i + 1 < argc) {
@@ -234,7 +314,13 @@ int main(int argc, char** argv) {
   }
   if (distributed) {
     return run_distributed(config.seed, config.days, dist_shards,
-                           traces_per_day, prom_path);
+                           traces_per_day, prom_path, trace_out);
+  }
+  if (trace_out != nullptr) {
+    // Single-process World: one dump, still a valid (one-lane) timeline.
+    obs::set_tracing_enabled(true);
+    obs::Recorder::set_enabled(true);
+    obs::Recorder::global().set_label("world");
   }
   if ((resume || warm_start) && config.snapshot_dir.empty()) {
     std::fprintf(stderr,
@@ -302,6 +388,15 @@ int main(int argc, char** argv) {
     }
     if (prom_path != nullptr) {
       obs::write_text_file(prom_path, obs::to_prometheus(snap));
+    }
+  }
+  if (trace_out != nullptr) {
+    obs::ChromeTraceStats st;
+    const std::string json = obs::to_chrome_trace(
+        {obs::Recorder::global().snapshot()}, &st);
+    if (obs::write_text_file(trace_out, json)) {
+      std::printf("trace: dumps=1 events=%zu flows=%zu -> %s\n", st.events,
+                  st.flows, trace_out);
     }
   }
   return 0;

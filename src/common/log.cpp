@@ -1,5 +1,7 @@
 #include "common/log.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cctype>
 #include <chrono>
@@ -52,6 +54,54 @@ const char* level_name(LogLevel level) {
   return "?????";
 }
 
+const char* level_name_json(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+// SOFTBORG_LOG_JSON=1 switches every line to one structured JSON object:
+//   {"ts":"...","level":"warn","component":"dist","msg":"..."}
+bool json_mode() {
+  static const bool on = [] {
+    const char* env = std::getenv("SOFTBORG_LOG_JSON");
+    return env != nullptr && std::strcmp(env, "1") == 0;
+  }();
+  return on;
+}
+
+// Appends `s` JSON-escaped; stops (and NUL-terminates) when out runs out.
+void append_json_escaped(char* out, std::size_t size, std::size_t& pos,
+                         const char* s) {
+  for (; *s != '\0' && pos + 7 < size; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    if (c == '"' || c == '\\') {
+      out[pos++] = '\\';
+      out[pos++] = static_cast<char>(c);
+    } else if (c < 0x20) {
+      pos += static_cast<std::size_t>(
+          std::snprintf(out + pos, size - pos, "\\u%04x", c));
+    } else {
+      out[pos++] = static_cast<char>(c);
+    }
+  }
+  out[pos] = '\0';
+}
+
+void append_raw(char* out, std::size_t size, std::size_t& pos,
+                const char* s) {
+  for (; *s != '\0' && pos + 1 < size; ++s) out[pos++] = *s;
+  out[pos] = '\0';
+}
+
 // "YYYY-MM-DD HH:MM:SS.mmm" in local time.
 void format_timestamp(char* buf, std::size_t size) {
   const auto now = std::chrono::system_clock::now();
@@ -76,12 +126,51 @@ void vlog(LogLevel level, const char* component, const char* fmt,
   std::vsnprintf(buf, sizeof(buf), fmt, args);
   char stamp[48];
   format_timestamp(stamp, sizeof(stamp));
-  std::lock_guard<std::mutex> lock(g_io_mu);
-  if (component != nullptr && *component != '\0') {
-    std::fprintf(stderr, "[%s] [%s] [%s] %s\n", stamp, level_name(level),
-                 component, buf);
+
+  // The whole line is assembled in one buffer and emitted with ONE write(2):
+  // stderr is unbuffered, so a multi-part fprintf can reach the fd as
+  // several writes — and forked fleet processes share that fd, where the
+  // mutex (process-local) cannot prevent mid-line interleaving. A single
+  // short write is atomic on pipes up to PIPE_BUF, which covers CI's
+  // captured logs.
+  char line[4608];
+  std::size_t pos = 0;
+  const bool tagged = component != nullptr && *component != '\0';
+  if (json_mode()) {
+    append_raw(line, sizeof(line), pos, "{\"ts\":\"");
+    append_raw(line, sizeof(line), pos, stamp);
+    append_raw(line, sizeof(line), pos, "\",\"level\":\"");
+    append_raw(line, sizeof(line), pos, level_name_json(level));
+    if (tagged) {
+      append_raw(line, sizeof(line), pos, "\",\"component\":\"");
+      append_json_escaped(line, sizeof(line), pos, component);
+    }
+    append_raw(line, sizeof(line), pos, "\",\"msg\":\"");
+    append_json_escaped(line, sizeof(line), pos, buf);
+    append_raw(line, sizeof(line), pos, "\"}\n");
   } else {
-    std::fprintf(stderr, "[%s] [%s] %s\n", stamp, level_name(level), buf);
+    append_raw(line, sizeof(line), pos, "[");
+    append_raw(line, sizeof(line), pos, stamp);
+    append_raw(line, sizeof(line), pos, "] [");
+    append_raw(line, sizeof(line), pos, level_name(level));
+    append_raw(line, sizeof(line), pos, "] ");
+    if (tagged) {
+      append_raw(line, sizeof(line), pos, "[");
+      append_raw(line, sizeof(line), pos, component);
+      append_raw(line, sizeof(line), pos, "] ");
+    }
+    append_raw(line, sizeof(line), pos, buf);
+    append_raw(line, sizeof(line), pos, "\n");
+  }
+
+  std::lock_guard<std::mutex> lock(g_io_mu);
+  const char* p = line;
+  std::size_t left = pos;
+  while (left > 0) {
+    const ssize_t n = ::write(STDERR_FILENO, p, left);
+    if (n <= 0) break;
+    p += n;
+    left -= static_cast<std::size_t>(n);
   }
 }
 

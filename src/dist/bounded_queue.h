@@ -21,6 +21,7 @@
 #include <optional>
 
 #include "common/varint.h"
+#include "obs/trace.h"
 #include "trace/codec.h"
 
 namespace softborg::dist {
@@ -45,12 +46,14 @@ class BoundedTraceQueue {
   struct Item {
     TracePriority priority = TracePriority::kRoutine;
     Bytes wire;
+    obs::TraceContext ctx;  // rides along so forwarding can re-attach it
   };
 
   // Admission control; `wire` is moved in (never copied on this path).
   // Exactly one trace is shed when the queue is full: the displaced queued
   // trace, or the arrival itself.
-  void push(TracePriority priority, Bytes wire) {
+  void push(TracePriority priority, Bytes wire,
+            obs::TraceContext ctx = {}) {
     if (items_.size() >= capacity_) {
       shed_total_++;
       // Find the newest worst-priority entry (scan from the back so FIFO
@@ -68,7 +71,7 @@ class BoundedTraceQueue {
       }
       items_.erase(worst);
     }
-    items_.push_back(Item{priority, std::move(wire)});
+    items_.push_back(Item{priority, std::move(wire), ctx});
     if (items_.size() > max_depth_) max_depth_ = items_.size();
   }
 

@@ -3,7 +3,12 @@
 namespace softborg::dist {
 
 void SimNetChannel::send(std::uint32_t type, Bytes payload,
-                         std::uint32_t credit) {
+                         std::uint32_t credit, obs::TraceContext /*ctx*/) {
+  // The trace context is intentionally dropped: SimNet messages carry the
+  // trace wire itself, and the deterministic receiver re-derives the same
+  // causal id from it (obs::causal_trace_id), so nothing is lost — and the
+  // deterministic byte stream the differential tests pin stays untouched.
+  //
   // Grants travel as their own kMsgCredit message (count in a 4-byte LE
   // payload) instead of wrapping the main payload in an envelope: wrapping
   // would copy every trace buffer and break the zero-copy guarantee.

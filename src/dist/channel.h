@@ -23,6 +23,7 @@
 
 #include "common/varint.h"
 #include "net/simnet.h"
+#include "obs/trace.h"
 #include "pod/protocol.h"
 
 namespace softborg::dist {
@@ -34,6 +35,10 @@ struct Delivery {
   std::uint32_t type = 0;
   std::uint32_t credit = 0;
   Bytes payload;
+  // Causal trace context that rode the frame's v2 extension. Invalid on v1
+  // frames and on SimNet (deterministic transport: the receiver re-derives
+  // the context from the trace wire itself, see obs::causal_trace_id).
+  obs::TraceContext ctx;
 };
 
 class Channel {
@@ -41,9 +46,11 @@ class Channel {
   virtual ~Channel() = default;
 
   // Queues a message; `credit` is a piggybacked flow-control grant. The
-  // payload is moved (never copied) into the transport.
+  // payload is moved (never copied) into the transport. A valid `ctx` rides
+  // the frame's trace extension on sockets; SimNet drops it (see Delivery).
   virtual void send(std::uint32_t type, Bytes payload,
-                    std::uint32_t credit = 0) = 0;
+                    std::uint32_t credit = 0,
+                    obs::TraceContext ctx = {}) = 0;
 
   // A bare grant with no message. Default: an empty kMsgCredit send.
   virtual void send_credit(std::uint32_t credit) {
@@ -69,7 +76,8 @@ class SimNetChannel final : public Channel {
   SimNetChannel(SimNet& net, Endpoint local, Endpoint remote)
       : net_(net), local_(local), remote_(remote) {}
 
-  void send(std::uint32_t type, Bytes payload, std::uint32_t credit) override;
+  void send(std::uint32_t type, Bytes payload, std::uint32_t credit = 0,
+            obs::TraceContext ctx = {}) override;
   std::vector<Delivery> poll() override;
   bool alive() const override { return true; }
 

@@ -21,6 +21,13 @@ struct HelloMsg {
   std::uint64_t shard_index = 0;
   std::uint32_t credit_window = 0;
   bool resumed = false;  // worker warm-started from a durable snapshot
+  // Handshake clock pair sampled at send time, for aligning this process's
+  // monotonic timestamps onto the fleet timeline (obs/recorder.h dumps carry
+  // the same pair). Both 0 unless tracing is enabled, so the untraced
+  // handshake stays deterministic. Decoders also accept the pre-tracing
+  // 3-field hello.
+  std::uint64_t mono_ns = 0;
+  std::uint64_t real_ns = 0;
 
   bool operator==(const HelloMsg&) const = default;
 };

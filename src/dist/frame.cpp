@@ -10,11 +10,6 @@ namespace {
 
 constexpr std::uint8_t kMagic[4] = {'S', 'B', 'D', '1'};
 
-std::uint32_t payload_checksum(const std::uint8_t* data, std::size_t n) {
-  const std::uint64_t h = fnv1a64(data, n);
-  return static_cast<std::uint32_t>(h ^ (h >> 32));
-}
-
 void put_u16le(Bytes& out, std::uint16_t v) {
   out.push_back(static_cast<std::uint8_t>(v));
   out.push_back(static_cast<std::uint8_t>(v >> 8));
@@ -37,21 +32,59 @@ std::uint32_t get_u32le(const std::uint8_t* p) {
          (static_cast<std::uint32_t>(p[3]) << 24);
 }
 
+std::uint64_t get_u64le(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32le(p)) |
+         (static_cast<std::uint64_t>(get_u32le(p + 4)) << 32);
+}
+
 }  // namespace
+
+std::uint32_t frame_checksum(const std::uint8_t* data, std::size_t n) {
+  const std::uint64_t h = fnv1a64(data, n);
+  return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
 
 void encode_frame(Bytes& out, std::uint32_t type, std::uint32_t credit,
                   const Bytes& payload) {
+  encode_frame(out, type, credit, payload, obs::TraceContext{});
+}
+
+void encode_frame(Bytes& out, std::uint32_t type, std::uint32_t credit,
+                  const Bytes& payload, obs::TraceContext ctx) {
   // Callers only send the small protocol type space and grants within the
   // header fields; both are asserted by construction (workers clamp their
   // windows to u16).
-  out.reserve(out.size() + kFrameHeaderSize + payload.size());
+  const bool traced = ctx.valid();
+  const std::size_t ext = traced ? kFrameTraceExtSize : 0;
+  out.reserve(out.size() + kFrameHeaderSize + ext + payload.size());
   out.insert(out.end(), kMagic, kMagic + 4);
-  out.push_back(kFrameVersion);
+  out.push_back(traced ? kFrameVersionTraced : kFrameVersion);
   out.push_back(static_cast<std::uint8_t>(type));
   put_u16le(out, static_cast<std::uint16_t>(credit));
   put_u32le(out, static_cast<std::uint32_t>(payload.size()));
-  put_u32le(out, payload_checksum(payload.data(), payload.size()));
+  if (!traced) {
+    put_u32le(out, frame_checksum(payload.data(), payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+    return;
+  }
+  // v2: checksum covers extension || payload. Write a placeholder, append
+  // both (contiguous in `out`), then patch the checksum in place.
+  const std::size_t cksum_pos = out.size();
+  put_u32le(out, 0);
+  std::uint8_t ext_bytes[kFrameTraceExtSize];
+  for (int i = 0; i < 8; ++i) {
+    ext_bytes[i] = static_cast<std::uint8_t>(ctx.trace_id >> (8 * i));
+  }
+  ext_bytes[8] = static_cast<std::uint8_t>(ctx.hop_path);
+  ext_bytes[9] = static_cast<std::uint8_t>(ctx.hop_path >> 8);
+  out.insert(out.end(), ext_bytes, ext_bytes + kFrameTraceExtSize);
   out.insert(out.end(), payload.begin(), payload.end());
+  const std::uint32_t cksum = frame_checksum(
+      out.data() + cksum_pos + 4, kFrameTraceExtSize + payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out[cksum_pos + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(cksum >> (8 * i));
+  }
 }
 
 void FrameDecoder::feed(const std::uint8_t* data, std::size_t n) {
@@ -71,10 +104,13 @@ std::optional<Frame> FrameDecoder::next() {
   const std::size_t avail = buf_.size() - consumed_;
   if (avail < kFrameHeaderSize) return std::nullopt;
   const std::uint8_t* h = buf_.data() + consumed_;
-  if (std::memcmp(h, kMagic, 4) != 0 || h[4] != kFrameVersion) {
+  if (std::memcmp(h, kMagic, 4) != 0 ||
+      (h[4] != kFrameVersion && h[4] != kFrameVersionTraced)) {
     failed_ = true;
     return std::nullopt;
   }
+  const bool traced = h[4] == kFrameVersionTraced;
+  const std::size_t ext = traced ? kFrameTraceExtSize : 0;
   const std::uint32_t len = get_u32le(h + 8);
   if (len > kMaxFramePayload) {
     // A hostile/corrupt length: reject before buffering a single payload
@@ -82,17 +118,27 @@ std::optional<Frame> FrameDecoder::next() {
     failed_ = true;
     return std::nullopt;
   }
-  if (avail < kFrameHeaderSize + len) return std::nullopt;  // wait for more
+  if (avail < kFrameHeaderSize + ext + len) return std::nullopt;  // wait
   Frame f;
   f.type = h[5];
   f.credit = get_u16le(h + 6);
+  // The checksum spans extension || payload, so corrupt contexts are
+  // rejected as hard as corrupt payloads.
   const std::uint8_t* body = h + kFrameHeaderSize;
-  if (payload_checksum(body, len) != get_u32le(h + 12)) {
+  if (frame_checksum(body, ext + len) != get_u32le(h + 12)) {
     failed_ = true;
     return std::nullopt;
   }
-  f.payload.assign(body, body + len);
-  consumed_ += kFrameHeaderSize + len;
+  if (traced) {
+    f.ctx.trace_id = get_u64le(body);
+    f.ctx.hop_path = get_u16le(body + 8);
+    if (!f.ctx.valid()) {
+      failed_ = true;  // v2 frame claiming "no context" is malformed
+      return std::nullopt;
+    }
+  }
+  f.payload.assign(body + ext, body + ext + len);
+  consumed_ += kFrameHeaderSize + ext + len;
   return f;
 }
 

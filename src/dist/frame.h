@@ -13,6 +13,16 @@
 //   [8..11]  payload length, u32 LE, at most kMaxFramePayload
 //   [12..15] payload checksum, u32 LE (FNV-1a 64 folded to 32 bits)
 //
+// Version 2 (kFrameVersionTraced) inserts a fixed 10-byte trace-context
+// extension between the header and the payload — u64 causal trace id LE +
+// u16 hop path LE (obs/trace.h) — so the causal chain survives the process
+// boundary. The length field still counts only the payload; the checksum
+// covers extension || payload, so a flipped context bit poisons the frame
+// exactly like a flipped payload bit. Encoders emit v2 only when a valid
+// context is attached: with tracing disabled every frame is byte-identical
+// to version 1, and v1-only decoders keep interoperating with untraced
+// senders.
+//
 // FrameDecoder is incremental and hostile-input safe (the hive must survive
 // corrupt or malicious peers): every header is fully validated before one
 // byte of payload is buffered, so a flipped length bit can never drive an
@@ -28,11 +38,14 @@
 #include <optional>
 
 #include "common/varint.h"
+#include "obs/trace.h"
 
 namespace softborg::dist {
 
 inline constexpr std::uint8_t kFrameVersion = 1;
+inline constexpr std::uint8_t kFrameVersionTraced = 2;
 inline constexpr std::size_t kFrameHeaderSize = 16;
+inline constexpr std::size_t kFrameTraceExtSize = 10;  // u64 id + u16 hops
 // Generous for trace wires (typically well under a KiB) while still small
 // enough that a hostile length field cannot balloon memory.
 inline constexpr std::size_t kMaxFramePayload = 8u << 20;
@@ -41,11 +54,21 @@ struct Frame {
   std::uint32_t type = 0;
   std::uint32_t credit = 0;
   Bytes payload;
+  obs::TraceContext ctx;  // invalid unless the frame arrived as v2
 };
 
-// Appends one encoded frame to `out`.
+// The frame body checksum (FNV-1a 64 folded to 32): over the payload for
+// v1, over extension || payload for v2. Exposed for tests that hand-craft
+// frames.
+std::uint32_t frame_checksum(const std::uint8_t* data, std::size_t n);
+
+// Appends one encoded frame to `out`. The context-free overload and an
+// invalid `ctx` emit identical version-1 bytes; a valid `ctx` emits
+// version 2 with the trace extension.
 void encode_frame(Bytes& out, std::uint32_t type, std::uint32_t credit,
                   const Bytes& payload);
+void encode_frame(Bytes& out, std::uint32_t type, std::uint32_t credit,
+                  const Bytes& payload, obs::TraceContext ctx);
 
 class FrameDecoder {
  public:

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/check.h"
+#include "obs/recorder.h"
 #include "trace/codec.h"
 
 namespace softborg::dist {
@@ -46,24 +47,46 @@ void TraceRouter::add_shard() {
   reports_.resize(shards_.size());
 }
 
-void TraceRouter::route_wire(Bytes wire) {
+void TraceRouter::route_wire(Bytes wire, obs::TraceContext ctx) {
   stats_.received++;
   const auto summary = summarize_trace_wire(wire);
   if (!summary) {
     stats_.routing_failures++;
     return;
   }
-  ShardLink& link = shards_[ring_.owner(summary->program.value)];
+  const std::size_t owner = ring_.owner(summary->program.value);
+  if (obs::tracing_enabled()) {
+    // A socket peer's v2 frame already carries the chain; otherwise this is
+    // the first traced hop and the context comes from the wire header.
+    if (!ctx.valid()) {
+      ctx.trace_id =
+          obs::causal_trace_id(summary->id.value, summary->program.value);
+    }
+    ctx = obs::with_hop(ctx, obs::Hop::kRouter);
+    obs::Recorder::record(obs::EventKind::kRouterIngress, ctx,
+                          static_cast<std::uint32_t>(owner));
+  } else {
+    ctx = {};
+  }
+  ShardLink& link = shards_[owner];
   if (link.ch && !link.ch->alive()) {
     // The owning worker is dead: degrade by shedding, never queue into a
     // black hole. (A null ch is different — the worker just hasn't connected
     // yet, so the queue buffers the head of traffic for it.)
     stats_.shed++;
+    obs::Recorder::record(obs::EventKind::kQueueShed, ctx,
+                          static_cast<std::uint32_t>(owner),
+                          link.queue.depth());
     return;
   }
   const std::uint64_t shed_before = link.queue.shed_total();
-  link.queue.push(trace_priority(*summary), std::move(wire));
-  stats_.shed += link.queue.shed_total() - shed_before;
+  link.queue.push(trace_priority(*summary), std::move(wire), ctx);
+  if (link.queue.shed_total() != shed_before) {
+    stats_.shed += link.queue.shed_total() - shed_before;
+    obs::Recorder::record(obs::EventKind::kQueueShed, ctx,
+                          static_cast<std::uint32_t>(owner),
+                          link.queue.depth());
+  }
 }
 
 void TraceRouter::handle_shard_delivery(std::size_t index, Delivery d) {
@@ -82,6 +105,9 @@ void TraceRouter::handle_shard_delivery(std::size_t index, Delivery d) {
       // the worker's window is whole again.
       link.window = hello->credit_window;
       link.credit = hello->credit_window;
+      obs::Recorder::record(obs::EventKind::kHello, {},
+                            static_cast<std::uint32_t>(index),
+                            hello->mono_ns);
       break;
     }
     case kMsgStats:
@@ -124,7 +150,9 @@ void TraceRouter::forward(std::size_t index) {
   }
   while (alive && link.credit > 0 && !link.queue.empty()) {
     auto item = link.queue.pop();
-    link.ch->send(kMsgTrace, std::move(item->wire));
+    obs::Recorder::record(obs::EventKind::kRouterForward, item->ctx,
+                          static_cast<std::uint32_t>(index));
+    link.ch->send(kMsgTrace, std::move(item->wire), 0, item->ctx);
     link.credit--;
     link.forwarded++;
     stats_.forwarded++;
@@ -137,9 +165,17 @@ void TraceRouter::forward(std::size_t index) {
     link.stalled = true;
     link.stall_started = mono_seconds();
     stats_.backpressure_stalls++;
+    obs::Recorder::record(obs::EventKind::kCreditStall, {},
+                          static_cast<std::uint32_t>(index),
+                          link.queue.depth());
   } else if (!stalled_now && link.stalled) {
     link.stalled = false;
-    stats_.stall_seconds += mono_seconds() - link.stall_started;
+    const double stalled_for = mono_seconds() - link.stall_started;
+    stats_.stall_seconds += stalled_for;
+    link.stall_seconds += stalled_for;
+    obs::Recorder::record(obs::EventKind::kCreditResume, {},
+                          static_cast<std::uint32_t>(index),
+                          static_cast<std::uint64_t>(stalled_for * 1e6));
   }
 }
 
@@ -173,7 +209,7 @@ void TraceRouter::pump() {
     } else {
       for (auto& d : deliveries) {
         if (d.type == kMsgTrace) {
-          route_wire(std::move(d.payload));
+          route_wire(std::move(d.payload), d.ctx);
         } else {
           stats_.unroutable++;
         }
@@ -191,7 +227,7 @@ void TraceRouter::pump() {
     Channel* ch = pods_[i].get();
     for (auto& d : ch->poll()) {
       if (d.type == kMsgTrace) {
-        route_wire(std::move(d.payload));
+        route_wire(std::move(d.payload), d.ctx);
       } else if (d.type != kMsgCredit) {
         stats_.unroutable++;
       }
@@ -237,6 +273,18 @@ bool TraceRouter::shard_alive(std::size_t index) const {
 
 std::size_t TraceRouter::shard_credit(std::size_t index) const {
   return index < shards_.size() ? shards_[index].credit : 0;
+}
+
+std::size_t TraceRouter::shard_credit_window(std::size_t index) const {
+  return index < shards_.size() ? shards_[index].window : 0;
+}
+
+double TraceRouter::shard_stall_seconds(std::size_t index) const {
+  if (index >= shards_.size()) return 0.0;
+  const ShardLink& link = shards_[index];
+  double total = link.stall_seconds;
+  if (link.stalled) total += mono_seconds() - link.stall_started;
+  return total;
 }
 
 std::uint64_t TraceRouter::shard_forwarded(std::size_t index) const {
@@ -312,13 +360,41 @@ void TraceRouter::publish_metrics() {
   p = s;
   h.depth->set(static_cast<std::int64_t>(total_queue_depth()));
   h.depth_peak->set(static_cast<std::int64_t>(s.queue_depth_peak));
-  // Per-shard ingest rates: one forwarded counter per shard index.
+  // Per-shard ingest rates and flow-control health. Registry lookups are
+  // string-keyed, so each series publishes only when its value moved.
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     ShardLink& link = shards_[i];
-    if (link.forwarded == link.obs_published_forwarded) continue;
-    reg.counter("dist.shard" + std::to_string(i) + ".forwarded_total")
-        .add(link.forwarded - link.obs_published_forwarded);
-    link.obs_published_forwarded = link.forwarded;
+    const std::string prefix = "dist.shard" + std::to_string(i);
+    if (link.forwarded != link.obs_published_forwarded) {
+      reg.counter(prefix + ".forwarded_total")
+          .add(link.forwarded - link.obs_published_forwarded);
+      link.obs_published_forwarded = link.forwarded;
+    }
+    // Credit-window occupancy: window is what the worker announced,
+    // in-flight is how much of it the router has spent and not yet had
+    // re-granted (the live backpressure signal).
+    const auto window = static_cast<std::int64_t>(link.window);
+    const auto in_flight =
+        static_cast<std::int64_t>(link.window) -
+        static_cast<std::int64_t>(std::min<std::uint32_t>(link.credit,
+                                                          link.window));
+    if (window != link.obs_window) {
+      reg.gauge(prefix + ".credit_window").set(window);
+      link.obs_window = window;
+    }
+    if (in_flight != link.obs_in_flight) {
+      reg.gauge(prefix + ".credit_in_flight").set(in_flight);
+      link.obs_in_flight = in_flight;
+    }
+    if (link.stall_seconds != link.obs_published_stall_seconds) {
+      const auto now_us = static_cast<std::uint64_t>(link.stall_seconds * 1e6);
+      const auto before_us =
+          static_cast<std::uint64_t>(link.obs_published_stall_seconds * 1e6);
+      if (now_us > before_us) {
+        reg.counter(prefix + ".stall_us_total").add(now_us - before_us);
+      }
+      link.obs_published_stall_seconds = link.stall_seconds;
+    }
   }
 }
 

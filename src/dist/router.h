@@ -74,8 +74,11 @@ class TraceRouter {
 
   // --- ingress --------------------------------------------------------------
   // Routes one encoded trace from an in-process source (bench_e13, the
-  // --distributed fleet driver). Same path as pod-channel traffic.
-  void route_wire(Bytes wire);
+  // --distributed fleet driver). Same path as pod-channel traffic. `ctx` is
+  // the causal context that rode a v2 frame, if any; with tracing enabled
+  // and no inbound context the router derives one from the wire header
+  // (obs::causal_trace_id) so it becomes the chain's first recorded hop.
+  void route_wire(Bytes wire, obs::TraceContext ctx = {});
 
   // --- the loop -------------------------------------------------------------
   // One round: poll every channel, admit arrivals, forward within credit,
@@ -108,6 +111,8 @@ class TraceRouter {
   std::size_t num_shards() const { return ring_.num_shards(); }
   bool shard_alive(std::size_t index) const;
   std::size_t shard_credit(std::size_t index) const;
+  std::size_t shard_credit_window(std::size_t index) const;
+  double shard_stall_seconds(std::size_t index) const;
   std::uint64_t shard_forwarded(std::size_t index) const;
   std::size_t total_queue_depth() const;
   // True when every queue is empty and no forwarded trace is awaiting a
@@ -128,6 +133,12 @@ class TraceRouter {
     std::uint64_t obs_published_forwarded = 0;
     bool stalled = false;
     double stall_started = 0.0;  // monotonic seconds, valid when stalled
+    double stall_seconds = 0.0;  // cumulative, this shard only
+    double obs_published_stall_seconds = 0.0;
+    // Last-published per-shard gauge values, so publish_metrics only pays
+    // the registry name lookup when something moved.
+    std::int64_t obs_window = -1;
+    std::int64_t obs_in_flight = -1;
 
     bool alive() const { return ch && ch->alive(); }
   };

@@ -95,9 +95,9 @@ void SocketChannel::kill() {
 }
 
 void SocketChannel::send(std::uint32_t type, Bytes payload,
-                         std::uint32_t credit) {
+                         std::uint32_t credit, obs::TraceContext ctx) {
   if (fd_ < 0) return;
-  encode_frame(wbuf_, type, credit, payload);
+  encode_frame(wbuf_, type, credit, payload, ctx);
   flush();
 }
 
@@ -141,7 +141,7 @@ std::vector<Delivery> SocketChannel::poll() {
     break;
   }
   while (auto f = decoder_.next()) {
-    out.push_back(Delivery{f->type, f->credit, std::move(f->payload)});
+    out.push_back(Delivery{f->type, f->credit, std::move(f->payload), f->ctx});
   }
   if (decoder_.failed()) kill();  // poisoned stream: corrupt or hostile peer
   return out;

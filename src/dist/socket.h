@@ -32,7 +32,8 @@ class SocketChannel final : public Channel {
   SocketChannel(const SocketChannel&) = delete;
   SocketChannel& operator=(const SocketChannel&) = delete;
 
-  void send(std::uint32_t type, Bytes payload, std::uint32_t credit) override;
+  void send(std::uint32_t type, Bytes payload, std::uint32_t credit = 0,
+            obs::TraceContext ctx = {}) override;
   std::vector<Delivery> poll() override;
   bool alive() const override { return fd_ >= 0; }
   void flush() override;

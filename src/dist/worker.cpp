@@ -3,11 +3,14 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <thread>
 
 #include "common/check.h"
 #include "common/state_wire.h"
 #include "dist/socket.h"
+#include "obs/recorder.h"
 #include "obs/registry.h"
 #include "store/store.h"
 #include "trace/codec.h"
@@ -88,21 +91,50 @@ bool ShardWorker::try_resume() {
 }
 
 void ShardWorker::send_hello(Channel& ch) {
-  ch.send(kMsgHello,
-          encode_hello(HelloMsg{index_, config_.credit_window, resumed_}));
+  HelloMsg hello{index_, config_.credit_window, resumed_};
+  if (obs::tracing_enabled()) {
+    // Clock pair for cross-process timeline alignment (the untraced
+    // handshake keeps both at 0 so its bytes stay deterministic).
+    timespec mono{}, real{};
+    ::clock_gettime(CLOCK_MONOTONIC, &mono);
+    ::clock_gettime(CLOCK_REALTIME, &real);
+    hello.mono_ns = std::uint64_t(mono.tv_sec) * 1'000'000'000ULL +
+                    std::uint64_t(mono.tv_nsec);
+    hello.real_ns = std::uint64_t(real.tv_sec) * 1'000'000'000ULL +
+                    std::uint64_t(real.tv_nsec);
+  }
+  ch.send(kMsgHello, encode_hello(hello));
 }
 
-void ShardWorker::admit(Bytes wire) {
+void ShardWorker::admit(Bytes wire, obs::TraceContext ctx) {
   // Admission control: summarize for priority (allocation-free peek; the
   // router already validated, so failures here are corruption — admit as
   // routine and let the hive count the decode failure deterministically).
   TracePriority priority = TracePriority::kRoutine;
-  if (const auto summary = summarize_trace_wire(wire)) {
-    priority = trace_priority(*summary);
+  const auto summary = summarize_trace_wire(wire);
+  if (summary) priority = trace_priority(*summary);
+  if (obs::tracing_enabled()) {
+    // The router's v2 frame normally delivers the accumulated chain; a v1
+    // sender (or SimNet) yields no context, so re-derive the id locally —
+    // same wire, same causal id — and the chain stays joinable even if the
+    // upstream hop path is lost.
+    if (!ctx.valid() && summary) {
+      ctx.trace_id =
+          obs::causal_trace_id(summary->id.value, summary->program.value);
+    }
+    ctx = obs::with_hop(ctx, obs::Hop::kShard);
+    obs::Recorder::record(obs::EventKind::kShardAdmit, ctx,
+                          static_cast<std::uint32_t>(index_));
+  } else {
+    ctx = {};
   }
   const std::uint64_t shed_before = queue_.shed_total();
-  queue_.push(priority, std::move(wire));
+  queue_.push(priority, std::move(wire), ctx);
   const std::uint64_t shed_delta = queue_.shed_total() - shed_before;
+  if (shed_delta > 0) {
+    obs::Recorder::record(obs::EventKind::kQueueShed, ctx,
+                          static_cast<std::uint32_t>(index_), queue_.depth());
+  }
   // A shed trace still consumed a router credit: grant it back, or the
   // window leaks shut under sustained overload.
   pending_credit_ += static_cast<std::uint32_t>(shed_delta);
@@ -139,6 +171,8 @@ bool ShardWorker::write_snapshot() {
     return false;
   }
   snapshots_written_++;
+  obs::Recorder::record(obs::EventKind::kSnapshotCommit, {},
+                        static_cast<std::uint32_t>(index_), snapshot_seq_);
   return true;
 }
 
@@ -149,13 +183,19 @@ bool ShardWorker::pump(Channel& ch) {
     active_ = true;
     switch (d.type) {
       case kMsgTrace:
-        admit(std::move(d.payload));
+        admit(std::move(d.payload), d.ctx);
         break;
       case kMsgShutdown:
         shutdown_ = true;
         break;
       case kMsgSnapshot:
         (void)write_snapshot();
+        // A snapshot request is also the fleet's "leave a postmortem now"
+        // signal: re-flush the flight recorder so a later kill -9 still has
+        // a recent ring on disk.
+        if (!config_.trace_dump_path.empty() && obs::Recorder::enabled()) {
+          (void)obs::Recorder::global().flush_to_file(config_.trace_dump_path);
+        }
         ch.send(kMsgSnapshot, Bytes{});  // ack (even on failure: unblocks)
         break;
       default:
@@ -165,15 +205,28 @@ bool ShardWorker::pump(Channel& ch) {
   // Ingest one bounded batch; batch_max keeps the round short so credit
   // grants and shutdown stay responsive under sustained load.
   std::vector<Bytes> batch;
+  std::vector<obs::TraceContext> batch_ctx;
   batch.reserve(config_.batch_max);
   while (batch.size() < config_.batch_max) {
     auto item = queue_.pop();
     if (!item) break;
+    if (obs::Recorder::enabled()) batch_ctx.push_back(item->ctx);
     batch.push_back(std::move(item->wire));
   }
   if (!batch.empty()) {
     active_ = true;
+    obs::Recorder::record(obs::EventKind::kBatchDecode, {},
+                          static_cast<std::uint32_t>(batch.size()));
     hive_->ingest_batch(batch);
+    // One merge-hop event per trace, carrying the full accumulated path
+    // (pod>router>shard>merge): this is the event the trace-merge acceptance
+    // check follows across process boundaries.
+    for (const auto& ctx : batch_ctx) {
+      if (!ctx.valid()) continue;
+      obs::Recorder::record(obs::EventKind::kMerge,
+                            obs::with_hop(ctx, obs::Hop::kMerge),
+                            static_cast<std::uint32_t>(index_));
+    }
     ingested_ += batch.size();
     batches_++;
     pending_credit_ += static_cast<std::uint32_t>(batch.size());
@@ -251,6 +304,18 @@ void ShardWorker::publish_metrics() {
 int run_worker_loop(std::size_t index, const std::vector<CorpusEntry>* corpus,
                     const WorkerConfig& config,
                     const std::string& router_addr) {
+  if (!config.trace_dump_path.empty()) {
+    obs::set_tracing_enabled(true);
+    obs::Recorder::set_enabled(true);
+    auto& rec = obs::Recorder::global();
+    // Forked workers inherit the parent's rings; drop those stale events so
+    // this dump describes only this process's life.
+    rec.clear();
+    char label[32];
+    std::snprintf(label, sizeof(label), "shard%zu", index);
+    rec.set_label(label);
+    rec.install_signal_flush(config.trace_dump_path);
+  }
   auto ch = dial(router_addr);
   if (ch == nullptr) return 2;  // router never came up
   ShardWorker worker(index, corpus, config);
@@ -267,6 +332,9 @@ int run_worker_loop(std::size_t index, const std::vector<CorpusEntry>* corpus,
   for (int i = 0; i < 1000 && ch->alive(); ++i) {
     ch->flush();
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  if (!config.trace_dump_path.empty()) {
+    (void)obs::Recorder::global().flush_to_file(config.trace_dump_path);
   }
   return 0;
 }

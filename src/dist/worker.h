@@ -44,6 +44,12 @@ struct WorkerConfig {
   std::string snapshot_dir;
   // Write a snapshot every N batches (0 = only on request/shutdown).
   std::uint64_t snapshot_every_batches = 0;
+  // Flight-recorder dump file; empty disables tracing + recording entirely.
+  // When set, run_worker_loop enables both, installs the fatal-signal flush
+  // at this path, re-flushes on every snapshot request, and flushes once
+  // more at clean shutdown — so even a kill -9'd worker leaves its
+  // last-snapshot-time ring behind.
+  std::string trace_dump_path;
 };
 
 class ShardWorker {
@@ -82,7 +88,7 @@ class ShardWorker {
   bool write_snapshot();
 
  private:
-  void admit(Bytes wire);
+  void admit(Bytes wire, obs::TraceContext ctx);
   void publish_metrics();
 
   // Rebuilds hive_ cold with the shard's id blocks and seed (construction

@@ -659,6 +659,12 @@ ProofCertificate Hive::attempt_proof(ProgramId program, Property property) {
       prover_.attempt(*entry, it->second, property, config_.proof_budget,
                       config_.solver_cache ? &solver_cache_ : nullptr);
   record_certificate(cert);
+  if (obs::Recorder::enabled()) {
+    // Closes the causal chain: inherits the worker thread's trace context
+    // (set while processing the batch that triggered this proof attempt).
+    obs::Recorder::record(obs::EventKind::kProofClose, {},
+                          cert.publishable() ? 1u : 0u, cert.solver_calls);
+  }
   return cert;
 }
 

@@ -132,6 +132,30 @@ std::string hive_status_report(Hive& hive) {
           static_cast<unsigned long long>(cv("dist.backpressure_stalls_total")),
           static_cast<double>(cv("dist.stall_us_total")) / 1e6,
           static_cast<long long>(queue_peak));
+      // Per-shard credit occupancy: one line per shard the router has
+      // published a credit_window gauge for (contiguous from shard 0).
+      for (std::size_t i = 0;; ++i) {
+        const std::string prefix = "dist.shard" + std::to_string(i);
+        std::int64_t window = -1;
+        std::int64_t in_flight = 0;
+        for (const auto& g : ms.gauges) {
+          if (g.name == prefix + ".credit_window") window = g.value;
+          if (g.name == prefix + ".credit_in_flight") in_flight = g.value;
+        }
+        if (window < 0) break;
+        out += line(
+            "  shard %zu: credit %lld/%lld in flight (%.0f%% occupied), "
+            "%llu forwarded, %.3fs stalled",
+            i, static_cast<long long>(in_flight),
+            static_cast<long long>(window),
+            window == 0 ? 0.0
+                        : 100.0 * static_cast<double>(in_flight) /
+                              static_cast<double>(window),
+            static_cast<unsigned long long>(
+                cv((prefix + ".forwarded_total").c_str())),
+            static_cast<double>(cv((prefix + ".stall_us_total").c_str())) /
+                1e6);
+      }
     }
   }
 

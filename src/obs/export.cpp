@@ -1,13 +1,17 @@
 #include "obs/export.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <map>
+#include <set>
 #include <utility>
 
 #include "common/fsio.h"
 #include "common/log.h"
+#include "obs/trace.h"
 
 namespace softborg::obs {
 
@@ -120,6 +124,193 @@ std::string to_json(const MetricsSnapshot& snap) {
   }
   out += snap.histograms.empty() ? "]\n" : "\n  ]\n";
   out += "}\n";
+  return out;
+}
+
+namespace {
+
+// One rendered timeline entry (slice or instant) on the shared clock axis.
+struct TimelineEvent {
+  double ts_us = 0;
+  double dur_us = -1;  // >= 0 marks a complete ("X") slice
+  std::uint64_t pid = 0;
+  std::uint32_t tid = 0;
+  const char* name = "";
+  std::uint64_t trace_id = 0;
+  std::uint16_t hop_path = 0;
+  std::uint32_t arg = 0;
+  std::uint64_t arg2 = 0;
+};
+
+// Union of the 4-bit hop codes packed into a hop path.
+std::uint32_t hop_mask(std::uint16_t hop_path) {
+  std::uint32_t mask = 0;
+  for (std::uint32_t p = hop_path; p != 0; p >>= 4) mask |= 1u << (p & 0xf);
+  return mask;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const std::vector<RecorderDump>& dumps,
+                            ChromeTraceStats* stats) {
+  std::vector<TimelineEvent> events;
+  // Pass 1: shift every process onto the shared wall-clock axis, pair span
+  // begin/end into slices, turn everything else into instants.
+  std::int64_t min_ns = 0;
+  bool have_min = false;
+  for (const RecorderDump& d : dumps) {
+    const std::int64_t offset_ns = static_cast<std::int64_t>(d.real_ns) -
+                                   static_cast<std::int64_t>(d.mono_ns);
+    const auto span_name = [&](std::uint32_t id) {
+      return id < d.names.size() && !d.names[id].empty()
+                 ? d.names[id].c_str()
+                 : "span";
+    };
+    for (const RecorderDump::ThreadEvents& t : d.threads) {
+      struct OpenSpan {
+        std::uint32_t name_arg;
+        std::int64_t ts_ns;
+        std::uint64_t trace_id;
+        std::uint16_t hop_path;
+      };
+      std::vector<OpenSpan> open;
+      for (const RecorderEvent& e : t.events) {
+        const std::int64_t ts_ns =
+            static_cast<std::int64_t>(e.ts_ns) + offset_ns;
+        if (!have_min || ts_ns < min_ns) {
+          min_ns = ts_ns;
+          have_min = true;
+        }
+        const auto kind = static_cast<EventKind>(e.kind);
+        if (kind == EventKind::kSpanBegin) {
+          open.push_back({e.arg, ts_ns, e.trace_id, e.hop_path});
+        } else if (kind == EventKind::kSpanEnd) {
+          // The ring may have overwritten the begin; only a matching top
+          // closes a slice, anything else is dropped rather than guessed at.
+          if (!open.empty() && open.back().name_arg == e.arg) {
+            const OpenSpan b = open.back();
+            open.pop_back();
+            TimelineEvent ev;
+            ev.ts_us = static_cast<double>(b.ts_ns) / 1e3;
+            ev.dur_us = static_cast<double>(ts_ns - b.ts_ns) / 1e3;
+            ev.pid = d.pid;
+            ev.tid = t.tid;
+            ev.name = span_name(b.name_arg);
+            ev.trace_id = b.trace_id;
+            ev.hop_path = b.hop_path;
+            events.push_back(ev);
+          }
+        } else {
+          TimelineEvent ev;
+          ev.ts_us = static_cast<double>(ts_ns) / 1e3;
+          ev.pid = d.pid;
+          ev.tid = t.tid;
+          ev.name = event_kind_name(kind);
+          ev.trace_id = e.trace_id;
+          ev.hop_path = e.hop_path;
+          ev.arg = e.arg;
+          ev.arg2 = e.arg2;
+          events.push_back(ev);
+        }
+      }
+      // Spans still open at flush time have no end stamp — dropped.
+    }
+  }
+  const double base_us = have_min ? static_cast<double>(min_ns) / 1e3 : 0.0;
+  for (TimelineEvent& e : events) e.ts_us -= base_us;
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TimelineEvent& a, const TimelineEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+
+  // Pass 2: group by causal trace id for flow arrows + chain accounting.
+  std::map<std::uint64_t, std::vector<std::size_t>> by_trace;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].trace_id != 0) by_trace[events[i].trace_id].push_back(i);
+  }
+  ChromeTraceStats st;
+  st.processes = dumps.size();
+  st.events = events.size();
+  constexpr std::uint32_t kChainMask =
+      (1u << static_cast<std::uint32_t>(Hop::kPod)) |
+      (1u << static_cast<std::uint32_t>(Hop::kRouter)) |
+      (1u << static_cast<std::uint32_t>(Hop::kShard)) |
+      (1u << static_cast<std::uint32_t>(Hop::kMerge));
+  for (const auto& [trace_id, idxs] : by_trace) {
+    if (idxs.size() >= 2) st.flows++;
+    std::uint32_t mask = 0;
+    std::set<std::uint64_t> pids;
+    for (const std::size_t i : idxs) {
+      mask |= hop_mask(events[i].hop_path);
+      pids.insert(events[i].pid);
+    }
+    if (pids.size() >= 2 && (mask & kChainMask) == kChainMask) {
+      st.cross_process_chains++;
+    }
+  }
+
+  // Emission: one event object per line, metadata first.
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  for (const RecorderDump& d : dumps) {
+    sep();
+    std::string label = d.label.empty()
+                            ? "pid" + std::to_string(d.pid)
+                            : d.label;
+    append(out,
+           "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%llu,\"tid\":0,"
+           "\"args\":{\"name\":\"%s\"}}",
+           static_cast<unsigned long long>(d.pid),
+           json_escape(label).c_str());
+  }
+  char hops[kHopPathStrMax];
+  for (const TimelineEvent& e : events) {
+    sep();
+    if (e.dur_us >= 0) {
+      append(out,
+             "{\"ph\":\"X\",\"name\":\"%s\",\"cat\":\"span\",\"pid\":%llu,"
+             "\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f",
+             json_escape(e.name).c_str(),
+             static_cast<unsigned long long>(e.pid), e.tid, e.ts_us,
+             e.dur_us);
+    } else {
+      append(out,
+             "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"%s\",\"cat\":\"event\","
+             "\"pid\":%llu,\"tid\":%u,\"ts\":%.3f",
+             json_escape(e.name).c_str(),
+             static_cast<unsigned long long>(e.pid), e.tid, e.ts_us);
+    }
+    if (e.trace_id != 0 || e.arg != 0 || e.arg2 != 0) {
+      append(out, ",\"args\":{\"trace_id\":\"%llx\",\"path\":\"%s\","
+                  "\"arg\":%u,\"arg2\":%llu}",
+             static_cast<unsigned long long>(e.trace_id),
+             hop_path_str(e.hop_path, hops), e.arg,
+             static_cast<unsigned long long>(e.arg2));
+    }
+    out += "}";
+  }
+  // Flow arrows: start at the first sighting of a causal id, step through
+  // every later one — Perfetto draws these across process lanes.
+  for (const auto& [trace_id, idxs] : by_trace) {
+    if (idxs.size() < 2) continue;
+    for (std::size_t k = 0; k < idxs.size(); ++k) {
+      const TimelineEvent& e = events[idxs[k]];
+      const char* ph = k == 0 ? "s" : (k + 1 == idxs.size() ? "f" : "t");
+      sep();
+      append(out,
+             "{\"ph\":\"%s\",\"name\":\"trace\",\"cat\":\"causal\","
+             "\"id\":\"%llx\",\"pid\":%llu,\"tid\":%u,\"ts\":%.3f%s}",
+             ph, static_cast<unsigned long long>(trace_id),
+             static_cast<unsigned long long>(e.pid), e.tid, e.ts_us,
+             k + 1 == idxs.size() ? ",\"bp\":\"e\"" : "");
+    }
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  if (stats != nullptr) *stats = st;
   return out;
 }
 

@@ -27,13 +27,42 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "obs/recorder.h"
 #include "obs/registry.h"
 
 namespace softborg::obs {
 
 std::string to_prometheus(const MetricsSnapshot& snap);
 std::string to_json(const MetricsSnapshot& snap);
+
+// Chrome trace_event / Perfetto JSON from flight-recorder dumps — one
+// merged timeline for a whole fleet (load the output in ui.perfetto.dev or
+// chrome://tracing).
+//
+// Clock alignment: every dump carries a (CLOCK_MONOTONIC, CLOCK_REALTIME)
+// pair sampled at flush time; each process's monotonic event stamps are
+// shifted by its own realtime-minus-monotonic offset onto one shared
+// wall-clock axis, then rebased so the earliest event is t=0.
+//
+// Rendering: span begin/end pairs become complete ("X") slices matched per
+// thread (unbalanced ends — ring overwrote the begin — are dropped);
+// every other event becomes a thread-scoped instant ("i") carrying its
+// causal trace id, decoded hop path, and args; each causal trace id seen
+// more than once becomes a flow arrow chain ("s"/"t"/"f") so the viewer
+// draws pod → router → shard → merge across process lanes.
+struct ChromeTraceStats {
+  std::size_t processes = 0;
+  std::size_t events = 0;   // instants + slices emitted
+  std::size_t flows = 0;    // causal trace ids with >= 2 events
+  // Causal trace ids observed in >= 2 distinct processes whose accumulated
+  // hop paths cover pod, router, shard AND merge — the end-to-end causal
+  // chains the dist trace e2e test asserts on.
+  std::size_t cross_process_chains = 0;
+};
+std::string to_chrome_trace(const std::vector<RecorderDump>& dumps,
+                            ChromeTraceStats* stats = nullptr);
 
 // Writes `content` to `path` ("-" means stdout). Returns false on I/O
 // failure (logged).

@@ -1,0 +1,434 @@
+#include "obs/recorder.h"
+
+#include <fcntl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <ctime>
+
+#include "common/fsio.h"
+
+namespace softborg::obs {
+
+namespace detail {
+
+constexpr std::uint64_t kFnvBasis = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+// One output abstraction for both flush paths: Bytes append (ordinary) or
+// raw write(2) loop (signal handler). Hashes every byte as it goes so the
+// trailing checksum never needs a second pass over the data.
+struct DumpSink {
+  int fd = -1;
+  Bytes* out = nullptr;
+  std::uint64_t hash = kFnvBasis;
+  bool ok = true;
+
+  void write(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash ^= b[i];
+      hash *= kFnvPrime;
+    }
+    if (out != nullptr) {
+      out->insert(out->end(), b, b + n);
+      return;
+    }
+    std::size_t off = 0;
+    while (ok && off < n) {
+      const ssize_t w = ::write(fd, b + off, n - off);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        ok = false;
+        return;
+      }
+      off += static_cast<std::size_t>(w);
+    }
+  }
+  void put16(std::uint16_t v) {
+    unsigned char b[2] = {static_cast<unsigned char>(v & 0xff),
+                          static_cast<unsigned char>(v >> 8)};
+    write(b, 2);
+  }
+  void put32(std::uint32_t v) {
+    unsigned char b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+    write(b, 4);
+  }
+  void put64(std::uint64_t v) {
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+    write(b, 8);
+  }
+  void put_event(const RecorderEvent& ev) {
+    put64(ev.ts_ns);
+    put64(ev.trace_id);
+    put64(ev.arg2);
+    put32(ev.arg);
+    put16(ev.hop_path);
+    put16(ev.kind);
+  }
+};
+
+}  // namespace detail
+
+namespace {
+
+using detail::DumpSink;
+using detail::kFnvBasis;
+using detail::kFnvPrime;
+
+std::uint64_t mono_now_ns() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return std::uint64_t(ts.tv_sec) * 1000000000ULL + std::uint64_t(ts.tv_nsec);
+}
+
+std::uint64_t real_now_ns() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  return std::uint64_t(ts.tv_sec) * 1000000000ULL + std::uint64_t(ts.tv_nsec);
+}
+
+struct Reader {
+  const unsigned char* p;
+  std::size_t n;
+  std::size_t pos = 0;
+
+  bool take(void* dst, std::size_t len) {
+    if (len > n - pos) return false;
+    std::memcpy(dst, p + pos, len);
+    pos += len;
+    return true;
+  }
+  bool get16(std::uint16_t& v) {
+    unsigned char b[2];
+    if (!take(b, 2)) return false;
+    v = static_cast<std::uint16_t>(b[0] | (std::uint16_t(b[1]) << 8));
+    return true;
+  }
+  bool get32(std::uint32_t& v) {
+    unsigned char b[4];
+    if (!take(b, 4)) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t(b[i]) << (8 * i);
+    return true;
+  }
+  bool get64(std::uint64_t& v) {
+    unsigned char b[8];
+    if (!take(b, 8)) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t(b[i]) << (8 * i);
+    return true;
+  }
+  bool get_event(RecorderEvent& ev) {
+    return get64(ev.ts_ns) && get64(ev.trace_id) && get64(ev.arg2) &&
+           get32(ev.arg) && get16(ev.hop_path) && get16(ev.kind);
+  }
+};
+
+constexpr std::size_t kMaxStringLen = 4096;
+
+}  // namespace
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kNone:
+      return "none";
+    case EventKind::kSpanBegin:
+      return "span_begin";
+    case EventKind::kSpanEnd:
+      return "span_end";
+    case EventKind::kPodEmit:
+      return "pod_emit";
+    case EventKind::kRouterIngress:
+      return "router_ingress";
+    case EventKind::kRouterForward:
+      return "router_forward";
+    case EventKind::kFrameRx:
+      return "frame_rx";
+    case EventKind::kFrameTx:
+      return "frame_tx";
+    case EventKind::kQueueShed:
+      return "queue_shed";
+    case EventKind::kCreditStall:
+      return "credit_stall";
+    case EventKind::kCreditResume:
+      return "credit_resume";
+    case EventKind::kShardAdmit:
+      return "shard_admit";
+    case EventKind::kBatchDecode:
+      return "batch_decode";
+    case EventKind::kMerge:
+      return "merge";
+    case EventKind::kProofClose:
+      return "proof_close";
+    case EventKind::kSnapshotCommit:
+      return "snapshot_commit";
+    case EventKind::kHello:
+      return "hello";
+  }
+  return "unknown";
+}
+
+Bytes encode_recorder_dump(const RecorderDump& dump) {
+  Bytes bytes;
+  DumpSink sink;
+  sink.out = &bytes;
+  sink.write("SBFR", 4);
+  sink.put16(kRecorderDumpVersion);
+  sink.put64(dump.pid);
+  sink.put64(dump.mono_ns);
+  sink.put64(dump.real_ns);
+  sink.put32(static_cast<std::uint32_t>(dump.label.size()));
+  sink.write(dump.label.data(), dump.label.size());
+  sink.put32(static_cast<std::uint32_t>(dump.names.size()));
+  for (const auto& name : dump.names) {
+    sink.put32(static_cast<std::uint32_t>(name.size()));
+    sink.write(name.data(), name.size());
+  }
+  sink.put32(static_cast<std::uint32_t>(dump.threads.size()));
+  for (const auto& th : dump.threads) {
+    sink.put32(th.tid);
+    sink.put64(th.events.size());
+    for (const auto& ev : th.events) sink.put_event(ev);
+  }
+  sink.put64(sink.hash);
+  return bytes;
+}
+
+std::optional<RecorderDump> decode_recorder_dump(const Bytes& bytes) {
+  if (bytes.size() < 4 + 2 + 8 * 3 + 4 + 4 + 4 + 8) return std::nullopt;
+  // Trailing checksum covers every byte before it.
+  std::uint64_t hash = kFnvBasis;
+  for (std::size_t i = 0; i + 8 < bytes.size(); ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  Reader body{bytes.data(), bytes.size() - 8};
+  Reader tail{bytes.data() + bytes.size() - 8, 8};
+  std::uint64_t want = 0;
+  if (!tail.get64(want) || want != hash) return std::nullopt;
+
+  char magic[4];
+  std::uint16_t version = 0;
+  if (!body.take(magic, 4) || std::memcmp(magic, "SBFR", 4) != 0)
+    return std::nullopt;
+  if (!body.get16(version) || version != kRecorderDumpVersion)
+    return std::nullopt;
+
+  RecorderDump dump;
+  if (!body.get64(dump.pid) || !body.get64(dump.mono_ns) ||
+      !body.get64(dump.real_ns)) {
+    return std::nullopt;
+  }
+  std::uint32_t label_len = 0;
+  if (!body.get32(label_len) || label_len > kMaxStringLen ||
+      label_len > body.n - body.pos) {
+    return std::nullopt;
+  }
+  dump.label.assign(reinterpret_cast<const char*>(body.p + body.pos),
+                    label_len);
+  body.pos += label_len;
+
+  std::uint32_t name_count = 0;
+  if (!body.get32(name_count) || name_count > body.n - body.pos)
+    return std::nullopt;
+  dump.names.reserve(name_count);
+  for (std::uint32_t i = 0; i < name_count; ++i) {
+    std::uint32_t len = 0;
+    if (!body.get32(len) || len > kMaxStringLen || len > body.n - body.pos)
+      return std::nullopt;
+    dump.names.emplace_back(reinterpret_cast<const char*>(body.p + body.pos),
+                            len);
+    body.pos += len;
+  }
+
+  std::uint32_t thread_count = 0;
+  if (!body.get32(thread_count) || thread_count > body.n - body.pos)
+    return std::nullopt;
+  dump.threads.reserve(thread_count);
+  for (std::uint32_t i = 0; i < thread_count; ++i) {
+    RecorderDump::ThreadEvents th;
+    std::uint64_t event_count = 0;
+    if (!body.get32(th.tid) || !body.get64(event_count)) return std::nullopt;
+    if (event_count > (body.n - body.pos) / sizeof(RecorderEvent))
+      return std::nullopt;
+    th.events.resize(static_cast<std::size_t>(event_count));
+    for (auto& ev : th.events) {
+      if (!body.get_event(ev)) return std::nullopt;
+    }
+    dump.threads.push_back(std::move(th));
+  }
+  if (body.pos != body.n) return std::nullopt;  // trailing garbage
+  return dump;
+}
+
+Recorder& Recorder::global() {
+  static Recorder* instance = new Recorder();
+  return *instance;
+}
+
+std::atomic<bool>& Recorder::detail_enabled() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+void Recorder::set_enabled(bool on) {
+  detail_enabled().store(on, std::memory_order_relaxed);
+}
+
+std::uint32_t Recorder::intern_name(const char* name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto n = name_count_.load(std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (names_[i] == name || std::strcmp(names_[i], name) == 0) return i;
+  }
+  if (n >= kMaxNames) return 0;  // table full: alias to slot 0
+  names_[n] = name;
+  name_count_.store(n + 1, std::memory_order_release);
+  return n;
+}
+
+void Recorder::set_label(const char* label) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::strncpy(label_, label, sizeof(label_) - 1);
+  label_[sizeof(label_) - 1] = '\0';
+}
+
+Recorder::Ring* Recorder::ring_for_thread() {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto n = ring_count_.load(std::memory_order_relaxed);
+  if (n >= kMaxRings) return nullptr;
+  auto* ring = new Ring();
+  ring->tid = static_cast<std::uint32_t>(::syscall(SYS_gettid));
+  rings_[n] = ring;
+  ring_count_.store(n + 1, std::memory_order_release);
+  return ring;
+}
+
+void Recorder::record_impl(EventKind kind, TraceContext ctx, std::uint32_t arg,
+                           std::uint64_t arg2) {
+  static thread_local Ring* tls_ring = nullptr;
+  static thread_local bool tls_tried = false;
+  if (tls_ring == nullptr) {
+    if (tls_tried) return;  // ring table was full; drop silently
+    tls_tried = true;
+    tls_ring = ring_for_thread();
+    if (tls_ring == nullptr) return;
+  }
+  if (!ctx.valid()) ctx = current_context();
+  RecorderEvent ev;
+  ev.ts_ns = mono_now_ns();
+  ev.trace_id = ctx.trace_id;
+  ev.arg2 = arg2;
+  ev.arg = arg;
+  ev.hop_path = ctx.hop_path;
+  ev.kind = static_cast<std::uint16_t>(kind);
+  const auto head = tls_ring->head.load(std::memory_order_relaxed);
+  tls_ring->events[head & (kRingCapacity - 1)] = ev;
+  tls_ring->head.store(head + 1, std::memory_order_release);
+}
+
+void Recorder::emit(detail::DumpSink& sink) const {
+  sink.write("SBFR", 4);
+  sink.put16(kRecorderDumpVersion);
+  sink.put64(static_cast<std::uint64_t>(::getpid()));
+  sink.put64(mono_now_ns());
+  sink.put64(real_now_ns());
+  // label_ and the name/ring tables are only appended to (publish with
+  // release), so reading them without mu_ is safe — required in the signal
+  // handler, where taking a lock could deadlock.
+  const std::size_t label_len = ::strnlen(label_, sizeof(label_));
+  sink.put32(static_cast<std::uint32_t>(label_len));
+  sink.write(label_, label_len);
+  const auto name_count = name_count_.load(std::memory_order_acquire);
+  sink.put32(name_count);
+  for (std::uint32_t i = 0; i < name_count; ++i) {
+    const char* name = names_[i];
+    const std::size_t len = std::strlen(name);
+    sink.put32(static_cast<std::uint32_t>(len));
+    sink.write(name, len);
+  }
+  const auto ring_count = ring_count_.load(std::memory_order_acquire);
+  sink.put32(ring_count);
+  for (std::uint32_t i = 0; i < ring_count; ++i) {
+    const Ring* ring = rings_[i];
+    sink.put32(ring->tid);
+    const auto head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t count = head < kRingCapacity ? head : kRingCapacity;
+    sink.put64(count);
+    for (std::uint64_t seq = head - count; seq < head; ++seq) {
+      sink.put_event(ring->events[seq & (kRingCapacity - 1)]);
+    }
+  }
+  sink.put64(sink.hash);
+}
+
+void Recorder::flush_fd(int fd) const {
+  DumpSink sink;
+  sink.fd = fd;
+  emit(sink);
+}
+
+RecorderDump Recorder::snapshot() const {
+  // Emit through the Bytes sink and decode: snapshots exercise the exact
+  // codec the file dumps use, so the two can never diverge.
+  Bytes bytes;
+  DumpSink sink;
+  sink.out = &bytes;
+  emit(sink);
+  auto dump = decode_recorder_dump(bytes);
+  return dump ? std::move(*dump) : RecorderDump{};
+}
+
+bool Recorder::flush_to_file(const std::string& path) const {
+  const Bytes bytes = encode_recorder_dump(snapshot());
+  return atomic_write_file(path, bytes.data(), bytes.size());
+}
+
+void Recorder::signal_flush_handler(int signo) {
+  Recorder& rec = global();
+  if (rec.signal_path_[0] != '\0') {
+    const int fd = ::open(rec.signal_path_,
+                          O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd >= 0) {
+      rec.flush_fd(fd);
+      ::fsync(fd);
+      ::close(fd);
+    }
+  }
+  ::signal(signo, SIG_DFL);
+  ::raise(signo);
+}
+
+void Recorder::install_signal_flush(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::size_t n =
+        path.size() < kPathMax - 1 ? path.size() : kPathMax - 1;
+    std::memcpy(signal_path_, path.data(), n);
+    signal_path_[n] = '\0';
+  }
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = &Recorder::signal_flush_handler;
+  sigemptyset(&sa.sa_mask);
+  for (const int signo :
+       {SIGTERM, SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL}) {
+    ::sigaction(signo, &sa, nullptr);
+  }
+}
+
+void Recorder::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto ring_count = ring_count_.load(std::memory_order_relaxed);
+  for (std::uint32_t i = 0; i < ring_count; ++i) {
+    rings_[i]->head.store(0, std::memory_order_release);
+  }
+}
+
+}  // namespace softborg::obs

@@ -1,0 +1,201 @@
+// Per-thread lock-free flight recorder (ISSUE 10 tentpole).
+//
+// Every instrumented site appends one fixed-width 32-byte event to a ring
+// buffer owned by the calling thread: span begin/end, frame rx/tx, queue
+// shed, credit stall, shard admission, merge, snapshot commit. The ring
+// keeps the *last* kRingCapacity events per thread — a crash dump is the
+// tail of what the process was doing, which is exactly the postmortem
+// artifact the repair literature says matters. Costs when enabled: one
+// clock read plus one TLS store per event, no locks, no allocation after
+// the thread's first event. When disabled (the default): one relaxed atomic
+// load and a predictable branch.
+//
+// Dumps are checksummed binary files (format below, codec fuzz-hardened in
+// tests/recorder_test.cpp) written three ways:
+//   * flush_to_file(): snapshot + atomic_write_file — the clean-shutdown
+//     and on-snapshot-request path.
+//   * install_signal_flush(): a SIGTERM/fatal-signal handler that writes
+//     the same format with nothing but write(2)-style syscalls and stack
+//     buffers (async-signal-safe), then re-raises. A SIGKILLed process
+//     writes nothing — its *peers'* rings plus its own last-flushed dump
+//     reconstruct the postmortem (the CI distributed job asserts this).
+//   * encode_recorder_dump(): the pure codec, for tests and the merger.
+//
+// Each dump carries a (CLOCK_MONOTONIC, CLOCK_REALTIME) pair captured at
+// flush time so the exporter (obs/export.h) can align per-process monotonic
+// timestamps onto one timeline.
+//
+// Dump format (all little-endian, fixed width — the signal path must write
+// it without formatting machinery):
+//
+//   magic "SBFR" + u16 version
+//   u64 pid, u64 mono_ns, u64 real_ns
+//   u32 label_len + label bytes            (process label, e.g. "shard2")
+//   u32 name_count, per name: u32 len + bytes   (span/site name table)
+//   u32 thread_count, per thread:
+//     u32 tid, u64 event_count, event_count * 32-byte events
+//   u64 checksum (incremental FNV-1a over every prior byte)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/varint.h"
+#include "obs/trace.h"
+
+namespace softborg::obs {
+
+namespace detail {
+struct DumpSink;  // hashing byte sink (Bytes or raw fd), see recorder.cpp
+}
+
+inline constexpr std::uint16_t kRecorderDumpVersion = 1;
+
+enum class EventKind : std::uint16_t {
+  kNone = 0,
+  kSpanBegin = 1,   // arg = name-table id
+  kSpanEnd = 2,     // arg = name-table id
+  kPodEmit = 3,     // arg = pod id (low 32 bits)
+  kRouterIngress = 4,
+  kRouterForward = 5,  // arg = shard index (frame tx toward the shard)
+  kFrameRx = 6,        // arg = message type
+  kFrameTx = 7,        // arg = message type
+  kQueueShed = 8,      // arg = shard index, arg2 = queue depth
+  kCreditStall = 9,    // arg = shard index, arg2 = queued traces
+  kCreditResume = 10,  // arg = shard index, arg2 = stall duration us
+  kShardAdmit = 11,    // arg = shard index
+  kBatchDecode = 12,   // arg = batch size
+  kMerge = 13,         // arg = coalesced weight
+  kProofClose = 14,    // arg = proof id (low 32 bits)
+  kSnapshotCommit = 15,  // arg = shard index, arg2 = snapshot seq
+  kHello = 16,           // arg = shard index, arg2 = peer mono_ns
+};
+
+const char* event_kind_name(EventKind kind);
+
+// Fixed-width ring entry; the dump stores these verbatim.
+struct RecorderEvent {
+  std::uint64_t ts_ns = 0;  // CLOCK_MONOTONIC
+  std::uint64_t trace_id = 0;
+  std::uint64_t arg2 = 0;
+  std::uint32_t arg = 0;
+  std::uint16_t hop_path = 0;
+  std::uint16_t kind = 0;
+};
+static_assert(sizeof(RecorderEvent) == 32);
+
+// Decoded form of one dump file (also the merger's input).
+struct RecorderDump {
+  std::uint64_t pid = 0;
+  std::uint64_t mono_ns = 0;  // flush-time clock pair: aligns timelines
+  std::uint64_t real_ns = 0;
+  std::string label;
+  std::vector<std::string> names;  // span/site name table; arg indexes this
+  struct ThreadEvents {
+    std::uint32_t tid = 0;
+    std::vector<RecorderEvent> events;  // oldest first
+  };
+  std::vector<ThreadEvents> threads;
+};
+
+// Pure codec. decode validates structure and the trailing checksum and
+// returns nullopt on any malformed input — truncation, bit flips, hostile
+// lengths (never crashes, never over-allocates; fuzzed in tests).
+Bytes encode_recorder_dump(const RecorderDump& dump);
+std::optional<RecorderDump> decode_recorder_dump(const Bytes& bytes);
+
+class Recorder {
+ public:
+  static Recorder& global();
+
+  static bool enabled() {
+    return detail_enabled().load(std::memory_order_relaxed);
+  }
+  static void set_enabled(bool on);
+
+  // Appends one event to the calling thread's ring (no-op when disabled).
+  static void record(EventKind kind, TraceContext ctx, std::uint32_t arg = 0,
+                     std::uint64_t arg2 = 0) {
+    if (!enabled()) return;
+    global().record_impl(kind, ctx, arg, arg2);
+  }
+
+  // Registers `name` (a string literal or otherwise immortal string) in the
+  // dump's name table and returns its id — span sites call this once.
+  std::uint32_t intern_name(const char* name);
+
+  // Process label rendered into dumps ("router", "shard2", ...).
+  void set_label(const char* label);
+
+  // Copies every thread's ring into a decoded dump (ordinary, non-signal
+  // path; takes the registration lock).
+  RecorderDump snapshot() const;
+
+  // snapshot() + encode + atomic_write_file. False on I/O failure.
+  bool flush_to_file(const std::string& path) const;
+
+  // Installs a handler on SIGTERM/SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL that
+  // writes the dump to `path` using only async-signal-safe calls, then
+  // re-raises with the default disposition. `path` must fit kPathMax.
+  static constexpr std::size_t kPathMax = 512;
+  void install_signal_flush(const std::string& path);
+
+  // Async-signal-safe: writes the dump format to `fd`. Exposed for the
+  // signal-path test; ordinary callers use flush_to_file.
+  void flush_fd(int fd) const;
+
+  // Test isolation: resets every registered ring's head (drops buffered
+  // events; rings and the name table stay registered). Callers must ensure
+  // no thread is concurrently recording.
+  void clear();
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+ private:
+  Recorder() = default;
+
+  static std::atomic<bool>& detail_enabled();
+  static void signal_flush_handler(int signo);
+  void record_impl(EventKind kind, TraceContext ctx, std::uint32_t arg,
+                   std::uint64_t arg2);
+
+  // Writes the whole dump format into `sink` without taking mu_ — shared by
+  // flush_fd (signal path) and snapshot (Bytes path).
+  void emit(detail::DumpSink& sink) const;
+
+  // Single-writer ring: the owner thread stores the event then publishes
+  // head with release; readers (flush, possibly from another thread or a
+  // signal handler) acquire head and copy. A reader racing a live writer
+  // can see a torn oldest event; the postmortem reader tolerates that (the
+  // dump checksum covers the file, not the ring).
+  static constexpr std::size_t kRingCapacity = 1u << 15;  // 1 MiB / thread
+  struct Ring {
+    std::uint32_t tid = 0;
+    std::atomic<std::uint64_t> head{0};
+    RecorderEvent events[kRingCapacity];
+  };
+
+  Ring* ring_for_thread();
+
+  static constexpr std::size_t kMaxRings = 64;
+  static constexpr std::size_t kMaxNames = 512;
+
+  // Guards registration (rings, names, label); the signal handler and the
+  // record path never take it.
+  mutable std::mutex mu_;
+
+  // Fixed-size tables so the signal handler can walk them without locks.
+  Ring* rings_[kMaxRings] = {};
+  std::atomic<std::uint32_t> ring_count_{0};
+  const char* names_[kMaxNames] = {};
+  std::atomic<std::uint32_t> name_count_{0};
+  char label_[64] = {};
+  char signal_path_[kPathMax] = {};
+};
+
+}  // namespace softborg::obs

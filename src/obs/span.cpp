@@ -13,6 +13,9 @@ void set_spans_enabled(bool on) {
 }
 
 SpanSite::SpanSite(const char* name)
-    : hist_(&MetricsRegistry::global().histogram(std::string(name) + ".us")) {}
+    : hist_(&MetricsRegistry::global().histogram(std::string(name) + ".us")),
+      // SB_SPAN guarantees `name` is a string literal (immortal), which is
+      // exactly what the recorder's name table requires.
+      name_id_(Recorder::global().intern_name(name)) {}
 
 }  // namespace softborg::obs

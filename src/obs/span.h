@@ -21,6 +21,7 @@
 #include <atomic>
 #include <chrono>
 
+#include "obs/recorder.h"
 #include "obs/registry.h"
 
 namespace softborg::obs {
@@ -34,30 +35,44 @@ inline bool spans_enabled() {
 }
 void set_spans_enabled(bool on);
 
-// One per SB_SPAN call site: owns the resolved histogram handle. The
-// constructor appends the ".us" unit suffix to `name`.
+// One per SB_SPAN call site: owns the resolved histogram handle and the
+// flight-recorder name-table id. The constructor appends the ".us" unit
+// suffix to `name` for the histogram.
 class SpanSite {
  public:
   explicit SpanSite(const char* name);
   HistogramMetric& hist() { return *hist_; }
+  std::uint32_t name_id() const { return name_id_; }
 
  private:
   HistogramMetric* hist_;
+  std::uint32_t name_id_;
 };
 
 class ScopedSpan {
  public:
   explicit ScopedSpan(SpanSite& site) {
-    if (spans_enabled()) {
+    timed_ = spans_enabled();
+    recorded_ = Recorder::enabled();
+    if (timed_ || recorded_) {
       site_ = &site;
       start_ = std::chrono::steady_clock::now();
+      if (recorded_) {
+        // The span inherits the thread's current trace context, so spans
+        // executed while a trace is being processed join its causal chain.
+        Recorder::record(EventKind::kSpanBegin, {}, site.name_id());
+      }
     }
   }
   ~ScopedSpan() {
-    if (site_ != nullptr) {
+    if (site_ == nullptr) return;
+    if (timed_) {
       const auto elapsed = std::chrono::steady_clock::now() - start_;
       site_->hist().record(
           std::chrono::duration<double, std::micro>(elapsed).count());
+    }
+    if (recorded_) {
+      Recorder::record(EventKind::kSpanEnd, {}, site_->name_id());
     }
   }
   ScopedSpan(const ScopedSpan&) = delete;
@@ -65,6 +80,8 @@ class ScopedSpan {
 
  private:
   SpanSite* site_ = nullptr;
+  bool timed_ = false;
+  bool recorded_ = false;
   std::chrono::steady_clock::time_point start_;
 };
 
@@ -73,10 +90,13 @@ class ScopedSpan {
 #define SB_OBS_CONCAT_INNER(a, b) a##b
 #define SB_OBS_CONCAT(a, b) SB_OBS_CONCAT_INNER(a, b)
 
-// Times the enclosing scope under `name` (a string literal). One statement;
-// usable at most once per line.
+// Times the enclosing scope under `name`. One statement; usable at most
+// once per line. `name ""` is the literal pin: hot-path span names must be
+// string literals (a built-at-runtime name would allocate on every pass
+// even with spans disabled, and the flight recorder's name table holds the
+// pointer forever) — anything else fails to concatenate and won't compile.
 #define SB_SPAN(name)                                                     \
   static ::softborg::obs::SpanSite SB_OBS_CONCAT(sb_span_site_,           \
-                                                 __LINE__){name};         \
+                                                 __LINE__){name ""};      \
   ::softborg::obs::ScopedSpan SB_OBS_CONCAT(sb_span_, __LINE__)(          \
       SB_OBS_CONCAT(sb_span_site_, __LINE__))

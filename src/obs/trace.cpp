@@ -1,0 +1,91 @@
+#include "obs/trace.h"
+
+#include <cstring>
+
+namespace softborg::obs {
+
+namespace detail {
+std::atomic<bool> g_tracing_enabled{false};
+}
+
+void set_tracing_enabled(bool on) {
+  detail::g_tracing_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool has_hop(TraceContext ctx, Hop hop) {
+  const auto code = static_cast<std::uint16_t>(hop);
+  for (std::uint16_t path = ctx.hop_path; path != 0; path >>= 4) {
+    if ((path & 0xf) == code) return true;
+  }
+  return false;
+}
+
+namespace {
+
+const char* hop_name(std::uint16_t code) {
+  switch (static_cast<Hop>(code)) {
+    case Hop::kNone:
+      return "?";
+    case Hop::kPod:
+      return "pod";
+    case Hop::kRouter:
+      return "router";
+    case Hop::kShard:
+      return "shard";
+    case Hop::kMerge:
+      return "merge";
+    case Hop::kProof:
+      return "proof";
+    case Hop::kExport:
+      return "export";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* hop_path_str(std::uint16_t hop_path, char* buf) {
+  // Oldest hop lives in the highest occupied nibble; walk top-down.
+  char* out = buf;
+  bool first = true;
+  for (int shift = 12; shift >= 0; shift -= 4) {
+    const std::uint16_t code = (hop_path >> shift) & 0xf;
+    if (code == 0) continue;
+    if (!first) *out++ = '>';
+    first = false;
+    const char* name = hop_name(code);
+    const std::size_t len = std::strlen(name);
+    std::memcpy(out, name, len);
+    out += len;
+  }
+  *out = '\0';
+  return buf;
+}
+
+std::uint64_t causal_trace_id(std::uint64_t trace_id,
+                              std::uint64_t program_id) {
+  // splitmix64 finalizer over the pair; both sides of every socket compute
+  // this from the wire header alone, so the id needs no coordination.
+  std::uint64_t x = trace_id * 0x9e3779b97f4a7c15ULL + program_id;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;
+}
+
+namespace {
+thread_local TraceContext tls_context;
+}
+
+TraceContext current_context() { return tls_context; }
+
+ScopedTraceContext::ScopedTraceContext(TraceContext ctx)
+    : saved_(tls_context) {
+  tls_context = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { tls_context = saved_; }
+
+}  // namespace softborg::obs

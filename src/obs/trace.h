@@ -1,0 +1,100 @@
+// Causal trace context for the distributed fleet (ISSUE 10 tentpole).
+//
+// A TraceContext names one end-user execution as it flows through the
+// pipeline: a 64-bit causal trace id plus a 16-bit hop path recording which
+// stages the trace has visited (pod emit → router ingress → shard admission
+// → merge, four 4-bit hop codes, oldest shifted out first). The context is
+// derived *deterministically* from the trace wire's own header
+// (causal_trace_id mixes TraceId and ProgramId through a splitmix
+// finalizer), so every process that sees the same wire computes the same
+// causal id without coordination — and the dist frame header's v2 extension
+// (dist/frame.h) carries the *accumulated* context across sockets, so a
+// downstream process learns which hops the trace already took in processes
+// it cannot observe.
+//
+// A thread-local "current context" lets stage instrumentation (SB_SPAN, the
+// flight recorder) attach whatever it records to the trace being worked on
+// without threading a parameter through every layer. Tracing is off by
+// default; when set_tracing_enabled(false), no context is ever derived or
+// attached and every wire byte stays identical to the untraced build (the
+// PR 9 differential suites pin this).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace softborg::obs {
+
+// Pipeline stages a trace can visit; 4 bits each, packed into hop_path.
+enum class Hop : std::uint8_t {
+  kNone = 0,
+  kPod = 1,      // emitted by a pod (or the workload generator standing in)
+  kRouter = 2,   // admitted at the fleet ingress
+  kShard = 3,    // admitted by the owning shard worker
+  kMerge = 4,    // merged into the collective tree
+  kProof = 5,    // touched by proof gap closure
+  kExport = 6,   // serialized outward (snapshot, tree report)
+};
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;  // 0 = no context
+  std::uint16_t hop_path = 0;  // up to 4 most recent hops, newest in low bits
+
+  bool valid() const { return trace_id != 0; }
+  bool operator==(const TraceContext&) const = default;
+};
+
+// Appends `hop` to the path (newest occupies the low nibble; the oldest of
+// five falls off the top). Idempotent when the newest hop already is `hop`,
+// so retry loops do not flood the path.
+inline TraceContext with_hop(TraceContext ctx, Hop hop) {
+  const auto code = static_cast<std::uint16_t>(hop);
+  if ((ctx.hop_path & 0xf) != code) {
+    ctx.hop_path = static_cast<std::uint16_t>((ctx.hop_path << 4) | code);
+  }
+  return ctx;
+}
+
+// True when `hop` appears anywhere in the recorded path.
+bool has_hop(TraceContext ctx, Hop hop);
+
+// Renders "pod>router>shard>merge" (oldest first) into a caller buffer of at
+// least kHopPathStrMax bytes; returns `buf`. Allocation-free (used by the
+// exporter and by tests).
+inline constexpr std::size_t kHopPathStrMax = 4 * 8;
+const char* hop_path_str(std::uint16_t hop_path, char* buf);
+
+// The deterministic causal id every process derives from a trace wire's
+// header: splitmix-style avalanche over (trace id, program id). Never 0.
+std::uint64_t causal_trace_id(std::uint64_t trace_id,
+                              std::uint64_t program_id);
+
+// --- master switch ---------------------------------------------------------
+// Default off. While off, instrumentation derives no contexts and the dist
+// transport emits byte-identical v1 frames.
+namespace detail {
+extern std::atomic<bool> g_tracing_enabled;
+}
+inline bool tracing_enabled() {
+  return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+void set_tracing_enabled(bool on);
+
+// --- thread-local current context ------------------------------------------
+TraceContext current_context();
+
+// Installs `ctx` as the thread's current context for the enclosing scope
+// (restores the previous one on destruction). Stage code uses this so spans
+// and recorder events attach to the trace being processed.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext ctx);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+}  // namespace softborg::obs

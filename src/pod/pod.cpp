@@ -136,6 +136,17 @@ PodRun Pod::run_once(std::uint64_t day) {
   exec.trace.day = day;
   exec.trace.guided = directive.has_value();
 
+  if (obs::tracing_enabled()) {
+    // Birth of the causal chain: the same (id, program) derivation every
+    // downstream process repeats, so this event joins theirs by trace id.
+    obs::TraceContext ctx{obs::causal_trace_id(exec.trace.id.value,
+                                               exec.trace.program.value),
+                          0};
+    ctx = obs::with_hop(ctx, obs::Hop::kPod);
+    obs::Recorder::record(obs::EventKind::kPodEmit, ctx,
+                          static_cast<std::uint32_t>(id_.value));
+  }
+
   PodRun run;
   run.fix_intervened = exec.fix_intervened;
   run.deadlock_cycle = std::move(exec.deadlock_cycle);

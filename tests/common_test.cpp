@@ -333,6 +333,52 @@ TEST(Histogram, SumTracksAdds) {
   EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
 }
 
+// Edge cases the exporters hit in practice: histograms that are empty (a
+// span site never fired), hold one sample (fired once), or land every
+// sample in one log2 bucket (a very steady stage).
+TEST(Histogram, EmptyPercentilesAreZeroAtEveryQuantile) {
+  Histogram h;
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), 0.0) << p;
+  }
+  EXPECT_DOUBLE_EQ(h.max_seen(), 0.0);
+}
+
+TEST(Histogram, SingleSampleQuantilesClampToIt) {
+  for (const double v : {0.0, 0.5, 1.0, 14.0, 1024.0, 1e12}) {
+    Histogram h;
+    h.add(v);
+    // The top quantile is exactly the sample; every other one interpolates
+    // within the sample's power-of-two bucket but may never pass the one
+    // value actually seen (or leave the bucket downward past zero).
+    EXPECT_DOUBLE_EQ(h.percentile(100), v) << v;
+    double prev = 0.0;
+    for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+      const double q = h.percentile(p);
+      EXPECT_LE(q, v) << "v=" << v << " p=" << p;
+      EXPECT_GE(q, 0.0) << "v=" << v << " p=" << p;
+      EXPECT_GE(q, prev) << "v=" << v << " p=" << p;  // monotone in p
+      prev = q;
+    }
+  }
+  // Negative inputs clamp to the zero bucket.
+  Histogram h;
+  h.add(-5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(Histogram, SingleBucketManySamplesStaysInsideBucketBounds) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.add(8.0 + (i % 8));  // all in [8,16)
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_GE(h.percentile(p), 8.0) << p;
+    EXPECT_LE(h.percentile(p), h.max_seen()) << p;
+  }
+  EXPECT_DOUBLE_EQ(h.percentile(100), 15.0);
+  // Monotone across the single bucket too.
+  EXPECT_LE(h.percentile(10), h.percentile(90));
+}
+
 // Property: merging histograms is equivalent to adding every sample to one
 // histogram — same counts, same buckets, same sum, same percentiles. This
 // is what lets per-shard histograms aggregate without bias.

@@ -131,13 +131,141 @@ TEST(Frame, BadMagicAndVersionLatch) {
     EXPECT_TRUE(d.failed());
   }
   {
+    // kFrameVersion + 1 became the traced version; the first unknown one
+    // must still latch.
     Bytes bad = wire;
-    bad[4] = kFrameVersion + 1;
+    bad[4] = kFrameVersionTraced + 1;
     FrameDecoder d;
     d.feed(bad.data(), bad.size());
     EXPECT_FALSE(d.next().has_value());
     EXPECT_TRUE(d.failed());
   }
+}
+
+// --- version 2: the trace-context extension -------------------------------
+
+obs::TraceContext some_ctx() {
+  obs::TraceContext ctx{0x1122334455667788ull, 0};
+  ctx = obs::with_hop(ctx, obs::Hop::kPod);
+  ctx = obs::with_hop(ctx, obs::Hop::kRouter);
+  return ctx;
+}
+
+TEST(FrameTraced, RoundTripsContextAndPayload) {
+  const obs::TraceContext ctx = some_ctx();
+  Bytes stream;
+  encode_frame(stream, 7, 33, some_payload(100, 5), ctx);
+  encode_frame(stream, 8, 0, Bytes{}, ctx);  // header+ext only
+  EXPECT_EQ(stream[4], kFrameVersionTraced);
+  FrameDecoder d;
+  d.feed(stream.data(), stream.size());
+  const auto f1 = d.next();
+  const auto f2 = d.next();
+  ASSERT_TRUE(f1 && f2);
+  EXPECT_FALSE(d.failed());
+  EXPECT_EQ(f1->type, 7u);
+  EXPECT_EQ(f1->credit, 33u);
+  EXPECT_EQ(f1->payload, some_payload(100, 5));
+  EXPECT_EQ(f1->ctx, ctx);
+  EXPECT_TRUE(f2->payload.empty());
+  EXPECT_EQ(f2->ctx, ctx);
+  EXPECT_EQ(d.buffered(), 0u);
+}
+
+TEST(FrameTraced, InvalidContextEmitsByteIdenticalV1) {
+  Bytes plain, via_ctx;
+  encode_frame(plain, 3, 9, some_payload(32, 1));
+  encode_frame(via_ctx, 3, 9, some_payload(32, 1), obs::TraceContext{});
+  EXPECT_EQ(plain, via_ctx);
+  EXPECT_EQ(plain[4], kFrameVersion);
+  // And the decoded frame carries no context.
+  FrameDecoder d;
+  d.feed(plain.data(), plain.size());
+  const auto f = d.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_FALSE(f->ctx.valid());
+}
+
+TEST(FrameTraced, MixedVersionStreamInterleaves) {
+  const obs::TraceContext ctx = some_ctx();
+  Bytes stream;
+  encode_frame(stream, 1, 0, some_payload(10, 1));
+  encode_frame(stream, 2, 0, some_payload(20, 2), ctx);
+  encode_frame(stream, 3, 0, some_payload(30, 3));
+  FrameDecoder d;
+  d.feed(stream.data(), stream.size());
+  const auto f1 = d.next();
+  const auto f2 = d.next();
+  const auto f3 = d.next();
+  ASSERT_TRUE(f1 && f2 && f3);
+  EXPECT_FALSE(f1->ctx.valid());
+  EXPECT_EQ(f2->ctx, ctx);
+  EXPECT_FALSE(f3->ctx.valid());
+  EXPECT_FALSE(d.failed());
+}
+
+TEST(FrameTraced, TruncationAtEveryBoundaryWaitsThenDecodes) {
+  Bytes wire;
+  encode_frame(wire, 4, 11, some_payload(40, 6), some_ctx());
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    FrameDecoder d;
+    d.feed(wire.data(), cut);
+    EXPECT_FALSE(d.next().has_value()) << "cut " << cut;
+    EXPECT_FALSE(d.failed()) << "cut " << cut;
+    d.feed(wire.data() + cut, wire.size() - cut);
+    const auto f = d.next();
+    ASSERT_TRUE(f.has_value()) << "cut " << cut;
+    EXPECT_EQ(f->ctx, some_ctx());
+    EXPECT_EQ(f->payload, some_payload(40, 6));
+  }
+}
+
+TEST(FrameTraced, EveryBitFlipRejectsOrDeliversValid) {
+  Bytes wire;
+  encode_frame(wire, 1, 2, some_payload(48, 9), some_ctx());
+  ASSERT_EQ(wire.size(), kFrameHeaderSize + kFrameTraceExtSize + 48);
+  for (std::size_t bit = 0; bit < wire.size() * 8; ++bit) {
+    Bytes flipped = wire;
+    flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    FrameDecoder d;
+    d.feed(flipped.data(), flipped.size());
+    std::size_t frames = 0;
+    while (const auto f = d.next()) {
+      frames++;
+      EXPECT_LE(f->payload.size(), kMaxFramePayload);
+    }
+    EXPECT_LE(frames, 1u) << "bit " << bit;
+    // The checksum covers extension || payload, so flips there — and in the
+    // checksum itself — must reject. (kFrameVersion and kFrameVersionTraced
+    // differ by two bits, so single version flips always latch too.)
+    const std::size_t byte = bit / 8;
+    if (byte >= 12) {
+      EXPECT_TRUE(d.failed()) << "bit " << bit;
+      EXPECT_EQ(frames, 0u) << "bit " << bit;
+    }
+  }
+}
+
+TEST(FrameTraced, ZeroTraceIdRejects) {
+  // A v2 frame claiming "no context" is malformed: hand-craft one with a
+  // zeroed trace id and a VALID checksum, so only the semantic check can
+  // catch it.
+  const Bytes payload = some_payload(16, 4);
+  Bytes wire = {'S', 'B', 'D', '1', kFrameVersionTraced, 1, 0, 0};
+  for (int shift = 0; shift < 32; shift += 8) {
+    wire.push_back(static_cast<std::uint8_t>(payload.size() >> shift));
+  }
+  Bytes body(kFrameTraceExtSize, 0);  // trace id 0, hop path 0
+  body.insert(body.end(), payload.begin(), payload.end());
+  const std::uint32_t cksum = frame_checksum(body.data(), body.size());
+  for (int shift = 0; shift < 32; shift += 8) {
+    wire.push_back(static_cast<std::uint8_t>(cksum >> shift));
+  }
+  wire.insert(wire.end(), body.begin(), body.end());
+  FrameDecoder d;
+  d.feed(wire.data(), wire.size());
+  EXPECT_FALSE(d.next().has_value());
+  EXPECT_TRUE(d.failed());
 }
 
 TEST(Frame, RandomChopReassemblesIdentically) {

@@ -1,0 +1,292 @@
+// Causal trace context + flight recorder (ISSUE 10 tentpole): hop-path
+// algebra, the deterministic causal id, the recorder's ring + snapshot
+// pipeline, and the dump codec under the same hostile-input posture as
+// dist_frame_test — truncation at every boundary, every single-bit flip,
+// trailing garbage.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "obs/export.h"
+#include "obs/recorder.h"
+#include "obs/trace.h"
+
+namespace softborg::obs {
+namespace {
+
+// --- trace context ---------------------------------------------------------
+
+TEST(TraceContext, WithHopShiftsAndIsIdempotent) {
+  TraceContext ctx{42, 0};
+  ctx = with_hop(ctx, Hop::kPod);
+  EXPECT_EQ(ctx.hop_path, 0x1);
+  ctx = with_hop(ctx, Hop::kPod);  // repeated newest hop does not flood
+  EXPECT_EQ(ctx.hop_path, 0x1);
+  ctx = with_hop(ctx, Hop::kRouter);
+  EXPECT_EQ(ctx.hop_path, 0x12);
+  ctx = with_hop(ctx, Hop::kShard);
+  ctx = with_hop(ctx, Hop::kMerge);
+  EXPECT_EQ(ctx.hop_path, 0x1234);
+  EXPECT_TRUE(has_hop(ctx, Hop::kPod));
+  EXPECT_TRUE(has_hop(ctx, Hop::kMerge));
+  EXPECT_FALSE(has_hop(ctx, Hop::kProof));
+  // A fifth hop pushes the oldest off the top.
+  ctx = with_hop(ctx, Hop::kProof);
+  EXPECT_EQ(ctx.hop_path, 0x2345);
+  EXPECT_FALSE(has_hop(ctx, Hop::kPod));
+}
+
+TEST(TraceContext, HopPathStrRendersOldestFirst) {
+  char buf[kHopPathStrMax];
+  TraceContext ctx{1, 0};
+  ctx = with_hop(ctx, Hop::kPod);
+  ctx = with_hop(ctx, Hop::kRouter);
+  ctx = with_hop(ctx, Hop::kShard);
+  ctx = with_hop(ctx, Hop::kMerge);
+  EXPECT_STREQ(hop_path_str(ctx.hop_path, buf), "pod>router>shard>merge");
+  EXPECT_STREQ(hop_path_str(0, buf), "");
+  EXPECT_STREQ(hop_path_str(0x1, buf), "pod");
+}
+
+TEST(TraceContext, CausalIdIsDeterministicAndNeverZero) {
+  EXPECT_EQ(causal_trace_id(7, 3), causal_trace_id(7, 3));
+  EXPECT_NE(causal_trace_id(7, 3), causal_trace_id(8, 3));
+  EXPECT_NE(causal_trace_id(7, 3), causal_trace_id(7, 4));
+  Rng rng(0xc0de);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_NE(causal_trace_id(rng(), rng()), 0u);
+  }
+  EXPECT_NE(causal_trace_id(0, 0), 0u);
+}
+
+TEST(TraceContext, ScopedContextRestoresOnExit) {
+  EXPECT_FALSE(current_context().valid());
+  {
+    ScopedTraceContext outer({11, 0x1});
+    EXPECT_EQ(current_context().trace_id, 11u);
+    {
+      ScopedTraceContext inner({22, 0x12});
+      EXPECT_EQ(current_context().trace_id, 22u);
+    }
+    EXPECT_EQ(current_context().trace_id, 11u);
+  }
+  EXPECT_FALSE(current_context().valid());
+}
+
+// --- recorder ring + snapshot ----------------------------------------------
+
+TEST(Recorder, DisabledRecordIsANoOp) {
+  auto& rec = Recorder::global();
+  Recorder::set_enabled(false);
+  rec.clear();
+  Recorder::record(EventKind::kPodEmit, {1, 0x1}, 7);
+  Recorder::set_enabled(true);
+  const RecorderDump dump = rec.snapshot();
+  Recorder::set_enabled(false);
+  std::size_t events = 0;
+  for (const auto& t : dump.threads) events += t.events.size();
+  EXPECT_EQ(events, 0u);
+}
+
+TEST(Recorder, RecordSnapshotRoundTripsEventsAndNames) {
+  auto& rec = Recorder::global();
+  rec.clear();
+  rec.set_label("unit-test");
+  Recorder::set_enabled(true);
+  const std::uint32_t name = rec.intern_name("test.span");
+  Recorder::record(EventKind::kSpanBegin, {}, name);
+  Recorder::record(EventKind::kPodEmit, {0xabcdef, 0x12}, 3, 99);
+  Recorder::record(EventKind::kSpanEnd, {}, name);
+  const RecorderDump dump = rec.snapshot();
+  Recorder::set_enabled(false);
+  rec.clear();
+
+  EXPECT_EQ(dump.label, "unit-test");
+  ASSERT_GT(dump.names.size(), name);
+  EXPECT_EQ(dump.names[name], "test.span");
+  ASSERT_EQ(dump.threads.size(), 1u);
+  const auto& events = dump.threads[0].events;
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, static_cast<std::uint16_t>(EventKind::kSpanBegin));
+  EXPECT_EQ(events[0].arg, name);
+  EXPECT_EQ(events[1].kind, static_cast<std::uint16_t>(EventKind::kPodEmit));
+  EXPECT_EQ(events[1].trace_id, 0xabcdefu);
+  EXPECT_EQ(events[1].hop_path, 0x12u);
+  EXPECT_EQ(events[1].arg, 3u);
+  EXPECT_EQ(events[1].arg2, 99u);
+  // Timestamps are monotone within a thread.
+  EXPECT_LE(events[0].ts_ns, events[1].ts_ns);
+  EXPECT_LE(events[1].ts_ns, events[2].ts_ns);
+}
+
+TEST(Recorder, InternIsStableAndSpanSitePinsLiterals) {
+  auto& rec = Recorder::global();
+  const std::uint32_t a = rec.intern_name("recorder.test.a");
+  EXPECT_EQ(rec.intern_name("recorder.test.a"), a);
+  EXPECT_NE(rec.intern_name("recorder.test.b"), a);
+}
+
+// --- dump codec: round-trip + hostile input --------------------------------
+
+RecorderDump make_dump(Rng& rng, std::size_t threads, std::size_t events) {
+  RecorderDump d;
+  d.pid = rng();
+  d.mono_ns = rng();
+  d.real_ns = rng();
+  d.label = "shard" + std::to_string(rng.next_below(100));
+  d.names = {"", "a.span", "b.span"};
+  for (std::size_t t = 0; t < threads; ++t) {
+    RecorderDump::ThreadEvents te;
+    te.tid = static_cast<std::uint32_t>(rng());
+    for (std::size_t i = 0; i < events; ++i) {
+      RecorderEvent e{};
+      e.ts_ns = rng();
+      e.trace_id = rng();
+      e.arg2 = rng();
+      e.arg = static_cast<std::uint32_t>(rng());
+      e.hop_path = static_cast<std::uint16_t>(rng());
+      e.kind = static_cast<std::uint16_t>(rng.next_below(17));
+      te.events.push_back(e);
+    }
+    d.threads.push_back(std::move(te));
+  }
+  return d;
+}
+
+void expect_equal(const RecorderDump& a, const RecorderDump& b) {
+  EXPECT_EQ(a.pid, b.pid);
+  EXPECT_EQ(a.mono_ns, b.mono_ns);
+  EXPECT_EQ(a.real_ns, b.real_ns);
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.names, b.names);
+  ASSERT_EQ(a.threads.size(), b.threads.size());
+  for (std::size_t t = 0; t < a.threads.size(); ++t) {
+    EXPECT_EQ(a.threads[t].tid, b.threads[t].tid);
+    ASSERT_EQ(a.threads[t].events.size(), b.threads[t].events.size());
+    for (std::size_t i = 0; i < a.threads[t].events.size(); ++i) {
+      const RecorderEvent& x = a.threads[t].events[i];
+      const RecorderEvent& y = b.threads[t].events[i];
+      EXPECT_EQ(x.ts_ns, y.ts_ns);
+      EXPECT_EQ(x.trace_id, y.trace_id);
+      EXPECT_EQ(x.arg2, y.arg2);
+      EXPECT_EQ(x.arg, y.arg);
+      EXPECT_EQ(x.hop_path, y.hop_path);
+      EXPECT_EQ(x.kind, y.kind);
+    }
+  }
+}
+
+TEST(RecorderCodec, RoundTripsRandomDumps) {
+  Rng rng(0xd00d);
+  for (int trial = 0; trial < 50; ++trial) {
+    const RecorderDump d =
+        make_dump(rng, rng.next_below(4), rng.next_below(64));
+    const Bytes wire = encode_recorder_dump(d);
+    const auto back = decode_recorder_dump(wire);
+    ASSERT_TRUE(back.has_value()) << "trial " << trial;
+    expect_equal(d, *back);
+  }
+}
+
+TEST(RecorderCodec, TruncationAtEveryBoundaryRejects) {
+  Rng rng(0xbeef);
+  const Bytes wire = encode_recorder_dump(make_dump(rng, 2, 8));
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    Bytes partial(wire.begin(), wire.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(decode_recorder_dump(partial).has_value()) << "cut " << cut;
+  }
+}
+
+TEST(RecorderCodec, EveryBitFlipRejects) {
+  Rng rng(0xf1ee);
+  const Bytes wire = encode_recorder_dump(make_dump(rng, 1, 12));
+  // The trailing checksum covers every byte before it, and a flip inside
+  // the checksum itself mismatches the recomputed hash: no single-bit
+  // corruption may survive decode.
+  for (std::size_t bit = 0; bit < wire.size() * 8; ++bit) {
+    Bytes flipped = wire;
+    flipped[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(decode_recorder_dump(flipped).has_value()) << "bit " << bit;
+  }
+}
+
+TEST(RecorderCodec, TrailingGarbageRejects) {
+  Rng rng(0xcafe);
+  Bytes wire = encode_recorder_dump(make_dump(rng, 1, 4));
+  wire.push_back(0);
+  EXPECT_FALSE(decode_recorder_dump(wire).has_value());
+}
+
+TEST(RecorderCodec, RandomGarbageNeverCrashes) {
+  Rng rng(0xdead);
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes junk(rng.next_below(4096));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_below(256));
+    (void)decode_recorder_dump(junk);  // must not crash or over-allocate
+  }
+}
+
+// --- exporter ---------------------------------------------------------------
+
+TEST(ChromeTrace, MergesDumpsOntoOneClockAxisWithFlows) {
+  // Two "processes" whose monotonic clocks disagree wildly but whose
+  // realtime anchors agree: the exporter must land their events on one
+  // axis, pair spans, and chain the shared causal id across both.
+  const std::uint64_t id = causal_trace_id(1, 2);
+  RecorderDump a;
+  a.pid = 100;
+  a.mono_ns = 1'000'000;
+  a.real_ns = 5'000'000'000ull;
+  a.label = "router";
+  a.names = {"", "router.pump"};
+  {
+    RecorderDump::ThreadEvents t;
+    t.tid = 1;
+    t.events.push_back({100'000, 0, 0, 1, 0,
+                        static_cast<std::uint16_t>(EventKind::kSpanBegin)});
+    t.events.push_back({150'000, id, 0, 0, 0x12,
+                        static_cast<std::uint16_t>(EventKind::kRouterIngress)});
+    t.events.push_back({200'000, 0, 0, 1, 0,
+                        static_cast<std::uint16_t>(EventKind::kSpanEnd)});
+    a.threads.push_back(std::move(t));
+  }
+  RecorderDump b;
+  b.pid = 200;
+  b.mono_ns = 999'000'000'000ull;  // different monotonic epoch
+  b.real_ns = 5'000'000'000ull;
+  b.label = "shard0";
+  {
+    RecorderDump::ThreadEvents t;
+    t.tid = 2;
+    t.events.push_back({998'999'000'000ull, id, 0, 0, 0x1234,
+                        static_cast<std::uint16_t>(EventKind::kMerge)});
+    b.threads.push_back(std::move(t));
+  }
+  ChromeTraceStats st;
+  const std::string json = to_chrome_trace({a, b}, &st);
+  EXPECT_EQ(st.processes, 2u);
+  EXPECT_EQ(st.events, 3u);  // one slice + two instants
+  EXPECT_EQ(st.flows, 1u);
+  // Both hops pod..merge appear across two pids -> an end-to-end chain.
+  EXPECT_EQ(st.cross_process_chains, 1u);
+  EXPECT_NE(json.find("\"router_ingress\""), std::string::npos);
+  EXPECT_NE(json.find("\"router.pump\""), std::string::npos);
+  EXPECT_NE(json.find("\"merge\""), std::string::npos);
+  EXPECT_NE(json.find("pod>router>shard>merge"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  // Clock alignment, not raw monotonic stamps: shard0's merge has a raw
+  // stamp ~999s (far after the router's 150us), but its realtime anchor
+  // places it 100us BEFORE the router's span begin on the shared axis —
+  // the sorted output must lead with it.
+  EXPECT_LT(json.find("\"merge\""), json.find("\"router_ingress\""));
+}
+
+TEST(ChromeTrace, EmptyDumpsStillValid) {
+  ChromeTraceStats st;
+  const std::string json = to_chrome_trace({}, &st);
+  EXPECT_EQ(st.events, 0u);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace softborg::obs
